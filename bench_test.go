@@ -1,0 +1,233 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation as testing.B benchmarks:
+//
+//	go test -bench=Table1 -benchmem           # E1: pass rates
+//	go test -bench=Fig3                        # E2: latency breakdown
+//	go test -bench=Table2                      # E3: SOTA comparison
+//	go test -bench=Ablation                    # E4: design ablation
+//	go test -bench=IterSweep                   # E5: budget sweep
+//
+// Each benchmark subsamples the suite (every 4th problem) so a full
+// -bench=. run stays in CI-friendly time; cmd/benchsuite runs the full
+// 156-problem evaluation. Key metrics are attached via b.ReportMetric:
+// pass@1S/pass@1F percentages and average latencies per stage.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/exp"
+	"repro/internal/llm"
+)
+
+// benchProblems returns the subsampled problem list shared by all
+// benchmarks (39 of 156 problems).
+func benchProblems() []*bench.Problem {
+	suite := bench.NewSuite()
+	var out []*bench.Problem
+	for i, p := range suite.Problems {
+		if i%4 == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func langName(l edatool.Language) string {
+	if l == edatool.Verilog {
+		return "Verilog"
+	}
+	return "VHDL"
+}
+
+// BenchmarkTable1 regenerates the Table 1 rows: baseline and AIVRIL2
+// pass@1S / pass@1F for each model and language.
+func BenchmarkTable1(b *testing.B) {
+	problems := benchProblems()
+	for _, model := range llm.Profiles() {
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			model, lang := model, lang
+			b.Run(fmt.Sprintf("%s/%s", model.Name(), langName(lang)), func(b *testing.B) {
+				var s *exp.Summary
+				for i := 0; i < b.N; i++ {
+					s = exp.Run(model, lang, exp.Options{Problems: problems})
+				}
+				baseS, baseF, loopS, loopF := s.Rates()
+				b.ReportMetric(baseS, "base_pass@1S_%")
+				b.ReportMetric(baseF, "base_pass@1F_%")
+				b.ReportMetric(loopS, "aivril2_pass@1S_%")
+				b.ReportMetric(loopF, "aivril2_pass@1F_%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the Figure 3 latency breakdown series.
+func BenchmarkFig3(b *testing.B) {
+	problems := benchProblems()
+	for _, model := range llm.Profiles() {
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			model, lang := model, lang
+			b.Run(fmt.Sprintf("%s/%s", model.Name(), langName(lang)), func(b *testing.B) {
+				var s *exp.Summary
+				for i := 0; i < b.N; i++ {
+					s = exp.Run(model, lang, exp.Options{Problems: problems})
+				}
+				b.ReportMetric(s.AvgBaselineLatency, "baseline_s")
+				b.ReportMetric(s.AvgSyntaxLatency, "syntax_loop_s")
+				b.ReportMetric(s.AvgFuncLatency, "functional_loop_s")
+				b.ReportMetric(s.AvgSyntaxIters, "syntax_iters")
+				b.ReportMetric(s.AvgFuncIters, "func_iters")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates our measured Table 2 rows (Verilog).
+func BenchmarkTable2(b *testing.B) {
+	problems := benchProblems()
+	for _, model := range llm.Profiles() {
+		model := model
+		b.Run("AIVRIL2/"+model.Name(), func(b *testing.B) {
+			var s *exp.Summary
+			for i := 0; i < b.N; i++ {
+				s = exp.Run(model, edatool.Verilog, exp.Options{Problems: problems})
+			}
+			_, _, _, loopF := s.Rates()
+			b.ReportMetric(loopF, "pass@1F_%")
+		})
+	}
+	for _, c := range baseline.Comparators() {
+		c := c
+		b.Run("comparator/"+c.Name, func(b *testing.B) {
+			claude := llm.ProfileByName("claude-3.5-sonnet")
+			var s *exp.Summary
+			for i := 0; i < b.N; i++ {
+				s = exp.Run(claude, edatool.Verilog,
+					exp.Options{Problems: problems, Configure: c.Configure})
+			}
+			_, _, _, loopF := s.Rates()
+			b.ReportMetric(loopF, "pass@1F_%")
+		})
+	}
+}
+
+// BenchmarkAblation regenerates E4: testbench-first (frozen) vs
+// AIVRIL1-style co-generation vs syntax-only.
+func BenchmarkAblation(b *testing.B) {
+	problems := benchProblems()
+	claude := llm.ProfileByName("claude-3.5-sonnet")
+	variants := map[string]func(*core.Config){
+		"frozen-tb": nil,
+	}
+	for _, c := range baseline.Comparators() {
+		variants[c.Name] = c.Configure
+	}
+	for name, cfg := range variants {
+		name, cfg := name, cfg
+		b.Run(name, func(b *testing.B) {
+			var s *exp.Summary
+			for i := 0; i < b.N; i++ {
+				s = exp.Run(claude, edatool.Verilog,
+					exp.Options{Problems: problems, Configure: cfg})
+			}
+			_, _, loopS, loopF := s.Rates()
+			b.ReportMetric(loopS, "pass@1S_%")
+			b.ReportMetric(loopF, "pass@1F_%")
+		})
+	}
+}
+
+// BenchmarkIterSweep regenerates E5: iteration-budget sensitivity.
+func BenchmarkIterSweep(b *testing.B) {
+	problems := benchProblems()
+	claude := llm.ProfileByName("claude-3.5-sonnet")
+	for _, budget := range []int{1, 2, 3, 5, 8} {
+		budget := budget
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			var s *exp.Summary
+			for i := 0; i < b.N; i++ {
+				s = exp.Run(claude, edatool.Verilog, exp.Options{
+					Problems: problems,
+					Configure: func(c *core.Config) {
+						c.MaxSyntaxIters = budget
+						c.MaxFuncIters = budget
+					},
+				})
+			}
+			_, _, loopS, loopF := s.Rates()
+			b.ReportMetric(loopS, "pass@1S_%")
+			b.ReportMetric(loopF, "pass@1F_%")
+		})
+	}
+}
+
+// BenchmarkPipelineSingle measures one pipeline run end to end — the
+// unit of work behind every table entry.
+func BenchmarkPipelineSingle(b *testing.B) {
+	suite := bench.NewSuite()
+	prob := suite.ByID("fsm_shift_ena")
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(core.DefaultConfig(model, edatool.Verilog)).Run(prob)
+	}
+}
+
+// BenchmarkSimulatorVerilog measures raw event-driven simulation of a
+// counter testbench (EDA substrate cost).
+func BenchmarkSimulatorVerilog(b *testing.B) {
+	suite := bench.NewSuite()
+	prob := suite.ByID("counter_up_w8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edatool.Simulate(edatool.Verilog, bench.TBName, 200_000,
+			edatool.Source{Name: "d.v", Text: prob.GoldenVerilog},
+			edatool.Source{Name: "tb.v", Text: prob.RefTBVerilog})
+	}
+}
+
+// BenchmarkSimulatorVHDL is the VHDL counterpart.
+func BenchmarkSimulatorVHDL(b *testing.B) {
+	suite := bench.NewSuite()
+	prob := suite.ByID("counter_up_w8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edatool.Simulate(edatool.VHDL, bench.TBName, 200_000,
+			edatool.Source{Name: "d.vhd", Text: prob.GoldenVHDL},
+			edatool.Source{Name: "tb.vhd", Text: prob.RefTBVHDL})
+	}
+}
+
+// BenchmarkCompilerVerilog measures front-end throughput.
+func BenchmarkCompilerVerilog(b *testing.B) {
+	suite := bench.NewSuite()
+	prob := suite.ByID("alu8op_w8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edatool.Compile(edatool.Verilog, edatool.Source{Name: "d.v", Text: prob.GoldenVerilog})
+	}
+}
+
+// BenchmarkCompilerVHDL measures the VHDL front-end.
+func BenchmarkCompilerVHDL(b *testing.B) {
+	suite := bench.NewSuite()
+	prob := suite.ByID("alu8op_w8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edatool.Compile(edatool.VHDL, edatool.Source{Name: "d.vhd", Text: prob.GoldenVHDL})
+	}
+}
+
+// BenchmarkSuiteConstruction measures building all 156 problems with
+// their vectors and reference benches.
+func BenchmarkSuiteConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.NewSuite()
+	}
+}

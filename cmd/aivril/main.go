@@ -1,0 +1,79 @@
+// Command aivril runs the AIVRIL 2 pipeline on a single benchmark
+// problem and prints the full agent transcript, the artefacts, and the
+// final verdicts:
+//
+//	aivril -problem fsm_shift_ena -model claude-3.5-sonnet -lang verilog
+//	aivril -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/llm"
+)
+
+func main() {
+	var (
+		problemID = flag.String("problem", "fsm_shift_ena", "benchmark problem id")
+		modelName = flag.String("model", "claude-3.5-sonnet", "model profile: claude-3.5-sonnet | gpt-4o | llama3-70b")
+		langName  = flag.String("lang", "verilog", "target language: verilog | vhdl")
+		list      = flag.Bool("list", false, "list all problem ids and exit")
+		showRTL   = flag.Bool("show-rtl", true, "print the final RTL")
+	)
+	flag.Parse()
+
+	suite := bench.NewSuite()
+	if *list {
+		for _, p := range suite.Problems {
+			fmt.Printf("%-24s %-12s %s\n", p.ID, p.Category, oneLine(p.Spec))
+		}
+		return
+	}
+	prob := suite.ByID(*problemID)
+	if prob == nil {
+		fmt.Fprintf(os.Stderr, "unknown problem %q (use -list)\n", *problemID)
+		os.Exit(1)
+	}
+	model := llm.ProfileByName(*modelName)
+	if model == nil {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	lang := edatool.Verilog
+	if *langName == "vhdl" {
+		lang = edatool.VHDL
+	}
+
+	fmt.Printf("=== AIVRIL 2: %s / %s / %s ===\n\n", prob.ID, model.Name(), lang)
+	fmt.Printf("Specification:\n  %s\n\n", prob.Spec)
+
+	cfg := core.DefaultConfig(model, lang)
+	cfg.Trace = func(stage, detail string) {
+		fmt.Printf("[%-9s] %s\n", stage, detail)
+	}
+	res := core.New(cfg).Run(prob)
+
+	fmt.Printf("\n--- outcome ---\n")
+	fmt.Printf("baseline syntax OK : %v\n", core.EvaluateSyntax(lang, res.BaselineRTL))
+	fmt.Printf("loop syntax OK     : %v (after %d syntax iterations)\n", res.SyntaxOK, res.SyntaxIters)
+	fmt.Printf("self-verified      : %v (after %d functional iterations)\n", res.SelfVerified, res.FuncIters)
+	funcOK := res.SyntaxOK && core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
+	fmt.Printf("reference bench    : %v   <-- pass@1F verdict\n", funcOK)
+	fmt.Printf("latency            : baseline %.1fs, syntax loop %.1fs, functional loop %.1fs (total %.1fs)\n",
+		res.Latency.Baseline, res.Latency.Syntax, res.Latency.Func, res.Latency.Total())
+	if *showRTL {
+		fmt.Printf("\n--- final RTL ---\n%s\n", res.FinalRTL)
+	}
+}
+
+func oneLine(s string) string {
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+// Command benchsuite runs the full AIVRIL 2 evaluation and regenerates
+// the paper's tables and figures:
+//
+//	benchsuite -table1      pass-rate summary (Table 1)
+//	benchsuite -fig3        latency breakdown (Figure 3)
+//	benchsuite -table2      state-of-the-art comparison (Table 2)
+//	benchsuite -ablation    testbench-first vs co-generation (E4)
+//	benchsuite -sweep       iteration budget sweep (E5)
+//	benchsuite -all         everything
+//
+// Use -every N to subsample the suite (N>1 keeps runs quick).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig3       = flag.Bool("fig3", false, "regenerate Figure 3")
+		table2     = flag.Bool("table2", false, "regenerate Table 2")
+		ablation   = flag.Bool("ablation", false, "run the E4 ablation")
+		sweep      = flag.Bool("sweep", false, "run the E5 iteration sweep")
+		all        = flag.Bool("all", false, "run everything")
+		categories = flag.Bool("categories", false, "per-category breakdown (Claude, Verilog)")
+		jsonOut    = flag.String("json", "", "also write raw summaries as JSON to this file")
+		every      = flag.Int("every", 1, "evaluate every N-th problem (subsampling)")
+		workers    = flag.Int("workers", 0, "max parallel problems (0 = auto)")
+	)
+	flag.Parse()
+	if !*table1 && !*fig3 && !*table2 && !*ablation && !*sweep && !*categories && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := bench.NewSuite()
+	problems := suite.Problems
+	if *every > 1 {
+		var sub []*bench.Problem
+		for i, p := range problems {
+			if i%*every == 0 {
+				sub = append(sub, p)
+			}
+		}
+		problems = sub
+	}
+	fmt.Printf("Benchmark suite: %d problems (%d categories)\n\n",
+		len(problems), len(suite.Categories()))
+	opts := exp.Options{Problems: problems, MaxWorkers: *workers}
+
+	var matrix []*exp.Summary
+	needMatrix := *table1 || *fig3 || *table2 || *categories || *all
+	if needMatrix {
+		matrix = exp.Matrix(opts)
+	}
+	if *table1 || *all {
+		fmt.Println(report.Table1(matrix))
+	}
+	if *fig3 || *all {
+		fmt.Println(report.Fig3(matrix))
+	}
+	if *table2 || *all {
+		fmt.Println(report.Table2(measuredTable2(matrix, opts)))
+	}
+	if *ablation || *all {
+		fmt.Println(runAblation(opts))
+	}
+	if *sweep || *all {
+		fmt.Println(runSweep(opts))
+	}
+	if *categories || *all {
+		for _, s := range matrix {
+			if s.Model == "claude-3.5-sonnet" {
+				fmt.Println(report.CategoryTable(s))
+			}
+		}
+	}
+	if *jsonOut != "" && matrix != nil {
+		data, err := json.MarshalIndent(matrix, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: writing JSON: %v\n", err)
+		}
+	}
+}
+
+// measuredTable2 derives our measured comparison rows (Verilog only).
+func measuredTable2(matrix []*exp.Summary, opts exp.Options) []report.Table2Row {
+	var rows []report.Table2Row
+	for _, s := range matrix {
+		if s.Language != edatool.Verilog {
+			continue
+		}
+		_, _, _, loopF := s.Rates()
+		rows = append(rows, report.Table2Row{
+			Technology: "AIVRIL2 (" + s.Model + ")",
+			License:    s.License,
+			PassAt1F:   loopF,
+			Measured:   true,
+		})
+	}
+	// Co-generation comparator on the strongest profile (AIVRIL1-like).
+	claude := llm.ProfileByName("claude-3.5-sonnet")
+	for _, c := range baseline.Comparators() {
+		o := opts
+		o.Configure = c.Configure
+		s := exp.Run(claude, edatool.Verilog, o)
+		_, _, _, loopF := s.Rates()
+		rows = append(rows, report.Table2Row{
+			Technology: c.Name + " (claude-3.5-sonnet)",
+			License:    "Closed Source",
+			PassAt1F:   loopF,
+			Measured:   true,
+		})
+	}
+	return rows
+}
+
+func runAblation(opts exp.Options) string {
+	claude := llm.ProfileByName("claude-3.5-sonnet")
+	rows := map[string]*exp.Summary{}
+	rows["aivril2 (tb frozen)"] = exp.Run(claude, edatool.Verilog, opts)
+	for _, c := range baseline.Comparators() {
+		o := opts
+		o.Configure = c.Configure
+		rows[c.Name] = exp.Run(claude, edatool.Verilog, o)
+	}
+	return report.Ablation(rows)
+}
+
+func runSweep(opts exp.Options) string {
+	claude := llm.ProfileByName("claude-3.5-sonnet")
+	budgets := []int{1, 2, 3, 5, 8}
+	var sums []*exp.Summary
+	for _, b := range budgets {
+		b := b
+		o := opts
+		o.Configure = func(c *core.Config) {
+			c.MaxSyntaxIters = b
+			c.MaxFuncIters = b
+		}
+		sums = append(sums, exp.Run(claude, edatool.Verilog, o))
+	}
+	return report.IterSweep(budgets, sums)
+}

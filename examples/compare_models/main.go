@@ -1,0 +1,42 @@
+// Compare_models runs all three model profiles over a subset of the
+// suite in both languages, printing a miniature Table 1 — the fastest
+// way to see the LLM-agnostic behaviour of the framework.
+//
+//	go run ./examples/compare_models
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/edatool"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/report"
+)
+
+func main() {
+	suite := bench.NewSuite()
+	// Every 6th problem: 26 problems, a few seconds per model/language.
+	var problems []*bench.Problem
+	for i, p := range suite.Problems {
+		if i%6 == 0 {
+			problems = append(problems, p)
+		}
+	}
+	fmt.Printf("Comparing %d model profiles on %d problems x 2 languages...\n\n",
+		len(llm.Profiles()), len(problems))
+
+	var sums []*exp.Summary
+	for _, model := range llm.Profiles() {
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			s := exp.Run(model, lang, exp.Options{Problems: problems})
+			sums = append(sums, s)
+			bS, bF, lS, lF := s.Rates()
+			fmt.Printf("%-20s %-8v baseline %5.1f/%5.1f -> aivril2 %5.1f/%5.1f (S/F %%)\n",
+				model.Name(), lang, bS, bF, lS, lF)
+		}
+	}
+	fmt.Println()
+	fmt.Println(report.Table1(sums))
+}

@@ -1,0 +1,34 @@
+// Quickstart: run the AIVRIL 2 pipeline on one benchmark problem and
+// print the verdicts. This is the smallest end-to-end use of the public
+// pipeline API:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/llm"
+)
+
+func main() {
+	suite := bench.NewSuite()
+	prob := suite.ByID("counter_up_w4")
+	model := llm.ProfileByName("claude-3.5-sonnet")
+
+	pipeline := core.New(core.DefaultConfig(model, edatool.Verilog))
+	res := pipeline.Run(prob)
+
+	fmt.Printf("problem          : %s\n", prob.ID)
+	fmt.Printf("spec             : %s\n", prob.Spec)
+	fmt.Printf("syntax converged : %v (%d iterations)\n", res.SyntaxOK, res.SyntaxIters)
+	fmt.Printf("self-verified    : %v (%d iterations)\n", res.SelfVerified, res.FuncIters)
+
+	passed := res.SyntaxOK &&
+		core.EvaluateFunctional(edatool.Verilog, prob, res.FinalRTL, 200_000)
+	fmt.Printf("reference bench  : %v\n", passed)
+	fmt.Printf("\nfinal RTL:\n%s\n", res.FinalRTL)
+}

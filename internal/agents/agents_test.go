@@ -1,0 +1,166 @@
+package agents
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/edatool"
+	"repro/internal/llm"
+)
+
+func TestParseCompileLogExtractsErrors(t *testing.T) {
+	src := `module m(input a, output y);
+  assign y = a & ghost;
+endmodule`
+	comp := edatool.Compile(edatool.Verilog, edatool.Source{Name: "design.v", Text: src})
+	if comp.OK {
+		t.Fatal("fixture should not compile")
+	}
+	var review ReviewAgent
+	fb := review.ParseCompileLog(comp.Log)
+	if fb.Kind != llm.SyntaxFeedback {
+		t.Error("wrong feedback kind")
+	}
+	if len(fb.Items) == 0 {
+		t.Fatalf("no items parsed from log:\n%s", comp.Log)
+	}
+	item := fb.Items[0]
+	if item.Line != 2 {
+		t.Errorf("line = %d, want 2", item.Line)
+	}
+	if !strings.Contains(item.Message, "ghost") {
+		t.Errorf("message = %q", item.Message)
+	}
+	if !strings.Contains(item.Snippet, "ghost") {
+		t.Errorf("snippet = %q", item.Snippet)
+	}
+	if item.Hint == "" {
+		t.Error("hint empty")
+	}
+}
+
+func TestParseCompileLogCleanIsEmpty(t *testing.T) {
+	comp := edatool.Compile(edatool.Verilog,
+		edatool.Source{Name: "d.v", Text: "module m(input a, output y); assign y = a; endmodule"})
+	var review ReviewAgent
+	fb := review.ParseCompileLog(comp.Log)
+	if len(fb.Items) != 0 {
+		t.Errorf("clean compile produced %d items", len(fb.Items))
+	}
+	if !strings.Contains(review.CorrectivePrompt(fb), "compiles cleanly") {
+		t.Error("prompt for clean compile wrong")
+	}
+}
+
+func TestParseCompileLogMultipleErrors(t *testing.T) {
+	src := `module m(input a, output y)
+  assign y = a & ghost;
+  wire w
+endmodule`
+	comp := edatool.Compile(edatool.Verilog, edatool.Source{Name: "design.v", Text: src})
+	var review ReviewAgent
+	fb := review.ParseCompileLog(comp.Log)
+	if len(fb.Items) < 2 {
+		t.Errorf("want multiple items, got %d from:\n%s", len(fb.Items), comp.Log)
+	}
+	prompt := review.CorrectivePrompt(fb)
+	if !strings.Contains(prompt, "1.") || !strings.Contains(prompt, "2.") {
+		t.Errorf("prompt not enumerated:\n%s", prompt)
+	}
+}
+
+func TestParseSimLogFailures(t *testing.T) {
+	log := `Test Case 2 Failed: shift_ena expected 0 got 1
+Test Case 7 Failed: q expected 3 got 4
+tb.v:44: $stop called at 60 (1ns)
+`
+	var verify VerificationAgent
+	fb := verify.ParseSimLog(log)
+	if fb.Kind != llm.FunctionalFeedback {
+		t.Error("wrong kind")
+	}
+	if len(fb.Items) != 2 {
+		t.Fatalf("items = %d", len(fb.Items))
+	}
+	if fb.Items[0].Line != 2 || fb.Items[1].Line != 7 {
+		t.Errorf("case numbers: %d, %d", fb.Items[0].Line, fb.Items[1].Line)
+	}
+	if verify.Passed(log) {
+		t.Error("failed log judged passed")
+	}
+}
+
+func TestParseSimLogPassed(t *testing.T) {
+	log := "All tests passed successfully!\ntb.v:53: $finish called at 60 (1ns)\n"
+	var verify VerificationAgent
+	if !verify.Passed(log) {
+		t.Error("pass log judged failed")
+	}
+	fb := verify.ParseSimLog(log)
+	if len(fb.Items) != 0 {
+		t.Errorf("pass log produced items: %+v", fb.Items)
+	}
+}
+
+func TestParseSimLogTimeout(t *testing.T) {
+	log := "SIMULATOR: run aborted (timeout) at time 1000000\n"
+	var verify VerificationAgent
+	if verify.Passed(log) {
+		t.Error("aborted sim judged passed")
+	}
+	fb := verify.ParseSimLog(log)
+	if len(fb.Items) != 1 {
+		t.Fatalf("items = %d", len(fb.Items))
+	}
+	if !strings.Contains(fb.Items[0].Message, "terminate") {
+		t.Errorf("message = %q", fb.Items[0].Message)
+	}
+}
+
+func TestParseSimLogVHDLAsserts(t *testing.T) {
+	log := `Error: Test Case 3 Failed: count expected 5
+Time: 41 ns  Iteration: 0  Process: line_12
+`
+	var verify VerificationAgent
+	fb := verify.ParseSimLog(log)
+	if len(fb.Items) != 1 || fb.Items[0].Line != 3 {
+		t.Errorf("items = %+v", fb.Items)
+	}
+}
+
+func TestCodeAgentRoundTrip(t *testing.T) {
+	suite := bench.NewSuite()
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	agent := NewCodeAgent(model, suite.ByID("gate_and"), edatool.Verilog)
+	tb, lat := agent.GenerateTestbench()
+	if tb == "" || lat <= 0 {
+		t.Error("bad testbench generation")
+	}
+	rtl, lat2 := agent.GenerateRTL(nil)
+	if rtl == "" || lat2 <= 0 {
+		t.Error("bad rtl generation")
+	}
+}
+
+func TestLatencyScalesWithItems(t *testing.T) {
+	var review ReviewAgent
+	small := &llm.Feedback{Items: make([]llm.FeedbackItem, 1)}
+	big := &llm.Feedback{Items: make([]llm.FeedbackItem, 10)}
+	if review.Latency(big) <= review.Latency(small) {
+		t.Error("review latency must grow with items")
+	}
+	var verify VerificationAgent
+	if verify.Latency(big) <= verify.Latency(small) {
+		t.Error("verify latency must grow with items")
+	}
+}
+
+func TestVerificationPromptMentionsFailures(t *testing.T) {
+	var verify VerificationAgent
+	fb := verify.ParseSimLog("Test Case 1 Failed: y expected 1 got 0\n")
+	prompt := verify.CorrectivePrompt(fb)
+	if !strings.Contains(prompt, "expected 1") {
+		t.Errorf("prompt lacks failure detail:\n%s", prompt)
+	}
+}

@@ -1,0 +1,329 @@
+package bench
+
+import "fmt"
+
+// arithProblems covers adders, subtractors, ALUs, and small multipliers.
+func arithProblems() []*Problem {
+	var ps []*Problem
+
+	// ---- half / full adder -------------------------------------------------
+	{
+		ports := []Port{in("a", 1), in("b", 1), out("sum", 1), out("cout", 1)}
+		ps = append(ps, &Problem{
+			ID: "half_adder", Category: "arith", Hardness: 0.1,
+			Spec:  "Implement a half adder: sum = a xor b, cout = a and b.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				s := i["a"] + i["b"]
+				return map[string]uint64{"sum": s & 1, "cout": s >> 1}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign sum = a ^ b;\n    assign cout = a & b;\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  sum <= a xor b;\n  cout <= a and b;\n"),
+		})
+	}
+	{
+		ports := []Port{in("a", 1), in("b", 1), in("cin", 1), out("sum", 1), out("cout", 1)}
+		ps = append(ps, &Problem{
+			ID: "full_adder", Category: "arith", Hardness: 0.15,
+			Spec:  "Implement a full adder: sum and cout are the one-bit sum and carry of a, b, and cin.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				s := i["a"] + i["b"] + i["cin"]
+				return map[string]uint64{"sum": s & 1, "cout": s >> 1}
+			},
+			GoldenVerilog: verilogModule(ports,
+				"    assign sum = a ^ b ^ cin;\n    assign cout = (a & b) | (a & cin) | (b & cin);\n"),
+			GoldenVHDL: vhdlModule(ports, "",
+				"  sum <= a xor b xor cin;\n  cout <= (a and b) or (a and cin) or (b and cin);\n"),
+		})
+	}
+
+	// ---- word adders with carry out ----------------------------------------
+	for _, w := range []int{4, 8, 16, 32} {
+		w := w
+		ports := []Port{in("a", w), in("b", w), out("sum", w), out("cout", 1)}
+		vBody := fmt.Sprintf("    assign {cout, sum} = a + b;\n")
+		hDecls := fmt.Sprintf("  signal tmp : unsigned(%d downto 0);\n", w)
+		hBody := fmt.Sprintf(`  tmp <= resize(unsigned(a), %d) + resize(unsigned(b), %d);
+  sum <= std_logic_vector(tmp(%d downto 0));
+  cout <= tmp(%d);
+`, w+1, w+1, w-1, w)
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("adder_w%d", w), Category: "arith", Hardness: 0.2,
+			Spec:  fmt.Sprintf("Implement a %d-bit unsigned adder: sum = a + b with carry out cout.", w),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				s := i["a"] + i["b"]
+				return map[string]uint64{"sum": mask(s, w), "cout": (s >> uint(w)) & 1}
+			},
+			GoldenVerilog: verilogModule(ports, vBody),
+			GoldenVHDL:    vhdlModule(ports, hDecls, hBody),
+		})
+	}
+	{
+		// Adder with carry in.
+		w := 8
+		ports := []Port{in("a", w), in("b", w), in("cin", 1), out("sum", w), out("cout", 1)}
+		hDecls := fmt.Sprintf("  signal tmp : unsigned(%d downto 0);\n  signal ci : unsigned(%d downto 0);\n", w, w)
+		hBody := fmt.Sprintf(`  ci <= (0 => cin = '1', others => '0') when false else (others => '0');
+  tmp <= resize(unsigned(a), %d) + resize(unsigned(b), %d) + unsigned'("" & cin);
+  sum <= std_logic_vector(tmp(%d downto 0));
+  cout <= tmp(%d);
+`, w+1, w+1, w-1, w)
+		// The subset cannot parse the tricks above; use a process.
+		hDecls = fmt.Sprintf("  signal tmp : unsigned(%d downto 0);\n", w)
+		hBody = fmt.Sprintf(`  process(a, b, cin)
+    variable t : unsigned(%d downto 0);
+  begin
+    t := resize(unsigned(a), %d) + resize(unsigned(b), %d);
+    if cin = '1' then
+      t := t + 1;
+    end if;
+    sum <= std_logic_vector(t(%d downto 0));
+    cout <= t(%d);
+  end process;
+`, w, w+1, w+1, w-1, w)
+		ps = append(ps, &Problem{
+			ID: "adder_cin_w8", Category: "arith", Hardness: 0.25,
+			Spec:  "Implement an 8-bit unsigned adder with carry in: {cout, sum} = a + b + cin.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				s := i["a"] + i["b"] + (i["cin"] & 1)
+				return map[string]uint64{"sum": mask(s, 8), "cout": (s >> 8) & 1}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign {cout, sum} = a + b + cin;\n"),
+			GoldenVHDL:    vhdlModule(ports, hDecls, hBody),
+		})
+	}
+
+	// ---- subtractors --------------------------------------------------------
+	for _, w := range []int{4, 8, 16} {
+		w := w
+		ports := []Port{in("a", w), in("b", w), out("diff", w), out("borrow", 1)}
+		hBody := fmt.Sprintf(`  diff <= std_logic_vector(unsigned(a) - unsigned(b));
+  borrow <= '1' when unsigned(a) < unsigned(b) else '0';
+`)
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("sub_w%d", w), Category: "arith", Hardness: 0.2,
+			Spec:  fmt.Sprintf("Implement a %d-bit unsigned subtractor: diff = a - b (two's complement wraparound) and borrow = 1 when a < b.", w),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{
+					"diff":   mask(i["a"]-i["b"], w),
+					"borrow": b2u(i["a"] < i["b"]),
+				}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign diff = a - b;\n    assign borrow = (a < b);\n"),
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+
+	// ---- add/sub unit --------------------------------------------------------
+	{
+		w := 8
+		ports := []Port{in("a", w), in("b", w), in("op", 1), out("y", w)}
+		hBody := `  y <= std_logic_vector(unsigned(a) + unsigned(b)) when op = '0'
+       else std_logic_vector(unsigned(a) - unsigned(b));
+`
+		ps = append(ps, &Problem{
+			ID: "addsub_w8", Category: "arith", Hardness: 0.25,
+			Spec:  "Implement an 8-bit adder/subtractor: y = a + b when op is 0, y = a - b when op is 1.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				if i["op"]&1 == 0 {
+					return map[string]uint64{"y": mask(i["a"]+i["b"], w)}
+				}
+				return map[string]uint64{"y": mask(i["a"]-i["b"], w)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = op ? (a - b) : (a + b);\n"),
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+
+	// ---- increment / decrement ----------------------------------------------
+	for _, cfg := range []struct {
+		id, spec, vOp, hOp string
+		f                  func(a uint64) uint64
+	}{
+		{"incr_w8", "incrementer: y = a + 1", "a + 1", "unsigned(a) + 1", func(a uint64) uint64 { return a + 1 }},
+		{"decr_w8", "decrementer: y = a - 1", "a - 1", "unsigned(a) - 1", func(a uint64) uint64 { return a - 1 }},
+	} {
+		cfg := cfg
+		ports := []Port{in("a", 8), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: cfg.id, Category: "arith", Hardness: 0.1,
+			Spec:  fmt.Sprintf("Implement an 8-bit %s with wraparound.", cfg.spec),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"y": mask(cfg.f(i["a"]), 8)}
+			},
+			GoldenVerilog: verilogModule(ports, fmt.Sprintf("    assign y = %s;\n", cfg.vOp)),
+			GoldenVHDL:    vhdlModule(ports, "", fmt.Sprintf("  y <= std_logic_vector(%s);\n", cfg.hOp)),
+		})
+	}
+
+	// ---- multiplier ----------------------------------------------------------
+	{
+		ports := []Port{in("a", 4), in("b", 4), out("prod", 8)}
+		ps = append(ps, &Problem{
+			ID: "mult_w4", Category: "arith", Hardness: 0.3,
+			Spec:  "Implement a 4x4 unsigned combinational multiplier: prod = a * b (8-bit product).",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"prod": mask(i["a"]*i["b"], 8)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign prod = a * b;\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  prod <= std_logic_vector(unsigned(a) * unsigned(b));\n"),
+		})
+	}
+
+	// ---- ALUs ------------------------------------------------------------------
+	{
+		ports := []Port{in("a", 8), in("b", 8), in("op", 2), out("y", 8)}
+		vBody := `    assign y = (op == 2'b00) ? (a + b) :
+               (op == 2'b01) ? (a - b) :
+               (op == 2'b10) ? (a & b) : (a | b);
+`
+		hBody := `  process(a, b, op)
+  begin
+    case op is
+      when "00" => y <= std_logic_vector(unsigned(a) + unsigned(b));
+      when "01" => y <= std_logic_vector(unsigned(a) - unsigned(b));
+      when "10" => y <= a and b;
+      when others => y <= a or b;
+    end case;
+  end process;
+`
+		ps = append(ps, &Problem{
+			ID: "alu4op_w8", Category: "arith", Hardness: 0.35,
+			Spec:  "Implement an 8-bit ALU with 2-bit opcode op: 00 -> a+b, 01 -> a-b, 10 -> a AND b, 11 -> a OR b.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				var y uint64
+				switch i["op"] & 3 {
+				case 0:
+					y = i["a"] + i["b"]
+				case 1:
+					y = i["a"] - i["b"]
+				case 2:
+					y = i["a"] & i["b"]
+				default:
+					y = i["a"] | i["b"]
+				}
+				return map[string]uint64{"y": mask(y, 8)}
+			},
+			GoldenVerilog: verilogModule(ports, vBody),
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+	{
+		ports := []Port{in("a", 8), in("b", 8), in("op", 3), out("y", 8), out("zero", 1)}
+		vBody := `    always @(*) begin
+        case (op)
+            3'b000: y = a + b;
+            3'b001: y = a - b;
+            3'b010: y = a & b;
+            3'b011: y = a | b;
+            3'b100: y = a ^ b;
+            3'b101: y = ~a;
+            3'b110: y = a << 1;
+            default: y = a >> 1;
+        endcase
+    end
+    assign zero = (y == 8'd0);
+`
+		hBody := `  process(a, b, op)
+  begin
+    case op is
+      when "000" => y_i <= std_logic_vector(unsigned(a) + unsigned(b));
+      when "001" => y_i <= std_logic_vector(unsigned(a) - unsigned(b));
+      when "010" => y_i <= a and b;
+      when "011" => y_i <= a or b;
+      when "100" => y_i <= a xor b;
+      when "101" => y_i <= not a;
+      when "110" => y_i <= std_logic_vector(shift_left(unsigned(a), 1));
+      when others => y_i <= std_logic_vector(shift_right(unsigned(a), 1));
+    end case;
+  end process;
+  y <= y_i;
+  zero <= '1' when unsigned(y_i) = 0 else '0';
+`
+		ps = append(ps, &Problem{
+			ID: "alu8op_w8", Category: "arith", Hardness: 0.45,
+			Spec:  "Implement an 8-bit ALU with 3-bit opcode op: 000 add, 001 sub, 010 and, 011 or, 100 xor, 101 not-a, 110 shift a left by 1, 111 shift a right by 1. Also output zero = 1 when the result is 0.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				var y uint64
+				switch i["op"] & 7 {
+				case 0:
+					y = i["a"] + i["b"]
+				case 1:
+					y = i["a"] - i["b"]
+				case 2:
+					y = i["a"] & i["b"]
+				case 3:
+					y = i["a"] | i["b"]
+				case 4:
+					y = i["a"] ^ i["b"]
+				case 5:
+					y = ^i["a"]
+				case 6:
+					y = i["a"] << 1
+				default:
+					y = i["a"] >> 1
+				}
+				y = mask(y, 8)
+				return map[string]uint64{"y": y, "zero": b2u(y == 0)}
+			},
+			GoldenVerilog: verilogModuleReg(ports, vBody, map[string]bool{"y": true}),
+			GoldenVHDL:    vhdlModule(ports, "  signal y_i : std_logic_vector(7 downto 0);\n", hBody),
+		})
+	}
+
+	// ---- saturating add ----------------------------------------------------
+	{
+		ports := []Port{in("a", 8), in("b", 8), out("y", 8)}
+		hDecls := "  signal tmp : unsigned(8 downto 0);\n"
+		hBody := `  tmp <= resize(unsigned(a), 9) + resize(unsigned(b), 9);
+  y <= "11111111" when tmp(8) = '1' else std_logic_vector(tmp(7 downto 0));
+`
+		ps = append(ps, &Problem{
+			ID: "satadd_w8", Category: "arith", Hardness: 0.35,
+			Spec:  "Implement an 8-bit saturating unsigned adder: y = a + b, clamped to 255 on overflow.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				s := i["a"] + i["b"]
+				if s > 255 {
+					s = 255
+				}
+				return map[string]uint64{"y": s}
+			},
+			GoldenVerilog: verilogModule(ports, `    wire [8:0] t;
+    assign t = a + b;
+    assign y = t[8] ? 8'hFF : t[7:0];
+`),
+			GoldenVHDL: vhdlModule(ports, hDecls, hBody),
+		})
+	}
+
+	// ---- BCD increment ----------------------------------------------------
+	{
+		ports := []Port{in("d", 4), out("q", 4)}
+		ps = append(ps, &Problem{
+			ID: "bcd_incr", Category: "arith", Hardness: 0.25,
+			Spec:  "Implement a BCD digit incrementer: q = d + 1 for d in 0..8, and q = 0 when d is 9. Inputs above 9 also wrap to 0.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				d := i["d"] & 0xF
+				if d >= 9 {
+					return map[string]uint64{"q": 0}
+				}
+				return map[string]uint64{"q": d + 1}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign q = (d >= 4'd9) ? 4'd0 : (d + 4'd1);\n"),
+			GoldenVHDL: vhdlModule(ports, "", `  q <= "0000" when unsigned(d) >= 9 else std_logic_vector(unsigned(d) + 1);
+`),
+		})
+	}
+	return ps
+}

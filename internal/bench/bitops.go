@@ -1,0 +1,416 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// bitopsProblems covers parity, popcount, Gray code, shifts/rotates,
+// bit rearrangement, extension, and small datapath helpers.
+func bitopsProblems() []*Problem {
+	var ps []*Problem
+
+	// ---- parity -----------------------------------------------------------
+	for _, w := range []int{4, 8, 16, 32} {
+		w := w
+		for _, odd := range []bool{false, true} {
+			odd := odd
+			kind, vExpr, hSuffix := "even", "^a", ""
+			if odd {
+				kind, vExpr, hSuffix = "odd", "~^a", " xnor-reduced"
+			}
+			_ = hSuffix
+			ports := []Port{in("a", w), out("p", 1)}
+			// VHDL golden: XOR-reduce with a loop.
+			inv := ""
+			if odd {
+				inv = "not "
+			}
+			hBody := fmt.Sprintf(`  process(a)
+    variable acc : std_logic := '0';
+  begin
+    acc := '0';
+    for i in 0 to %d loop
+      acc := acc xor a(i);
+    end loop;
+    p <= %sacc;
+  end process;
+`, w-1, inv)
+			ps = append(ps, &Problem{
+				ID: fmt.Sprintf("parity_%s_w%d", kind, w), Category: "parity", Hardness: 0.12,
+				Spec: fmt.Sprintf("Compute the %s parity bit p of the %d-bit input a (p is 1 when the number of set bits is %s).",
+					kind, w, map[bool]string{false: "odd", true: "even"}[odd]),
+				Ports: ports,
+				Comb: func(i map[string]uint64) map[string]uint64 {
+					p := uint64(bits.OnesCount64(i["a"])) & 1
+					if odd {
+						p ^= 1
+					}
+					return map[string]uint64{"p": p}
+				},
+				GoldenVerilog: verilogModule(ports, fmt.Sprintf("    assign p = %s;\n", vExpr)),
+				GoldenVHDL:    vhdlModule(ports, "", hBody),
+			})
+		}
+	}
+
+	// ---- popcount -----------------------------------------------------------
+	for _, w := range []int{4, 8} {
+		w := w
+		ow := 3
+		if w == 8 {
+			ow = 4
+		}
+		ports := []Port{in("a", w), out("count", ow)}
+		vBody := "    integer i;\n    always @(*) begin\n        count = 0;\n"
+		vBody += fmt.Sprintf("        for (i = 0; i < %d; i = i + 1)\n            count = count + a[i];\n    end\n", w)
+		golden := verilogModuleReg(ports, vBody, map[string]bool{"count": true})
+		hBody := fmt.Sprintf(`  process(a)
+    variable n : integer := 0;
+  begin
+    n := 0;
+    for i in 0 to %d loop
+      if a(i) = '1' then
+        n := n + 1;
+      end if;
+    end loop;
+    count <= std_logic_vector(to_unsigned(n, %d));
+  end process;
+`, w-1, ow)
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("popcount_w%d", w), Category: "parity", Hardness: 0.25,
+			Spec:  fmt.Sprintf("Count the number of set bits in the %d-bit input a and output it on count.", w),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"count": uint64(bits.OnesCount64(i["a"]))}
+			},
+			GoldenVerilog: golden,
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+
+	// ---- Gray code ----------------------------------------------------------
+	for _, w := range []int{4, 8, 16} {
+		w := w
+		ports := []Port{in("bin", w), out("gray", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("bin2gray_w%d", w), Category: "gray", Hardness: 0.2,
+			Spec:  fmt.Sprintf("Convert the %d-bit binary input bin to Gray code: gray = bin xor (bin >> 1).", w),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"gray": mask(i["bin"]^(i["bin"]>>1), w)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign gray = bin ^ (bin >> 1);\n"),
+			GoldenVHDL: vhdlModule(ports, "",
+				"  gray <= bin xor std_logic_vector(shift_right(unsigned(bin), 1));\n"),
+		})
+		portsG := []Port{in("gray", w), out("bin", w)}
+		vBody := fmt.Sprintf(`    integer i;
+    always @(*) begin
+        bin[%d] = gray[%d];
+        for (i = %d; i >= 0; i = i - 1)
+            bin[i] = bin[i+1] ^ gray[i];
+    end
+`, w-1, w-1, w-2)
+		goldenG := verilogModuleReg(portsG, vBody, map[string]bool{"bin": true})
+		hBodyG := fmt.Sprintf(`  process(gray)
+    variable b : std_logic_vector(%d downto 0);
+  begin
+    b(%d) := gray(%d);
+    for i in %d downto 0 loop
+      b(i) := b(i+1) xor gray(i);
+    end loop;
+    bin <= b;
+  end process;
+`, w-1, w-1, w-1, w-2)
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("gray2bin_w%d", w), Category: "gray", Hardness: 0.35,
+			Spec:  fmt.Sprintf("Convert the %d-bit Gray-code input gray back to binary on output bin (bin[i] is the xor of gray bits i and above).", w),
+			Ports: portsG,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				g := i["gray"]
+				var b uint64
+				for bit := w - 1; bit >= 0; bit-- {
+					upper := (b >> uint(bit+1)) & 1
+					if bit == w-1 {
+						upper = 0
+					}
+					b |= (upper ^ (g >> uint(bit) & 1)) << uint(bit)
+				}
+				return map[string]uint64{"bin": mask(b, w)}
+			},
+			GoldenVerilog: goldenG,
+			GoldenVHDL:    vhdlModule(portsG, "", hBodyG),
+		})
+	}
+
+	// ---- shifts and rotates ---------------------------------------------
+	shiftCfgs := []struct {
+		id, spec, vBody, hBody string
+		f                      func(a, s uint64, w int) uint64
+	}{
+		{
+			"shl_w8", "logical left shifter: y = a << shamt (zero fill)",
+			"    assign y = a << shamt;\n",
+			"  y <= std_logic_vector(shift_left(unsigned(a), to_integer(unsigned(shamt))));\n",
+			func(a, s uint64, w int) uint64 { return mask(a<<s, w) },
+		},
+		{
+			"shr_w8", "logical right shifter: y = a >> shamt (zero fill)",
+			"    assign y = a >> shamt;\n",
+			"  y <= std_logic_vector(shift_right(unsigned(a), to_integer(unsigned(shamt))));\n",
+			func(a, s uint64, w int) uint64 { return mask(a>>s, w) },
+		},
+		{
+			"rol_w8", "rotate-left: y = a rotated left by shamt positions",
+			"    assign y = (a << shamt) | (a >> (8 - shamt));\n",
+			`  process(a, shamt)
+    variable n : integer;
+  begin
+    n := to_integer(unsigned(shamt));
+    y <= std_logic_vector(shift_left(unsigned(a), n) or shift_right(unsigned(a), 8 - n));
+  end process;
+`,
+			func(a, s uint64, w int) uint64 {
+				s %= uint64(w)
+				return mask(a<<s|a>>(uint64(w)-s), w)
+			},
+		},
+		{
+			"ror_w8", "rotate-right: y = a rotated right by shamt positions",
+			"    assign y = (a >> shamt) | (a << (8 - shamt));\n",
+			`  process(a, shamt)
+    variable n : integer;
+  begin
+    n := to_integer(unsigned(shamt));
+    y <= std_logic_vector(shift_right(unsigned(a), n) or shift_left(unsigned(a), 8 - n));
+  end process;
+`,
+			func(a, s uint64, w int) uint64 {
+				s %= uint64(w)
+				return mask(a>>s|a<<(uint64(w)-s), w)
+			},
+		},
+	}
+	for _, cfg := range shiftCfgs {
+		cfg := cfg
+		ports := []Port{in("a", 8), in("shamt", 3), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: cfg.id, Category: "shift", Hardness: 0.25,
+			Spec:  fmt.Sprintf("Implement an 8-bit %s, where shamt is a 3-bit shift amount.", cfg.spec),
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"y": cfg.f(i["a"], i["shamt"]&7, 8)}
+			},
+			GoldenVerilog: verilogModule(ports, cfg.vBody),
+			GoldenVHDL:    vhdlModule(ports, "", cfg.hBody),
+		})
+	}
+	{
+		// Arithmetic right shift.
+		ports := []Port{in("a", 8), in("shamt", 3), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: "sra_w8", Category: "shift", Hardness: 0.3,
+			Spec:  "Implement an 8-bit arithmetic right shifter: y = a >>> shamt, replicating the sign bit a[7].",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				a := int64(int8(uint8(i["a"])))
+				return map[string]uint64{"y": mask(uint64(a>>i["shamt"]), 8)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = $signed(a) >>> shamt;\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= std_logic_vector(shift_right(signed(a), to_integer(unsigned(shamt))));\n"),
+		})
+	}
+
+	// ---- bit rearrangement ----------------------------------------------
+	{
+		ports := []Port{in("a", 8), out("y", 8)}
+		vBody := `    genvar i;
+    generate
+        for (i = 0; i < 8; i = i + 1) begin
+            assign y[i] = a[7 - i];
+        end
+    endgenerate
+`
+		// The simple subset golden avoids generate:
+		vBody = `    integer i;
+    always @(*) begin
+        for (i = 0; i < 8; i = i + 1)
+            y[i] = a[7 - i];
+    end
+`
+		hBody := `  process(a)
+  begin
+    for i in 0 to 7 loop
+      y(i) <= a(7 - i);
+    end loop;
+  end process;
+`
+		ps = append(ps, &Problem{
+			ID: "bitrev_w8", Category: "bitops", Hardness: 0.2,
+			Spec:  "Reverse the bit order of the 8-bit input a: y[i] = a[7-i].",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"y": uint64(bits.Reverse8(uint8(i["a"])))}
+			},
+			GoldenVerilog: verilogModuleReg(ports, vBody, map[string]bool{"y": true}),
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+	{
+		ports := []Port{in("a", 8), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: "swapnib_w8", Category: "bitops", Hardness: 0.1,
+			Spec:  "Swap the nibbles of the 8-bit input a: y = {a[3:0], a[7:4]}.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				a := i["a"]
+				return map[string]uint64{"y": mask(a<<4|a>>4, 8)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = {a[3:0], a[7:4]};\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= a(3 downto 0) & a(7 downto 4);\n"),
+		})
+	}
+	{
+		ports := []Port{in("a", 16), out("y", 16)}
+		ps = append(ps, &Problem{
+			ID: "byteswap_w16", Category: "bitops", Hardness: 0.12,
+			Spec:  "Swap the bytes of the 16-bit input a: y = {a[7:0], a[15:8]}.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				a := i["a"]
+				return map[string]uint64{"y": mask(a<<8|a>>8, 16)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = {a[7:0], a[15:8]};\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= a(7 downto 0) & a(15 downto 8);\n"),
+		})
+	}
+
+	// ---- extension --------------------------------------------------------
+	{
+		ports := []Port{in("a", 4), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: "zext_4to8", Category: "bitops", Hardness: 0.08,
+			Spec:  "Zero-extend the 4-bit input a to the 8-bit output y.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"y": i["a"] & 0xF}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = {4'b0000, a};\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= \"0000\" & a;\n"),
+		})
+		ps = append(ps, &Problem{
+			ID: "sext_4to8", Category: "bitops", Hardness: 0.15,
+			Spec:  "Sign-extend the 4-bit input a to the 8-bit output y by replicating a[3].",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				a := i["a"] & 0xF
+				if a&8 != 0 {
+					return map[string]uint64{"y": 0xF0 | a}
+				}
+				return map[string]uint64{"y": a}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = {{4{a[3]}}, a};\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= std_logic_vector(resize(signed(a), 8));\n"),
+		})
+	}
+
+	// ---- seven segment ------------------------------------------------------
+	{
+		segs := [16]uint64{
+			0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07,
+			0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79, 0x71,
+		}
+		ports := []Port{in("digit", 4), out("seg", 7)}
+		var vCases, hCases string
+		for d := 0; d < 16; d++ {
+			vCases += fmt.Sprintf("            4'h%X: seg = 7'h%02X;\n", d, segs[d])
+			hCases += fmt.Sprintf("      when %s => seg <= %s;\n", vhdlBin(uint64(d), 4), vhdlBin(segs[d], 7))
+		}
+		vBody := "    always @(*) begin\n        case (digit)\n" + vCases +
+			"            default: seg = 7'h00;\n        endcase\n    end\n"
+		hBody := "  process(digit)\n  begin\n    case digit is\n" + hCases +
+			"      when others => seg <= \"0000000\";\n    end case;\n  end process;\n"
+		ps = append(ps, &Problem{
+			ID: "sevenseg", Category: "bitops", Hardness: 0.35,
+			Spec:  "Implement a hexadecimal seven-segment decoder: map the 4-bit digit to the standard active-high segment pattern seg[6:0] = gfedcba (0 -> 0x3F, 1 -> 0x06, 2 -> 0x5B, 3 -> 0x4F, 4 -> 0x66, 5 -> 0x6D, 6 -> 0x7D, 7 -> 0x07, 8 -> 0x7F, 9 -> 0x6F, A -> 0x77, b -> 0x7C, C -> 0x39, d -> 0x5E, E -> 0x79, F -> 0x71).",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"seg": segs[i["digit"]&0xF]}
+			},
+			GoldenVerilog: verilogModuleReg(ports, vBody, map[string]bool{"seg": true}),
+			GoldenVHDL:    vhdlModule(ports, "", hBody),
+		})
+	}
+
+	// ---- min / max / absdiff --------------------------------------------
+	{
+		ports := []Port{in("a", 8), in("b", 8), out("y", 8)}
+		ps = append(ps, &Problem{
+			ID: "min_w8", Category: "datapath", Hardness: 0.15,
+			Spec:  "Output the smaller of the two unsigned 8-bit inputs a and b.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				if i["a"] < i["b"] {
+					return map[string]uint64{"y": i["a"]}
+				}
+				return map[string]uint64{"y": i["b"]}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = (a < b) ? a : b;\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= a when unsigned(a) < unsigned(b) else b;\n"),
+		})
+		ps = append(ps, &Problem{
+			ID: "max_w8", Category: "datapath", Hardness: 0.15,
+			Spec:  "Output the larger of the two unsigned 8-bit inputs a and b.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				if i["a"] > i["b"] {
+					return map[string]uint64{"y": i["a"]}
+				}
+				return map[string]uint64{"y": i["b"]}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = (a > b) ? a : b;\n"),
+			GoldenVHDL:    vhdlModule(ports, "", "  y <= a when unsigned(a) > unsigned(b) else b;\n"),
+		})
+		ps = append(ps, &Problem{
+			ID: "absdiff_w8", Category: "datapath", Hardness: 0.25,
+			Spec:  "Compute the absolute difference |a - b| of the unsigned 8-bit inputs a and b.",
+			Ports: ports,
+			Comb: func(i map[string]uint64) map[string]uint64 {
+				if i["a"] >= i["b"] {
+					return map[string]uint64{"y": mask(i["a"]-i["b"], 8)}
+				}
+				return map[string]uint64{"y": mask(i["b"]-i["a"], 8)}
+			},
+			GoldenVerilog: verilogModule(ports, "    assign y = (a >= b) ? (a - b) : (b - a);\n"),
+			GoldenVHDL: vhdlModule(ports, "", `  y <= std_logic_vector(unsigned(a) - unsigned(b)) when unsigned(a) >= unsigned(b)
+       else std_logic_vector(unsigned(b) - unsigned(a));
+`),
+		})
+	}
+	return ps
+}
+
+// verilogModuleReg is verilogModule but declaring the named outputs as
+// `output reg`, for golden designs that drive them procedurally.
+func verilogModuleReg(ports []Port, body string, regs map[string]bool) string {
+	s := "module " + TopName + "(\n"
+	for i, pt := range ports {
+		dir := "output"
+		if pt.In {
+			dir = "input"
+		} else if regs[pt.Name] {
+			dir = "output reg"
+		}
+		rng := ""
+		if pt.Width > 1 {
+			rng = fmt.Sprintf(" [%d:0]", pt.Width-1)
+		}
+		comma := ","
+		if i == len(ports)-1 {
+			comma = ""
+		}
+		s += fmt.Sprintf("    %s%s %s%s\n", dir, rng, pt.Name, comma)
+	}
+	return s + ");\n" + body + "endmodule\n"
+}

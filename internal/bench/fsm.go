@@ -1,0 +1,635 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// kmpAutomaton builds the overlapping pattern-match automaton for a
+// binary pattern: aut[s][b] is the next state after seeing bit b in
+// state s (states are matched-prefix lengths 0..len(pattern)).
+func kmpAutomaton(pattern string) [][2]int {
+	l := len(pattern)
+	aut := make([][2]int, l+1)
+	bit := func(i int) int { return int(pattern[i] - '0') }
+	for b := 0; b < 2; b++ {
+		if bit(0) == b {
+			aut[0][b] = 1
+		}
+	}
+	x := 0
+	for s := 1; s <= l; s++ {
+		for b := 0; b < 2; b++ {
+			if s < l && bit(s) == b {
+				aut[s][b] = s + 1
+			} else {
+				aut[s][b] = aut[x][b]
+			}
+		}
+		if s < l {
+			x = aut[x][bit(s)]
+		}
+	}
+	return aut
+}
+
+// seqDetectorProblem builds a Moore overlapping sequence detector for a
+// binary pattern, generating golden RTL for both languages from the
+// KMP automaton.
+func seqDetectorProblem(pattern string) *Problem {
+	aut := kmpAutomaton(pattern)
+	l := len(pattern)
+	ports := []Port{clkPort(), rstPort(), in("din", 1), out("det", 1)}
+
+	// Golden Verilog.
+	var v strings.Builder
+	v.WriteString("    reg [3:0] state;\n")
+	v.WriteString("    always @(posedge clk) begin\n        if (reset) state <= 0;\n        else begin\n            case (state)\n")
+	for s := 0; s <= l; s++ {
+		fmt.Fprintf(&v, "                4'd%d: state <= din ? 4'd%d : 4'd%d;\n", s, aut[s][1], aut[s][0])
+	}
+	v.WriteString("                default: state <= 0;\n            endcase\n        end\n    end\n")
+	fmt.Fprintf(&v, "    assign det = (state == 4'd%d);\n", l)
+
+	// Golden VHDL.
+	var h strings.Builder
+	h.WriteString("  process(clk)\n  begin\n    if rising_edge(clk) then\n      if reset = '1' then\n        state <= 0;\n      else\n        case state is\n")
+	for s := 0; s <= l; s++ {
+		fmt.Fprintf(&h, "          when %d =>\n            if din = '1' then state <= %d; else state <= %d; end if;\n", s, aut[s][1], aut[s][0])
+	}
+	h.WriteString("          when others => state <= 0;\n        end case;\n      end if;\n    end if;\n  end process;\n")
+	fmt.Fprintf(&h, "  det <= '1' when state = %d else '0';\n", l)
+
+	return &Problem{
+		ID: "seqdet_" + pattern, Category: "fsm", Hardness: 0.5, Seq: true,
+		Spec:     fmt.Sprintf("Implement a Moore FSM that detects the bit pattern %q on the serial input din (most recent bit last), with overlapping occurrences allowed. Output det is 1 for one clock cycle after the final bit of the pattern has been received. Synchronous active-high reset returns the FSM to its initial state.", pattern),
+		Ports:    ports,
+		NewState: newSeqState,
+		Step: func(st State, i map[string]uint64) map[string]uint64 {
+			s := st.(*seqState)
+			if i["reset"]&1 == 1 {
+				s.set("state", 0)
+			} else {
+				s.set("state", uint64(aut[s.get("state")][i["din"]&1]))
+			}
+			return map[string]uint64{"det": b2u(s.get("state") == uint64(l))}
+		},
+		GoldenVerilog: verilogModule(ports, v.String()),
+		GoldenVHDL: vhdlModule(ports,
+			fmt.Sprintf("  signal state : integer range 0 to %d := 0;\n", l),
+			h.String()),
+	}
+}
+
+// fsmProblems returns the finite-state-machine problems, including the
+// paper's Fig. 2 shift-enable FSM.
+func fsmProblems() []*Problem {
+	var ps []*Problem
+
+	patterns := []string{
+		"101", "110", "011", "111", "1001", "0110",
+		"1011", "1101", "0101", "1100", "11011", "10010",
+		"0011", "0100", "0111", "1110", "10101", "01110",
+		"11100", "10011", "111000",
+	}
+	for _, pat := range patterns {
+		ps = append(ps, seqDetectorProblem(pat))
+	}
+
+	// ---- the paper's shift-enable FSM (Fig. 2) -----------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), out("shift_ena", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_shift_ena", Category: "fsm", Hardness: 0.45, Seq: true,
+			Spec:     "This module is a part of the FSM for controlling the shift register; we want the ability to enable the shift register for exactly 4 clock cycles whenever the FSM is reset. Whenever the FSM is reset, assert shift_ena for 4 cycles, then 0 forever (until the next reset). Reset is active-high synchronous.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("count", 0)
+					s.set("ena", 1)
+				} else if s.get("ena") == 1 {
+					if s.get("count") == 3 {
+						s.set("ena", 0)
+					} else {
+						s.set("count", s.get("count")+1)
+					}
+				}
+				return map[string]uint64{"shift_ena": s.get("ena")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    reg [1:0] count;
+    always @(posedge clk) begin
+        if (reset) begin
+            shift_ena <= 1'b1;
+            count <= 2'b00;
+        end
+        else begin
+            if (shift_ena) begin
+                if (count == 2'b11) shift_ena <= 1'b0;
+                else count <= count + 1'b1;
+            end
+        end
+    end
+`, map[string]bool{"shift_ena": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal count : unsigned(1 downto 0) := \"00\";\n  signal ena : std_logic := '0';\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        ena <= '1';
+        count <= "00";
+      elsif ena = '1' then
+        if count = "11" then
+          ena <= '0';
+        else
+          count <= count + 1;
+        end if;
+      end if;
+    end if;
+  end process;
+  shift_ena <= ena;
+`),
+		})
+	}
+
+	// ---- serial even parity tracker -----------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("din", 1), out("odd", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_serial_parity", Category: "fsm", Hardness: 0.3, Seq: true,
+			Spec:     "Track the parity of the serial input din since the last reset: output odd is 1 when an odd number of 1 bits has been received. Synchronous reset clears the parity.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("p", 0)
+				} else {
+					s.set("p", s.get("p")^(i["din"]&1))
+				}
+				return map[string]uint64{"odd": s.get("p")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) odd <= 1'b0;
+        else odd <= odd ^ din;
+    end
+`, map[string]bool{"odd": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal p : std_logic := '0';\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        p <= '0';
+      else
+        p <= p xor din;
+      end if;
+    end if;
+  end process;
+  odd <= p;
+`),
+		})
+	}
+
+	// ---- divisible-by-3 bitstream -----------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("din", 1), out("div3", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_div3", Category: "fsm", Hardness: 0.55, Seq: true,
+			Spec:     "The serial input din streams a binary number most-significant bit first. After each bit, output div3 is 1 when the number received so far is divisible by 3 (the empty stream counts as 0, which is divisible). Synchronous reset restarts the stream. Hint: track the running remainder modulo 3; on each bit r becomes (2*r + din) mod 3.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("r", 0)
+				} else {
+					s.set("r", (2*s.get("r")+i["din"]&1)%3)
+				}
+				return map[string]uint64{"div3": b2u(s.get("r") == 0)}
+			},
+			GoldenVerilog: verilogModule(ports, `    reg [1:0] r;
+    always @(posedge clk) begin
+        if (reset) r <= 2'd0;
+        else begin
+            case (r)
+                2'd0: r <= din ? 2'd1 : 2'd0;
+                2'd1: r <= din ? 2'd0 : 2'd2;
+                default: r <= din ? 2'd2 : 2'd1;
+            endcase
+        end
+    end
+    assign div3 = (r == 2'd0);
+`),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : integer range 0 to 2 := 0;\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= 0;
+      else
+        case r is
+          when 0 =>
+            if din = '1' then r <= 1; else r <= 0; end if;
+          when 1 =>
+            if din = '1' then r <= 0; else r <= 2; end if;
+          when others =>
+            if din = '1' then r <= 2; else r <= 1; end if;
+        end case;
+      end if;
+    end if;
+  end process;
+  div3 <= '1' when r = 0 else '0';
+`),
+		})
+	}
+
+	// ---- pulse stretcher -----------------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("din", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_stretch3", Category: "fsm", Hardness: 0.45, Seq: true,
+			Spec:     "Implement a pulse stretcher: whenever din is 1 at a rising clock edge, output q is 1 for that cycle and the following two cycles (a din pulse re-arms the stretch). Synchronous reset clears q immediately.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("cnt", 0)
+				case i["din"]&1 == 1:
+					s.set("cnt", 3)
+				case s.get("cnt") > 0:
+					s.set("cnt", s.get("cnt")-1)
+				}
+				return map[string]uint64{"q": b2u(s.get("cnt") > 0)}
+			},
+			GoldenVerilog: verilogModule(ports, `    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (reset) cnt <= 2'd0;
+        else if (din) cnt <= 2'd3;
+        else if (cnt != 2'd0) cnt <= cnt - 1;
+    end
+    assign q = (cnt != 2'd0);
+`),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal cnt : unsigned(1 downto 0) := \"00\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        cnt <= "00";
+      elsif din = '1' then
+        cnt <= "11";
+      elsif cnt /= 0 then
+        cnt <= cnt - 1;
+      end if;
+    end if;
+  end process;
+  q <= '1' when cnt /= 0 else '0';
+`),
+		})
+	}
+
+	// ---- three consecutive ones ---------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("din", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_three_ones", Category: "fsm", Hardness: 0.4, Seq: true,
+			Spec:     "Output q is 1 whenever the last three samples of din (including the current one, sampled on rising clock edges) were all 1. Synchronous reset clears the history.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("run", 0)
+				} else if i["din"]&1 == 1 {
+					r := s.get("run") + 1
+					if r > 3 {
+						r = 3
+					}
+					s.set("run", r)
+				} else {
+					s.set("run", 0)
+				}
+				return map[string]uint64{"q": b2u(s.get("run") >= 3)}
+			},
+			GoldenVerilog: verilogModule(ports, `    reg [1:0] run;
+    always @(posedge clk) begin
+        if (reset) run <= 2'd0;
+        else if (!din) run <= 2'd0;
+        else if (run != 2'd3) run <= run + 1;
+    end
+    assign q = (run == 2'd3);
+`),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal run : unsigned(1 downto 0) := \"00\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        run <= "00";
+      elsif din = '0' then
+        run <= "00";
+      elsif run /= "11" then
+        run <= run + 1;
+      end if;
+    end if;
+  end process;
+  q <= '1' when run = "11" else '0';
+`),
+		})
+	}
+
+	// ---- one-hot rotating FSM --------------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("adv", 1), out("state", 4)}
+		ps = append(ps, &Problem{
+			ID: "fsm_onehot4", Category: "fsm", Hardness: 0.35, Seq: true,
+			Spec:     "Implement a 4-state one-hot FSM on the 4-bit output state: reset loads 0001; whenever adv is 1 the hot bit advances left (0001 -> 0010 -> 0100 -> 1000 -> 0001), and it holds when adv is 0.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if s.get("state") == 0 {
+					s.set("state", 1) // pre-reset default
+				}
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("state", 1)
+				case i["adv"]&1 == 1:
+					q := s.get("state")
+					s.set("state", mask(q<<1|q>>3, 4))
+				}
+				return map[string]uint64{"state": s.get("state")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) state <= 4'b0001;
+        else if (adv) state <= {state[2:0], state[3]};
+    end
+`, map[string]bool{"state": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : std_logic_vector(3 downto 0) := \"0001\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= "0001";
+      elsif adv = '1' then
+        r <= r(2 downto 0) & r(3);
+      end if;
+    end if;
+  end process;
+  state <= r;
+`),
+		})
+	}
+
+	// ---- traffic light ---------------------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), out("lights", 3)}
+		// lights = {red, yellow, green}; green 3 cycles, yellow 1, red 2.
+		type tl struct{ phase, cnt uint64 }
+		ps = append(ps, &Problem{
+			ID: "fsm_traffic", Category: "fsm", Hardness: 0.6, Seq: true,
+			Spec:     "Implement a traffic light controller on lights[2:0] = {red, yellow, green}: after reset it shows green (001) for 3 cycles, then yellow (010) for 1 cycle, then red (100) for 2 cycles, then repeats. Synchronous reset restarts at the beginning of the green phase.",
+			Ports:    ports,
+			NewState: func() State { return &tl{} },
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*tl)
+				if i["reset"]&1 == 1 {
+					s.phase, s.cnt = 0, 0
+				} else {
+					s.cnt++
+					limit := []uint64{3, 1, 2}[s.phase]
+					if s.cnt >= limit {
+						s.cnt = 0
+						s.phase = (s.phase + 1) % 3
+					}
+				}
+				return map[string]uint64{"lights": []uint64{1, 2, 4}[s.phase]}
+			},
+			GoldenVerilog: verilogModule(ports, `    reg [1:0] phase;
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (reset) begin
+            phase <= 2'd0;
+            cnt <= 2'd0;
+        end
+        else begin
+            if ((phase == 2'd0 && cnt == 2'd2) ||
+                (phase == 2'd1 && cnt == 2'd0) ||
+                (phase == 2'd2 && cnt == 2'd1)) begin
+                cnt <= 2'd0;
+                phase <= (phase == 2'd2) ? 2'd0 : (phase + 1);
+            end
+            else cnt <= cnt + 1;
+        end
+    end
+    assign lights = (phase == 2'd0) ? 3'b001 :
+                    (phase == 2'd1) ? 3'b010 : 3'b100;
+`),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal phase : integer range 0 to 2 := 0;\n  signal cnt : integer range 0 to 3 := 0;\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        phase <= 0;
+        cnt <= 0;
+      else
+        if (phase = 0 and cnt = 2) or (phase = 1 and cnt = 0) or (phase = 2 and cnt = 1) then
+          cnt <= 0;
+          if phase = 2 then
+            phase <= 0;
+          else
+            phase <= phase + 1;
+          end if;
+        else
+          cnt <= cnt + 1;
+        end if;
+      end if;
+    end if;
+  end process;
+  lights <= "001" when phase = 0 else "010" when phase = 1 else "100";
+`),
+		})
+	}
+
+	// ---- vending machine -------------------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("coin", 2), out("dispense", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_vending", Category: "fsm", Hardness: 0.65, Seq: true,
+			Spec:     "Implement a vending machine FSM: each cycle the 2-bit input coin (value 0..3) is added to a running total. When the total reaches 5 or more, assert dispense for one cycle and clear the total (excess is discarded). Synchronous reset clears the total and dispense.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("total", 0)
+					s.set("disp", 0)
+				} else {
+					t := s.get("total") + i["coin"]&3
+					if t >= 5 {
+						s.set("total", 0)
+						s.set("disp", 1)
+					} else {
+						s.set("total", t)
+						s.set("disp", 0)
+					}
+				}
+				return map[string]uint64{"dispense": s.get("disp")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    reg [2:0] total;
+    always @(posedge clk) begin
+        if (reset) begin
+            total <= 3'd0;
+            dispense <= 1'b0;
+        end
+        else begin
+            if (total + coin >= 3'd5) begin
+                total <= 3'd0;
+                dispense <= 1'b1;
+            end
+            else begin
+                total <= total + coin;
+                dispense <= 1'b0;
+            end
+        end
+    end
+`, map[string]bool{"dispense": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal total : unsigned(2 downto 0) := \"000\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        total <= "000";
+        dispense <= '0';
+      else
+        if resize(total, 4) + resize(unsigned(coin), 4) >= 5 then
+          total <= "000";
+          dispense <= '1';
+        else
+          total <= total + unsigned(coin);
+          dispense <= '0';
+        end if;
+      end if;
+    end if;
+  end process;
+`),
+		})
+	}
+
+	// ---- Gray-sequence counter --------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), out("q", 4)}
+		ps = append(ps, &Problem{
+			ID: "fsm_graycount_w4", Category: "fsm", Hardness: 0.5, Seq: true,
+			Spec:     "Implement a 4-bit Gray-code counter: the output steps through the reflected Gray sequence (0000, 0001, 0011, 0010, 0110, ...), one step per clock; synchronous reset returns to 0000.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("bin", 0)
+				} else {
+					s.set("bin", mask(s.get("bin")+1, 4))
+				}
+				b := s.get("bin")
+				return map[string]uint64{"q": b ^ (b >> 1)}
+			},
+			GoldenVerilog: verilogModule(ports, `    reg [3:0] bin;
+    always @(posedge clk) begin
+        if (reset) bin <= 4'd0;
+        else bin <= bin + 1;
+    end
+    assign q = bin ^ (bin >> 1);
+`),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal bin : unsigned(3 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        bin <= (others => '0');
+      else
+        bin <= bin + 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(bin xor shift_right(bin, 1));
+`),
+		})
+	}
+
+	// ---- serial two's complementer -------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), in("din", 1), out("dout", 1)}
+		ps = append(ps, &Problem{
+			ID: "fsm_twos_comp", Category: "fsm", Hardness: 0.6, Seq: true,
+			Spec:     "Implement a serial two's complementer (LSB first): output bits equal the input bits up to and including the first 1; after that every bit is inverted. The output for each input bit appears after the clock edge that samples it. Synchronous reset restarts the stream.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("seen", 0)
+					s.set("out", 0)
+					return map[string]uint64{"dout": 0}
+				}
+				d := i["din"] & 1
+				if s.get("seen") == 1 {
+					s.set("out", d^1)
+				} else {
+					s.set("out", d)
+					if d == 1 {
+						s.set("seen", 1)
+					}
+				}
+				return map[string]uint64{"dout": s.get("out")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    reg seen;
+    always @(posedge clk) begin
+        if (reset) begin
+            seen <= 1'b0;
+            dout <= 1'b0;
+        end
+        else begin
+            if (seen) dout <= ~din;
+            else begin
+                dout <= din;
+                if (din) seen <= 1'b1;
+            end
+        end
+    end
+`, map[string]bool{"dout": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal seen : std_logic := '0';\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        seen <= '0';
+        dout <= '0';
+      else
+        if seen = '1' then
+          dout <= not din;
+        else
+          dout <= din;
+          if din = '1' then
+            seen <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+`),
+		})
+	}
+	return ps
+}

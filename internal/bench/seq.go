@@ -1,0 +1,894 @@
+package bench
+
+import "fmt"
+
+// seqState is the generic state for sequential reference models.
+type seqState struct {
+	regs map[string]uint64
+}
+
+func newSeqState() State { return &seqState{regs: map[string]uint64{}} }
+
+func (s *seqState) get(k string) uint64    { return s.regs[k] }
+func (s *seqState) set(k string, v uint64) { s.regs[k] = v }
+
+// vhdlSeqShell builds a standard VHDL clocked architecture: an internal
+// unsigned register `r`, reset logic, a next-value statement, and an
+// output assignment.
+func vhdlSeqShell(ports []Port, w int, resetVal, nextExpr, outName string) string {
+	decls := fmt.Sprintf("  signal r : unsigned(%d downto 0) := (others => '0');\n", w-1)
+	body := fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= %s;
+      else
+        r <= %s;
+      end if;
+    end if;
+  end process;
+`, resetVal, nextExpr)
+	if w == 1 {
+		body += fmt.Sprintf("  %s <= r(0);\n", outName)
+	} else {
+		body += fmt.Sprintf("  %s <= std_logic_vector(r);\n", outName)
+	}
+	return vhdlModule(ports, decls, body)
+}
+
+// seqProblems covers flip-flops, registers, counters, and shift registers.
+func seqProblems() []*Problem {
+	var ps []*Problem
+
+	// ---- D flip-flop ---------------------------------------------------------
+	{
+		ports := []Port{clkPort(), in("d", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "dff", Category: "register", Hardness: 0.08, Seq: true,
+			Spec:     "Implement a positive-edge-triggered D flip-flop: q takes the value of d at each rising clock edge.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				return map[string]uint64{"q": i["d"] & 1}
+			},
+			GoldenVerilog: verilogModuleReg(ports,
+				"    always @(posedge clk)\n        q <= d;\n", map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports, "", `  process(clk)
+  begin
+    if rising_edge(clk) then
+      q <= d;
+    end if;
+  end process;
+`),
+		})
+	}
+	{
+		ports := []Port{clkPort(), rstPort(), in("d", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "dff_rst", Category: "register", Hardness: 0.12, Seq: true,
+			Spec:     "Implement a D flip-flop with synchronous active-high reset: on a rising clock edge q becomes 0 when reset is 1, otherwise q takes d.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				if i["reset"]&1 == 1 {
+					return map[string]uint64{"q": 0}
+				}
+				return map[string]uint64{"q": i["d"] & 1}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 1'b0;
+        else q <= d;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports, "", `  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        q <= '0';
+      else
+        q <= d;
+      end if;
+    end if;
+  end process;
+`),
+		})
+	}
+	{
+		ports := []Port{clkPort(), rstPort(), in("en", 1), in("d", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "dff_en", Category: "register", Hardness: 0.15, Seq: true,
+			Spec:     "Implement a D flip-flop with enable and synchronous reset: reset forces q to 0; otherwise q takes d only when en is 1, else it holds its value.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["en"]&1 == 1:
+					s.set("q", i["d"]&1)
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 1'b0;
+        else if (en) q <= d;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports, "", `  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        q <= '0';
+      elsif en = '1' then
+        q <= d;
+      end if;
+    end if;
+  end process;
+`),
+		})
+	}
+
+	// ---- word registers with enable -----------------------------------------
+	for _, w := range []int{8, 16} {
+		w := w
+		ports := []Port{clkPort(), rstPort(), in("en", 1), in("d", w), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("reg_en_w%d", w), Category: "register", Hardness: 0.15, Seq: true,
+			Spec:     fmt.Sprintf("Implement a %d-bit register with enable and synchronous reset: reset clears q; en loads d; otherwise q holds.", w),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["en"]&1 == 1:
+					s.set("q", mask(i["d"], w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (en) q <= d;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				fmt.Sprintf("  signal r : std_logic_vector(%d downto 0) := (others => '0');\n", w-1),
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif en = '1' then
+        r <= d;
+      end if;
+    end if;
+  end process;
+  q <= r;
+`),
+		})
+	}
+
+	// ---- up counters ----------------------------------------------------------
+	for _, w := range []int{2, 3, 4, 5, 6, 8, 16} {
+		w := w
+		ports := []Port{clkPort(), rstPort(), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("counter_up_w%d", w), Category: "counter", Hardness: 0.15, Seq: true,
+			Spec:     fmt.Sprintf("Implement a %d-bit up counter with synchronous active-high reset: q increments by 1 each rising clock edge and wraps around; reset forces q to 0.", w),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 0)
+				} else {
+					s.set("q", mask(s.get("q")+1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else q <= q + 1;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlSeqShell(ports, w, "(others => '0')", "r + 1", "q"),
+		})
+	}
+
+	// ---- down counters ---------------------------------------------------------
+	for _, w := range []int{4, 8} {
+		w := w
+		ports := []Port{clkPort(), rstPort(), out("q", w)}
+		maxVal := mask(^uint64(0), w)
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("counter_down_w%d", w), Category: "counter", Hardness: 0.18, Seq: true,
+			Spec:     fmt.Sprintf("Implement a %d-bit down counter with synchronous reset: reset forces q to all ones (%d); otherwise q decrements by 1 each rising edge and wraps.", w, maxVal),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", maxVal)
+				} else {
+					s.set("q", mask(s.get("q")-1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    always @(posedge clk) begin
+        if (reset) q <= %d'd%d;
+        else q <= q - 1;
+    end
+`, w, maxVal), map[string]bool{"q": true}),
+			GoldenVHDL: vhdlSeqShell(ports, w, "(others => '1')", "r - 1", "q"),
+		})
+	}
+
+	// ---- up/down, enable, load ---------------------------------------------
+	{
+		w := 4
+		ports := []Port{clkPort(), rstPort(), in("up", 1), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: "counter_updown_w4", Category: "counter", Hardness: 0.28, Seq: true,
+			Spec:     "Implement a 4-bit up/down counter with synchronous reset: when up is 1 the counter increments, when up is 0 it decrements; reset clears it.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["up"]&1 == 1:
+					s.set("q", mask(s.get("q")+1, w))
+				default:
+					s.set("q", mask(s.get("q")-1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (up) q <= q + 1;
+        else q <= q - 1;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(3 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif up = '1' then
+        r <= r + 1;
+      else
+        r <= r - 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(r);
+`),
+		})
+	}
+	{
+		w := 4
+		ports := []Port{clkPort(), rstPort(), in("en", 1), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: "counter_en_w4", Category: "counter", Hardness: 0.2, Seq: true,
+			Spec:     "Implement a 4-bit counter with enable: it increments only when en is 1; synchronous reset clears it.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["en"]&1 == 1:
+					s.set("q", mask(s.get("q")+1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (en) q <= q + 1;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(3 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif en = '1' then
+        r <= r + 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(r);
+`),
+		})
+	}
+	{
+		w := 8
+		ports := []Port{clkPort(), rstPort(), in("load", 1), in("d", w), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: "counter_load_w8", Category: "counter", Hardness: 0.3, Seq: true,
+			Spec:     "Implement an 8-bit loadable counter: synchronous reset clears q; when load is 1 the counter takes the value d; otherwise it increments.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["load"]&1 == 1:
+					s.set("q", mask(i["d"], w))
+				default:
+					s.set("q", mask(s.get("q")+1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (load) q <= d;
+        else q <= q + 1;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(7 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif load = '1' then
+        r <= unsigned(d);
+      else
+        r <= r + 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(r);
+`),
+		})
+	}
+
+	// ---- modulo counters -------------------------------------------------------
+	for _, n := range []int{3, 5, 6, 7, 9, 10, 12} {
+		n := n
+		w := 4
+		ports := []Port{clkPort(), rstPort(), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("counter_mod%d", n), Category: "counter", Hardness: 0.3, Seq: true,
+			Spec:     fmt.Sprintf("Implement a modulo-%d counter on a 4-bit output: q counts 0..%d and then wraps to 0; synchronous reset clears it.", n, n-1),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 0)
+				} else if s.get("q") >= uint64(n-1) {
+					s.set("q", 0)
+				} else {
+					s.set("q", s.get("q")+1)
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (q >= 4'd%d) q <= 0;
+        else q <= q + 1;
+    end
+`, n-1), map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(3 downto 0) := (others => '0');\n",
+				fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif r >= %d then
+        r <= (others => '0');
+      else
+        r <= r + 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(r);
+`, n-1)),
+		})
+	}
+
+	// ---- ring and johnson ------------------------------------------------------
+	{
+		ports := []Port{clkPort(), rstPort(), out("q", 4)}
+		ps = append(ps, &Problem{
+			ID: "ring_counter_w4", Category: "counter", Hardness: 0.3, Seq: true,
+			Spec:     "Implement a 4-bit ring counter: reset loads 0001; each clock the single hot bit rotates right (0001 -> 1000 -> 0100 -> 0010 -> 0001).",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 1)
+				} else {
+					q := s.get("q")
+					s.set("q", mask(q>>1|(q&1)<<3, 4))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 4'b0001;
+        else q <= {q[0], q[3:1]};
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : std_logic_vector(3 downto 0) := \"0001\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= "0001";
+      else
+        r <= r(0) & r(3 downto 1);
+      end if;
+    end if;
+  end process;
+  q <= r;
+`),
+		})
+	}
+	{
+		ports := []Port{clkPort(), rstPort(), out("q", 4)}
+		ps = append(ps, &Problem{
+			ID: "johnson_counter_w4", Category: "counter", Hardness: 0.35, Seq: true,
+			Spec:     "Implement a 4-bit Johnson (twisted-ring) counter: reset clears q; each clock q shifts right with the inverted LSB fed into the MSB (0000 -> 1000 -> 1100 -> 1110 -> 1111 -> 0111 -> 0011 -> 0001 -> 0000).",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 0)
+				} else {
+					q := s.get("q")
+					s.set("q", mask(q>>1|((^q)&1)<<3, 4))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 4'b0000;
+        else q <= {~q[0], q[3:1]};
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : std_logic_vector(3 downto 0) := \"0000\";\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= "0000";
+      else
+        r <= (not r(0)) & r(3 downto 1);
+      end if;
+    end if;
+  end process;
+  q <= r;
+`),
+		})
+	}
+
+	ps = append(ps, shiftRegProblems()...)
+	ps = append(ps, edgeAndMiscSeqProblems()...)
+	return ps
+}
+
+// shiftRegProblems covers shift register variants.
+func shiftRegProblems() []*Problem {
+	var ps []*Problem
+	for _, w := range []int{4, 8, 16} {
+		w := w
+		// Shift right: new bit enters at MSB.
+		ports := []Port{clkPort(), rstPort(), in("sin", 1), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("shiftreg_right_w%d", w), Category: "shiftreg", Hardness: 0.25, Seq: true,
+			Spec:     fmt.Sprintf("Implement a %d-bit right shift register: each clock q shifts right by one and sin enters at the MSB; synchronous reset clears q.", w),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 0)
+				} else {
+					s.set("q", mask(s.get("q")>>1|(i["sin"]&1)<<uint(w-1), w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else q <= {sin, q[%d:1]};
+    end
+`, w-1), map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				fmt.Sprintf("  signal r : std_logic_vector(%d downto 0) := (others => '0');\n", w-1),
+				fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      else
+        r <= sin & r(%d downto 1);
+      end if;
+    end if;
+  end process;
+  q <= r;
+`, w-1)),
+		})
+		// Shift left: new bit enters at LSB.
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("shiftreg_left_w%d", w), Category: "shiftreg", Hardness: 0.25, Seq: true,
+			Spec:     fmt.Sprintf("Implement a %d-bit left shift register: each clock q shifts left by one and sin enters at the LSB; synchronous reset clears q.", w),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 0)
+				} else {
+					s.set("q", mask(s.get("q")<<1|i["sin"]&1, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else q <= {q[%d:0], sin};
+    end
+`, w-2), map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				fmt.Sprintf("  signal r : std_logic_vector(%d downto 0) := (others => '0');\n", w-1),
+				fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      else
+        r <= r(%d downto 0) & sin;
+      end if;
+    end if;
+  end process;
+  q <= r;
+`, w-2)),
+		})
+	}
+	{
+		// Bidirectional 4-bit.
+		w := 4
+		ports := []Port{clkPort(), rstPort(), in("dir", 1), in("sin", 1), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: "shiftreg_bidir_w4", Category: "shiftreg", Hardness: 0.4, Seq: true,
+			Spec:     "Implement a 4-bit bidirectional shift register: when dir is 0 it shifts left (sin enters LSB), when dir is 1 it shifts right (sin enters MSB); synchronous reset clears it.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["dir"]&1 == 0:
+					s.set("q", mask(s.get("q")<<1|i["sin"]&1, w))
+				default:
+					s.set("q", mask(s.get("q")>>1|(i["sin"]&1)<<3, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (dir) q <= {sin, q[3:1]};
+        else q <= {q[2:0], sin};
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : std_logic_vector(3 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif dir = '1' then
+        r <= sin & r(3 downto 1);
+      else
+        r <= r(2 downto 0) & sin;
+      end if;
+    end if;
+  end process;
+  q <= r;
+`),
+		})
+	}
+	return ps
+}
+
+// edgeAndMiscSeqProblems covers edge detectors, LFSRs, toggles, and
+// accumulators.
+func edgeAndMiscSeqProblems() []*Problem {
+	var ps []*Problem
+	edgeCfgs := []struct {
+		id, spec string
+		f        func(prev, cur uint64) uint64
+		vExpr    string
+		hExpr    string
+	}{
+		{"edge_rising", "a one-cycle pulse on out when input d transitions from 0 to 1",
+			func(prev, cur uint64) uint64 { return cur &^ prev & 1 },
+			"d & ~prev", "d and not prev"},
+		{"edge_falling", "a one-cycle pulse on out when input d transitions from 1 to 0",
+			func(prev, cur uint64) uint64 { return prev &^ cur & 1 },
+			"~d & prev", "(not d) and prev"},
+		{"edge_both", "a one-cycle pulse on out when input d changes in either direction",
+			func(prev, cur uint64) uint64 { return (prev ^ cur) & 1 },
+			"d ^ prev", "d xor prev"},
+	}
+	for _, cfg := range edgeCfgs {
+		cfg := cfg
+		ports := []Port{clkPort(), rstPort(), in("d", 1), out("pulse", 1)}
+		ps = append(ps, &Problem{
+			ID: cfg.id, Category: "edge", Hardness: 0.35, Seq: true,
+			Spec:     fmt.Sprintf("Implement a registered edge detector producing %s. Both the detector output and the previous-value register update on the rising clock edge; synchronous reset clears both.", cfg.spec),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("prev", 0)
+					s.set("pulse", 0)
+				} else {
+					s.set("pulse", cfg.f(s.get("prev"), i["d"]))
+					s.set("prev", i["d"]&1)
+				}
+				return map[string]uint64{"pulse": s.get("pulse")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    reg prev;
+    always @(posedge clk) begin
+        if (reset) begin
+            prev <= 1'b0;
+            pulse <= 1'b0;
+        end
+        else begin
+            pulse <= %s;
+            prev <= d;
+        end
+    end
+`, cfg.vExpr), map[string]bool{"pulse": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal prev : std_logic := '0';\n",
+				fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        prev <= '0';
+        pulse <= '0';
+      else
+        pulse <= %s;
+        prev <= d;
+      end if;
+    end if;
+  end process;
+`, cfg.hExpr)),
+		})
+	}
+
+	// Toggle flip-flop.
+	{
+		ports := []Port{clkPort(), rstPort(), in("t", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "tff", Category: "register", Hardness: 0.18, Seq: true,
+			Spec:     "Implement a T flip-flop: q toggles on each rising clock edge when t is 1, holds when t is 0; synchronous reset clears q.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["t"]&1 == 1:
+					s.set("q", s.get("q")^1)
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 1'b0;
+        else if (t) q <= ~q;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : std_logic := '0';\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= '0';
+      elsif t = '1' then
+        r <= not r;
+      end if;
+    end if;
+  end process;
+  q <= r;
+`),
+		})
+	}
+
+	// LFSRs.
+	for _, w := range []int{4, 8} {
+		w := w
+		// Fibonacci LFSR, taps at the top two bits.
+		ports := []Port{clkPort(), rstPort(), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: fmt.Sprintf("lfsr_w%d", w), Category: "lfsr", Hardness: 0.45, Seq: true,
+			Spec: fmt.Sprintf("Implement a %d-bit Fibonacci LFSR: reset loads 1; otherwise each clock the register shifts left by one with the new LSB equal to the xor of the two most significant bits (q[%d] xor q[%d]).",
+				w, w-1, w-2),
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("q", 1)
+				} else {
+					q := s.get("q")
+					fb := (q>>uint(w-1) ^ q>>uint(w-2)) & 1
+					s.set("q", mask(q<<1|fb, w))
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, fmt.Sprintf(`    always @(posedge clk) begin
+        if (reset) q <= %d'd1;
+        else q <= {q[%d:0], q[%d] ^ q[%d]};
+    end
+`, w, w-2, w-1, w-2), map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				fmt.Sprintf("  signal r : std_logic_vector(%d downto 0) := (others => '0');\n", w-1),
+				fmt.Sprintf(`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= std_logic_vector(to_unsigned(1, %d));
+      else
+        r <= r(%d downto 0) & (r(%d) xor r(%d));
+      end if;
+    end if;
+  end process;
+  q <= r;
+`, w, w-2, w-1, w-2)),
+		})
+	}
+
+	// Accumulator.
+	{
+		w := 8
+		ports := []Port{clkPort(), rstPort(), in("d", w), out("acc", w)}
+		ps = append(ps, &Problem{
+			ID: "accum_w8", Category: "register", Hardness: 0.25, Seq: true,
+			Spec:     "Implement an 8-bit accumulator: each rising clock edge acc increases by input d (wrapping); synchronous reset clears it.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("acc", 0)
+				} else {
+					s.set("acc", mask(s.get("acc")+i["d"], w))
+				}
+				return map[string]uint64{"acc": s.get("acc")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) acc <= 0;
+        else acc <= acc + d;
+    end
+`, map[string]bool{"acc": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(7 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      else
+        r <= r + unsigned(d);
+      end if;
+    end if;
+  end process;
+  acc <= std_logic_vector(r);
+`),
+		})
+	}
+
+	// Saturating counter.
+	{
+		w := 4
+		ports := []Port{clkPort(), rstPort(), in("en", 1), out("q", w)}
+		ps = append(ps, &Problem{
+			ID: "counter_sat_w4", Category: "counter", Hardness: 0.3, Seq: true,
+			Spec:     "Implement a 4-bit saturating counter: it increments when en is 1 but stops at 15 instead of wrapping; synchronous reset clears it.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				switch {
+				case i["reset"]&1 == 1:
+					s.set("q", 0)
+				case i["en"]&1 == 1 && s.get("q") < 15:
+					s.set("q", s.get("q")+1)
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    always @(posedge clk) begin
+        if (reset) q <= 0;
+        else if (en && q != 4'd15) q <= q + 1;
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal r : unsigned(3 downto 0) := (others => '0');\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        r <= (others => '0');
+      elsif en = '1' and r /= 15 then
+        r <= r + 1;
+      end if;
+    end if;
+  end process;
+  q <= std_logic_vector(r);
+`),
+		})
+	}
+
+	// Two-stage synchronizer.
+	{
+		ports := []Port{clkPort(), rstPort(), in("d", 1), out("q", 1)}
+		ps = append(ps, &Problem{
+			ID: "sync_2ff", Category: "register", Hardness: 0.2, Seq: true,
+			Spec:     "Implement a two-stage flip-flop synchronizer: d passes through two back-to-back D flip-flops, so q reflects d delayed by two clock edges; synchronous reset clears both stages.",
+			Ports:    ports,
+			NewState: newSeqState,
+			Step: func(st State, i map[string]uint64) map[string]uint64 {
+				s := st.(*seqState)
+				if i["reset"]&1 == 1 {
+					s.set("s1", 0)
+					s.set("q", 0)
+				} else {
+					s.set("q", s.get("s1"))
+					s.set("s1", i["d"]&1)
+				}
+				return map[string]uint64{"q": s.get("q")}
+			},
+			GoldenVerilog: verilogModuleReg(ports, `    reg s1;
+    always @(posedge clk) begin
+        if (reset) begin
+            s1 <= 1'b0;
+            q <= 1'b0;
+        end
+        else begin
+            q <= s1;
+            s1 <= d;
+        end
+    end
+`, map[string]bool{"q": true}),
+			GoldenVHDL: vhdlModule(ports,
+				"  signal s1 : std_logic := '0';\n",
+				`  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        s1 <= '0';
+        q <= '0';
+      else
+        q <= s1;
+        s1 <= d;
+      end if;
+    end if;
+  end process;
+`),
+		})
+	}
+	return ps
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// verilogTB emits the reference Verilog testbench for a problem from its
+// precomputed test vectors.
+func verilogTB(p *Problem) string { return p.VerilogTBForVectors(p.Vectors) }
+
+// vhdlTB emits the reference VHDL testbench.
+func vhdlTB(p *Problem) string { return p.VHDLTBForVectors(p.Vectors) }
+
+// VerilogTBForVectors emits a self-checking Verilog testbench exercising
+// the given vectors: it prints numbered failure messages and the
+// suite-wide pass marker. The Code Agent uses this with a vector subset
+// to model self-generated testbenches of varying coverage.
+func (p *Problem) VerilogTBForVectors(vectors []Vec) string {
+	var sb strings.Builder
+	sb.WriteString("`timescale 1ns/1ps\n")
+	fmt.Fprintf(&sb, "module %s;\n", TBName)
+	// Declarations.
+	for _, pt := range p.Ports {
+		rng := ""
+		if pt.Width > 1 {
+			rng = fmt.Sprintf(" [%d:0]", pt.Width-1)
+		}
+		if pt.In {
+			fmt.Fprintf(&sb, "  reg%s %s;\n", rng, pt.Name)
+		} else {
+			fmt.Fprintf(&sb, "  wire%s %s;\n", rng, pt.Name)
+		}
+	}
+	sb.WriteString("  integer errors;\n")
+	// Instantiation.
+	fmt.Fprintf(&sb, "  %s dut(", TopName)
+	for i, pt := range p.Ports {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, ".%s(%s)", pt.Name, pt.Name)
+	}
+	sb.WriteString(");\n")
+	if p.Seq {
+		sb.WriteString("  always #5 clk = ~clk;\n")
+	}
+	sb.WriteString("  initial begin\n    errors = 0;\n")
+	if p.Seq {
+		sb.WriteString("    clk = 0;\n")
+		for _, pt := range p.Inputs() {
+			fmt.Fprintf(&sb, "    %s = 0;\n", pt.Name)
+		}
+		for i, v := range vectors {
+			// Drive inputs, clock the design, then check outputs.
+			for _, pt := range p.Inputs() {
+				fmt.Fprintf(&sb, "    %s = %d'd%d;\n", pt.Name, pt.Width, v.In[pt.Name])
+			}
+			sb.WriteString("    @(posedge clk); #1;\n")
+			for _, pt := range p.Outputs() {
+				fmt.Fprintf(&sb, "    if (%s !== %d'd%d) begin errors = errors + 1; "+
+					"$display(\"Test Case %d Failed: %s expected %d got %%d\", %s); end\n",
+					pt.Name, pt.Width, v.Out[pt.Name], i+1, pt.Name, v.Out[pt.Name], pt.Name)
+			}
+		}
+	} else {
+		for i, v := range vectors {
+			for _, pt := range p.Inputs() {
+				fmt.Fprintf(&sb, "    %s = %d'd%d;\n", pt.Name, pt.Width, v.In[pt.Name])
+			}
+			sb.WriteString("    #1;\n")
+			for _, pt := range p.Outputs() {
+				fmt.Fprintf(&sb, "    if (%s !== %d'd%d) begin errors = errors + 1; "+
+					"$display(\"Test Case %d Failed: %s expected %d got %%d\", %s); end\n",
+					pt.Name, pt.Width, v.Out[pt.Name], i+1, pt.Name, v.Out[pt.Name], pt.Name)
+			}
+		}
+	}
+	sb.WriteString("    if (errors == 0) $display(\"All tests passed successfully!\");\n")
+	sb.WriteString("    else $display(\"%0d test case(s) failed.\", errors);\n")
+	sb.WriteString("    $finish;\n  end\nendmodule\n")
+	return sb.String()
+}
+
+// vhdlBin renders v as a VHDL literal for a port of width w: '0'/'1'
+// for scalars, a binary bit-string otherwise.
+func vhdlBin(v uint64, w int) string {
+	if w == 1 {
+		if v&1 == 1 {
+			return "'1'"
+		}
+		return "'0'"
+	}
+	bits := make([]byte, w)
+	for i := 0; i < w; i++ {
+		if v&(1<<uint(w-1-i)) != 0 {
+			bits[i] = '1'
+		} else {
+			bits[i] = '0'
+		}
+	}
+	return "\"" + string(bits) + "\""
+}
+
+// VHDLTBForVectors emits a self-checking VHDL testbench exercising the
+// given vectors.
+func (p *Problem) VHDLTBForVectors(vectors []Vec) string {
+	var sb strings.Builder
+	sb.WriteString("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n")
+	fmt.Fprintf(&sb, "entity %s is end entity;\n\n", TBName)
+	fmt.Fprintf(&sb, "architecture sim of %s is\n", TBName)
+	for _, pt := range p.Ports {
+		ty := "std_logic"
+		if pt.Width > 1 {
+			ty = fmt.Sprintf("std_logic_vector(%d downto 0)", pt.Width-1)
+		}
+		init := " := '0'"
+		if pt.Width > 1 {
+			init = fmt.Sprintf(" := (others => '0')")
+		}
+		if !pt.In {
+			init = ""
+		}
+		fmt.Fprintf(&sb, "  signal %s : %s%s;\n", pt.Name, ty, init)
+	}
+	sb.WriteString("  signal done : std_logic := '0';\nbegin\n")
+	if p.Seq {
+		sb.WriteString("  clk <= not clk after 5 ns when done = '0' else '0';\n")
+	}
+	fmt.Fprintf(&sb, "  uut: entity work.%s port map (", TopName)
+	for i, pt := range p.Ports {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s => %s", pt.Name, pt.Name)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString("  stim: process\n    variable errors : integer := 0;\n  begin\n")
+	if p.Seq {
+		for i, v := range vectors {
+			for _, pt := range p.Inputs() {
+				fmt.Fprintf(&sb, "    %s <= %s;\n", pt.Name, vhdlBin(v.In[pt.Name], pt.Width))
+			}
+			sb.WriteString("    wait until rising_edge(clk);\n    wait for 1 ns;\n")
+			for _, pt := range p.Outputs() {
+				fmt.Fprintf(&sb, "    if %s /= %s then errors := errors + 1; "+
+					"report \"Test Case %d Failed: %s expected %d\" severity error; end if;\n",
+					pt.Name, vhdlBin(v.Out[pt.Name], pt.Width), i+1, pt.Name, v.Out[pt.Name])
+			}
+		}
+	} else {
+		for i, v := range vectors {
+			for _, pt := range p.Inputs() {
+				fmt.Fprintf(&sb, "    %s <= %s;\n", pt.Name, vhdlBin(v.In[pt.Name], pt.Width))
+			}
+			sb.WriteString("    wait for 1 ns;\n")
+			for _, pt := range p.Outputs() {
+				fmt.Fprintf(&sb, "    if %s /= %s then errors := errors + 1; "+
+					"report \"Test Case %d Failed: %s expected %d\" severity error; end if;\n",
+					pt.Name, vhdlBin(v.Out[pt.Name], pt.Width), i+1, pt.Name, v.Out[pt.Name])
+			}
+		}
+	}
+	sb.WriteString("    if errors = 0 then\n      report \"All tests passed successfully!\";\n")
+	sb.WriteString("    end if;\n    done <= '1';\n    wait;\n  end process;\nend architecture;\n")
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Severity: Error, Code: "VRFC 10-91",
+		File: "design.v", Line: 12, Message: `"x" is not declared`,
+	}
+	s := d.String()
+	if !strings.Contains(s, "ERROR: [VRFC 10-91]") {
+		t.Errorf("format: %s", s)
+	}
+	if !strings.Contains(s, "[design.v:12]") {
+		t.Errorf("location: %s", s)
+	}
+}
+
+func TestDiagnosticStringNoLine(t *testing.T) {
+	d := Diagnostic{Severity: Warning, Code: "X", File: "f.v", Message: "m"}
+	if !strings.Contains(d.String(), "[f.v]") {
+		t.Errorf("no-line format: %s", d.String())
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	var l List
+	l.Errorf("C1", "a.v", 3, 1, "bad %s", "thing")
+	l.Warnf("C2", "a.v", 1, 1, "meh")
+	if !l.HasErrors() || l.ErrorCount() != 1 {
+		t.Errorf("counts: %d", l.ErrorCount())
+	}
+	if len(l) != 2 {
+		t.Fatalf("len = %d", len(l))
+	}
+	if l[0].Message != "bad thing" {
+		t.Errorf("message: %q", l[0].Message)
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	var l List
+	l.Errorf("C", "b.v", 5, 1, "third")
+	l.Errorf("C", "a.v", 9, 1, "second")
+	l.Errorf("C", "a.v", 2, 1, "first")
+	s := l.Sorted()
+	if s[0].Message != "first" || s[1].Message != "second" || s[2].Message != "third" {
+		t.Errorf("order: %v", s)
+	}
+	// Original untouched.
+	if l[0].Message != "third" {
+		t.Error("Sorted must not mutate the receiver")
+	}
+}
+
+func TestAttachSnippets(t *testing.T) {
+	src := "line one\n  line two  \nline three"
+	var l List
+	l.Errorf("C", "f.v", 2, 1, "m")
+	l.AttachSnippets(src)
+	if l[0].Snippet != "  line two" {
+		t.Errorf("snippet = %q", l[0].Snippet)
+	}
+	// Out-of-range lines are left alone.
+	var l2 List
+	l2.Errorf("C", "f.v", 99, 1, "m")
+	l2.AttachSnippets(src)
+	if l2[0].Snippet != "" {
+		t.Errorf("oob snippet = %q", l2[0].Snippet)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "INFO" || Warning.String() != "WARNING" || Error.String() != "ERROR" {
+		t.Error("severity strings")
+	}
+}

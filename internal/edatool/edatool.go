@@ -1,0 +1,210 @@
+// Package edatool wraps the Verilog and VHDL front-ends and simulators
+// behind compiler/simulator facades that produce Vivado-flavoured logs.
+// These logs are the interface between the EDA substrate and the agents:
+// the Review Agent parses compile logs, the Verification Agent parses
+// simulation logs, exactly as AIVRIL 2 does with xvlog/xvhdl/xsim.
+package edatool
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+	"repro/internal/vhdl"
+	"repro/internal/vhdlsim"
+	"repro/internal/vsim"
+)
+
+// Language selects the HDL being processed.
+type Language int
+
+// Supported languages.
+const (
+	Verilog Language = iota
+	VHDL
+)
+
+func (l Language) String() string {
+	if l == Verilog {
+		return "Verilog"
+	}
+	return "VHDL"
+}
+
+// Source is one named HDL source file.
+type Source struct {
+	Name string
+	Text string
+}
+
+// PassMarker is the exact testbench success string the whole framework
+// keys on, as in the paper's example testbench prompt.
+const PassMarker = "All tests passed successfully!"
+
+// CompileResult is the outcome of a compile run.
+type CompileResult struct {
+	OK    bool
+	Diags diag.List
+	Log   string
+
+	// Verilog artefacts (nil for VHDL runs).
+	Modules map[string]*verilog.Module
+	// VHDL artefacts (nil for Verilog runs).
+	Units []*vhdl.DesignFile
+}
+
+// Compile parses and semantically checks the sources in order; later
+// sources see modules/entities of earlier ones (DUT first, then TB).
+func Compile(lang Language, sources ...Source) *CompileResult {
+	res := &CompileResult{}
+	switch lang {
+	case Verilog:
+		res.Modules = map[string]*verilog.Module{}
+		for _, src := range sources {
+			sf, pd := verilog.Parse(src.Name, src.Text)
+			res.Diags = append(res.Diags, pd...)
+			if !pd.HasErrors() {
+				cd := verilog.Check(src.Name, sf, res.Modules)
+				cd.AttachSnippets(src.Text)
+				res.Diags = append(res.Diags, cd...)
+			}
+			for _, m := range sf.Modules {
+				res.Modules[m.Name] = m
+			}
+		}
+	case VHDL:
+		extern := map[string]*vhdl.Entity{}
+		for _, src := range sources {
+			df, pd := vhdl.Parse(src.Name, src.Text)
+			res.Diags = append(res.Diags, pd...)
+			if !pd.HasErrors() {
+				cd := vhdl.Check(src.Name, df, extern)
+				cd.AttachSnippets(src.Text)
+				res.Diags = append(res.Diags, cd...)
+			}
+			for _, e := range df.Entities {
+				extern[e.Name] = e
+			}
+			res.Units = append(res.Units, df)
+		}
+	}
+	res.OK = !res.Diags.HasErrors()
+	res.Log = RenderCompileLog(lang, res.Diags)
+	return res
+}
+
+// RenderCompileLog renders diagnostics the way xvlog/xvhdl would.
+func RenderCompileLog(lang Language, diags diag.List) string {
+	tool := "xvlog"
+	if lang == VHDL {
+		tool = "xvhdl"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INFO: [%s] Compilation started\n", tool)
+	errs := 0
+	for _, d := range diags.Sorted() {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Snippet != "" {
+			fmt.Fprintf(&sb, "    %s\n", strings.TrimSpace(d.Snippet))
+		}
+		if d.Severity == diag.Error {
+			errs++
+		}
+	}
+	fmt.Fprintf(&sb, "Total syntax errors: %d\n", errs)
+	if errs == 0 {
+		sb.WriteString("Successful compilation.\n")
+	} else {
+		fmt.Fprintf(&sb, "INFO: [%s] Compilation failed with %d error(s)\n", tool, errs)
+	}
+	return sb.String()
+}
+
+// SimResult is the outcome of a simulation run.
+type SimResult struct {
+	Log          string
+	Passed       bool // pass marker seen and nothing failed
+	Failed       bool // explicit test failure observed
+	TimedOut     bool
+	Fault        string
+	VCD          string  // Verilog waveform dump when the bench ran $dumpvars
+	LatencyModel float64 // EDA wall-clock estimate in seconds (events-based)
+}
+
+// Simulate compiles the sources and, when clean, elaborates `top` and
+// runs the simulation. Compile errors surface in the returned log.
+func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *SimResult {
+	comp := Compile(lang, sources...)
+	if !comp.OK {
+		return &SimResult{Log: comp.Log, Failed: true}
+	}
+	out := &SimResult{}
+	simBase := 3.2 // xsim launch + Verilog elaboration estimate, seconds
+	if lang == VHDL {
+		simBase = 4.2 // mixed-language elaboration is slower
+	}
+	switch lang {
+	case Verilog:
+		res, err := vsim.Simulate(comp.Modules, top, vsim.Options{
+			MaxTime: sim.Time(maxTime),
+			File:    sources[len(sources)-1].Name,
+		})
+		if err != nil {
+			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+			out.Failed = true
+			return out
+		}
+		out.Log = res.Log
+		out.TimedOut = res.TimedOut
+		out.Fault = res.Fault
+		out.VCD = res.VCD
+		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
+	case VHDL:
+		res, err := vhdlsim.Simulate(comp.Units, top, vhdlsim.Options{
+			MaxTime: sim.Time(maxTime),
+			File:    sources[len(sources)-1].Name,
+		})
+		if err != nil {
+			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+			out.Failed = true
+			return out
+		}
+		out.Log = res.Log
+		out.TimedOut = res.TimedOut
+		out.Fault = res.Fault
+		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
+		if res.AssertErrors > 0 || res.Failed {
+			out.Failed = true
+		}
+	}
+	out.Passed = judgeLog(out)
+	return out
+}
+
+// latencyFromTime converts simulated time into the activity-dependent
+// part of the wall-clock estimate for the latency model (Fig. 3).
+func latencyFromTime(t sim.Time) float64 {
+	return float64(t) * 2e-4
+}
+
+// judgeLog decides pass/fail from the simulation output, the same way
+// the framework's Verification Agent (and the paper's harness) does:
+// the pass marker must appear and no failure indicators may.
+func judgeLog(r *SimResult) bool {
+	if r.Failed || r.TimedOut || r.Fault != "" {
+		return false
+	}
+	log := r.Log
+	if !strings.Contains(log, PassMarker) {
+		return false
+	}
+	for _, bad := range []string{"Failed", "FAIL", "Error:", "ERROR", "Failure:", "FATAL"} {
+		if strings.Contains(log, bad) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+// Package eval implements the unbiased pass@k estimator of Chen et al.
+// (2021), used by the paper for both pass@1S (syntax) and pass@1F
+// (functional) metrics.
+package eval
+
+// PassAtK returns the unbiased estimator
+//
+//	pass@k = 1 - C(n-c, k) / C(n, k)
+//
+// where n is the number of samples and c the number that passed.
+// It returns 0 when k > n would make the estimator undefined with c = 0,
+// and 1 whenever every possible k-subset must contain a passing sample.
+func PassAtK(n, c, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if c <= 0 {
+		return 0
+	}
+	if c >= n {
+		return 1
+	}
+	if n-c < k {
+		// Every k-subset contains at least one passing sample.
+		return 1
+	}
+	// 1 - prod_{i=n-c+1..n} (i-k)/i
+	prod := 1.0
+	for i := n - c + 1; i <= n; i++ {
+		prod *= float64(i-k) / float64(i)
+	}
+	return 1 - prod
+}
+
+// Rate is the simple pass fraction c/n, the k=1 special case the paper
+// reports in Table 1 as a percentage.
+func Rate(n, c int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(c) / float64(n)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPassAtKBasics(t *testing.T) {
+	if !almost(PassAtK(10, 10, 1), 1) {
+		t.Error("all pass -> 1")
+	}
+	if !almost(PassAtK(10, 0, 1), 0) {
+		t.Error("none pass -> 0")
+	}
+	if !almost(PassAtK(10, 5, 1), 0.5) {
+		t.Error("half pass at k=1 -> 0.5")
+	}
+	if !almost(PassAtK(4, 2, 3), 1) {
+		t.Error("n-c < k -> 1")
+	}
+}
+
+func TestPassAtKMatchesClosedForm(t *testing.T) {
+	// pass@k = 1 - C(n-c,k)/C(n,k); check against direct binomials.
+	binom := func(n, k int) float64 {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1.0
+		for i := 1; i <= k; i++ {
+			r *= float64(n - k + i)
+			r /= float64(i)
+		}
+		return r
+	}
+	for n := 1; n <= 12; n++ {
+		for c := 0; c <= n; c++ {
+			for k := 1; k <= n; k++ {
+				want := 1 - binom(n-c, k)/binom(n, k)
+				got := PassAtK(n, c, k)
+				if !almost(got, want) {
+					t.Errorf("PassAtK(%d,%d,%d) = %v, want %v", n, c, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPassAtKDegenerate(t *testing.T) {
+	if PassAtK(0, 0, 1) != 0 {
+		t.Error("n=0")
+	}
+	if PassAtK(5, 2, 0) != 0 {
+		t.Error("k=0")
+	}
+	if PassAtK(-1, 0, 1) != 0 {
+		t.Error("n<0")
+	}
+}
+
+func TestQuickPassAtKBounds(t *testing.T) {
+	f := func(nRaw, cRaw, kRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		c := int(cRaw) % (n + 1)
+		k := int(kRaw%30) + 1
+		p := PassAtK(n, c, k)
+		if p < 0 || p > 1+1e-12 {
+			return false
+		}
+		// Monotone in c.
+		if c > 0 && PassAtK(n, c-1, k) > p+1e-12 {
+			return false
+		}
+		// Monotone in k (k <= n).
+		if k > 1 && k <= n && PassAtK(n, c, k-1) > p+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateAndMean(t *testing.T) {
+	if !almost(Rate(8, 2), 0.25) {
+		t.Error("rate")
+	}
+	if Rate(0, 0) != 0 {
+		t.Error("rate degenerate")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean empty")
+	}
+}

@@ -1,0 +1,193 @@
+// Package exp is the experiment harness: it runs the AIVRIL 2 pipeline
+// and its baselines over the full benchmark suite and aggregates the
+// metrics behind every table and figure in the paper's evaluation
+// (Table 1, Table 2, Figure 3, plus the ablations called out in
+// DESIGN.md).
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/eval"
+	"repro/internal/llm"
+)
+
+// ProblemOutcome captures one problem's measurements.
+type ProblemOutcome struct {
+	ID       string
+	Category string
+
+	BaselineSyntaxOK bool
+	BaselineFuncOK   bool
+	LoopSyntaxOK     bool
+	LoopFuncOK       bool
+	SelfVerified     bool
+
+	SyntaxIters int
+	FuncIters   int
+	Latency     core.Latency
+}
+
+// Summary aggregates a (model, language) sweep over the suite.
+type Summary struct {
+	Model    string
+	License  string
+	Language edatool.Language
+	N        int
+
+	Outcomes []ProblemOutcome
+
+	BaselineSyntaxPass int
+	BaselineFuncPass   int
+	LoopSyntaxPass     int
+	LoopFuncPass       int
+
+	AvgBaselineLatency float64
+	AvgSyntaxLatency   float64
+	AvgFuncLatency     float64
+	AvgSyntaxIters     float64
+	AvgFuncIters       float64
+}
+
+// Rates returns the four pass@1 percentages of Table 1.
+func (s *Summary) Rates() (baseS, baseF, loopS, loopF float64) {
+	n := s.N
+	return 100 * eval.Rate(n, s.BaselineSyntaxPass),
+		100 * eval.Rate(n, s.BaselineFuncPass),
+		100 * eval.Rate(n, s.LoopSyntaxPass),
+		100 * eval.Rate(n, s.LoopFuncPass)
+}
+
+// DeltaF returns the ΔF column: percentage improvement of the loop's
+// functional rate over the baseline's (N/A when the baseline is zero).
+func (s *Summary) DeltaF() (float64, bool) {
+	if s.BaselineFuncPass == 0 {
+		return 0, false
+	}
+	b := float64(s.BaselineFuncPass)
+	l := float64(s.LoopFuncPass)
+	return 100 * (l - b) / b, true
+}
+
+// Options tweaks a sweep.
+type Options struct {
+	Problems   []*bench.Problem // defaults to the full suite
+	Configure  func(*core.Config)
+	MaxWorkers int
+}
+
+// Run sweeps one model over one language.
+func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
+	problems := opts.Problems
+	if problems == nil {
+		problems = bench.NewSuite().Problems
+	}
+	workers := opts.MaxWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	sum := &Summary{
+		Model:    model.Name(),
+		License:  model.License(),
+		Language: lang,
+		N:        len(problems),
+		Outcomes: make([]ProblemOutcome, len(problems)),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, prob := range problems {
+		wg.Add(1)
+		go func(i int, prob *bench.Problem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := core.DefaultConfig(model, lang)
+			if opts.Configure != nil {
+				opts.Configure(&cfg)
+			}
+			res := core.New(cfg).Run(prob)
+			out := ProblemOutcome{
+				ID:           prob.ID,
+				Category:     prob.Category,
+				SelfVerified: res.SelfVerified,
+				SyntaxIters:  res.SyntaxIters,
+				FuncIters:    res.FuncIters,
+				Latency:      res.Latency,
+			}
+			out.BaselineSyntaxOK = core.EvaluateSyntax(lang, res.BaselineRTL)
+			if out.BaselineSyntaxOK {
+				out.BaselineFuncOK = core.EvaluateFunctional(lang, prob, res.BaselineRTL, cfg.MaxSimTime)
+			}
+			out.LoopSyntaxOK = res.SyntaxOK
+			if res.SyntaxOK {
+				out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
+			}
+			sum.Outcomes[i] = out
+		}(i, prob)
+	}
+	wg.Wait()
+
+	var latB, latS, latF, itS, itF float64
+	for _, o := range sum.Outcomes {
+		if o.BaselineSyntaxOK {
+			sum.BaselineSyntaxPass++
+		}
+		if o.BaselineFuncOK {
+			sum.BaselineFuncPass++
+		}
+		if o.LoopSyntaxOK {
+			sum.LoopSyntaxPass++
+		}
+		if o.LoopFuncOK {
+			sum.LoopFuncPass++
+		}
+		latB += o.Latency.Baseline
+		latS += o.Latency.Syntax
+		latF += o.Latency.Func
+		itS += float64(o.SyntaxIters)
+		itF += float64(o.FuncIters)
+	}
+	n := float64(sum.N)
+	if n > 0 {
+		sum.AvgBaselineLatency = latB / n
+		sum.AvgSyntaxLatency = latS / n
+		sum.AvgFuncLatency = latF / n
+		sum.AvgSyntaxIters = itS / n
+		sum.AvgFuncIters = itF / n
+	}
+	return sum
+}
+
+// CategoryRates aggregates loop pass@1F per problem category — a
+// breakdown the paper does not report but that explains where the
+// functional loop wins and loses.
+func (s *Summary) CategoryRates() map[string][2]int {
+	out := map[string][2]int{}
+	for _, o := range s.Outcomes {
+		e := out[o.Category]
+		e[1]++
+		if o.LoopFuncOK {
+			e[0]++
+		}
+		out[o.Category] = e
+	}
+	return out
+}
+
+// Matrix runs every profile over both languages (Table 1 / Figure 3).
+func Matrix(opts Options) []*Summary {
+	var out []*Summary
+	for _, model := range llm.Profiles() {
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			out = append(out, Run(model, lang, opts))
+		}
+	}
+	return out
+}

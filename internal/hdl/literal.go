@@ -1,0 +1,153 @@
+package hdl
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// ParseVerilogLiteral parses a Verilog integer literal such as
+// "8'hFF", "4'b10x0", "3'd5", "'1" is not supported (SystemVerilog), and
+// bare decimals like "42". Underscores are ignored. The returned vector
+// has the declared width, or 32 bits for unsized literals.
+func ParseVerilogLiteral(text string) (Vector, error) {
+	s := strings.ReplaceAll(strings.TrimSpace(text), "_", "")
+	if s == "" {
+		return Vector{}, fmt.Errorf("empty literal")
+	}
+	tick := strings.IndexByte(s, '\'')
+	if tick < 0 {
+		// Unsized decimal.
+		n, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			return Vector{}, fmt.Errorf("malformed decimal literal %q", text)
+		}
+		return fromBig(n, 32), nil
+	}
+	width := 32
+	if tick > 0 {
+		var w int
+		if _, err := fmt.Sscanf(s[:tick], "%d", &w); err != nil || w < 1 {
+			return Vector{}, fmt.Errorf("malformed width in literal %q", text)
+		}
+		width = w
+	}
+	rest := s[tick+1:]
+	if rest == "" {
+		return Vector{}, fmt.Errorf("missing base in literal %q", text)
+	}
+	base := rest[0]
+	if base == 's' || base == 'S' { // signed marker: skip
+		if len(rest) < 2 {
+			return Vector{}, fmt.Errorf("missing base in literal %q", text)
+		}
+		rest = rest[1:]
+		base = rest[0]
+	}
+	digits := rest[1:]
+	if digits == "" {
+		return Vector{}, fmt.Errorf("missing digits in literal %q", text)
+	}
+	switch base {
+	case 'b', 'B':
+		return parseBaseDigits(digits, 1, width, text)
+	case 'o', 'O':
+		return parseBaseDigits(digits, 3, width, text)
+	case 'h', 'H':
+		return parseBaseDigits(digits, 4, width, text)
+	case 'd', 'D':
+		if strings.ContainsAny(digits, "xXzZ?") {
+			// A lone x/z fills the vector.
+			if len(digits) == 1 {
+				return NewVector(width, LogicFromRune(rune(digits[0]))), nil
+			}
+			return Vector{}, fmt.Errorf("x/z digits not allowed in decimal literal %q", text)
+		}
+		n, ok := new(big.Int).SetString(digits, 10)
+		if !ok {
+			return Vector{}, fmt.Errorf("malformed decimal literal %q", text)
+		}
+		return fromBig(n, width), nil
+	default:
+		return Vector{}, fmt.Errorf("unknown base %q in literal %q", string(base), text)
+	}
+}
+
+// parseBaseDigits handles binary/octal/hex digit strings with x/z digits,
+// left-padding per Verilog: MSB digit of x/z extends, otherwise zero fill.
+func parseBaseDigits(digits string, bitsPerDigit, width int, orig string) (Vector, error) {
+	var bits []Logic // little-endian accumulation
+	runes := []rune(digits)
+	for i := len(runes) - 1; i >= 0; i-- {
+		r := runes[i]
+		switch {
+		case r == 'x' || r == 'X' || r == 'z' || r == 'Z' || r == '?':
+			l := LogicFromRune(r)
+			for b := 0; b < bitsPerDigit; b++ {
+				bits = append(bits, l)
+			}
+		default:
+			val, err := digitVal(r)
+			if err != nil || val >= 1<<uint(bitsPerDigit) {
+				return Vector{}, fmt.Errorf("bad digit %q in literal %q", string(r), orig)
+			}
+			for b := 0; b < bitsPerDigit; b++ {
+				bits = append(bits, boolLogic(val&(1<<uint(b)) != 0))
+			}
+		}
+	}
+	out := NewVector(width, L0)
+	// Verilog pads with the MSB digit's x/z, else zeros.
+	if len(bits) > 0 && len(bits) < width {
+		top := bits[len(bits)-1]
+		if top == LX || top == LZ {
+			for i := range out.Bits {
+				out.Bits[i] = top
+			}
+		}
+	}
+	copy(out.Bits, bits)
+	return out, nil
+}
+
+func digitVal(r rune) (int, error) {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0'), nil
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10, nil
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10, nil
+	}
+	return 0, fmt.Errorf("not a digit: %q", string(r))
+}
+
+// ParseVHDLBitString parses a VHDL bit-string or character literal body:
+// Kind 'b' for "1010", 'x' for x"AF", 'c' for '0'. Underscores ignored.
+func ParseVHDLBitString(kind byte, body string) (Vector, error) {
+	body = strings.ReplaceAll(body, "_", "")
+	switch kind {
+	case 'c':
+		if len([]rune(body)) != 1 {
+			return Vector{}, fmt.Errorf("character literal must be one character, got %q", body)
+		}
+		return Scalar(LogicFromRune([]rune(body)[0])), nil
+	case 'b':
+		if body == "" {
+			return Vector{}, fmt.Errorf("empty bit string")
+		}
+		runes := []rune(body)
+		out := NewVector(len(runes), L0)
+		for i, r := range runes { // MSB first in source
+			out.Bits[len(runes)-1-i] = LogicFromRune(r)
+		}
+		return out, nil
+	case 'x':
+		if body == "" {
+			return Vector{}, fmt.Errorf("empty hex string")
+		}
+		return parseBaseDigits(body, 4, len(body)*4, body)
+	default:
+		return Vector{}, fmt.Errorf("unknown VHDL bit-string kind %q", string(kind))
+	}
+}

@@ -1,0 +1,125 @@
+// Package hdl provides the value domain shared by the Verilog and VHDL
+// simulators: 4-state scalar logic (0, 1, X, Z) and arbitrary-width
+// bit-vectors with Verilog-style arithmetic, bitwise, relational,
+// reduction, and shift semantics.
+//
+// Vectors store bits little-endian: index 0 is the least-significant bit.
+// Any operation whose Verilog semantics yield an unknown result when an
+// operand bit is X or Z produces X bits, matching IEEE 1364 expression
+// evaluation rules closely enough for RTL-level simulation.
+package hdl
+
+// Logic is a single 4-state logic value.
+type Logic uint8
+
+// The four scalar states. Z (high impedance) behaves as X in most
+// expression contexts but is distinct for net resolution and printing.
+const (
+	L0 Logic = iota // logic zero
+	L1              // logic one
+	LX              // unknown
+	LZ              // high impedance
+)
+
+// Rune returns the canonical single-character spelling (0, 1, x, z).
+func (l Logic) Rune() rune {
+	switch l {
+	case L0:
+		return '0'
+	case L1:
+		return '1'
+	case LZ:
+		return 'z'
+	default:
+		return 'x'
+	}
+}
+
+// String implements fmt.Stringer.
+func (l Logic) String() string { return string(l.Rune()) }
+
+// IsKnown reports whether l is 0 or 1.
+func (l Logic) IsKnown() bool { return l == L0 || l == L1 }
+
+// LogicFromRune parses one of 0 1 x X z Z ? (casez wildcard maps to Z).
+// Any other rune yields LX.
+func LogicFromRune(r rune) Logic {
+	switch r {
+	case '0':
+		return L0
+	case '1':
+		return L1
+	case 'z', 'Z', '?':
+		return LZ
+	default:
+		return LX
+	}
+}
+
+// Not returns the 4-state negation of l.
+func (l Logic) Not() Logic {
+	switch l {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	default:
+		return LX
+	}
+}
+
+// And returns the 4-state conjunction of a and b.
+func (a Logic) And(b Logic) Logic {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return LX
+}
+
+// Or returns the 4-state disjunction of a and b.
+func (a Logic) Or(b Logic) Logic {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return LX
+}
+
+// Xor returns the 4-state exclusive-or of a and b.
+func (a Logic) Xor(b Logic) Logic {
+	if !a.IsKnown() || !b.IsKnown() {
+		return LX
+	}
+	if a != b {
+		return L1
+	}
+	return L0
+}
+
+// Resolve merges two drivers of one net using Verilog wire resolution:
+// Z yields to the other driver; conflicting known values yield X.
+func Resolve(a, b Logic) Logic {
+	if a == LZ {
+		return b
+	}
+	if b == LZ {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return LX
+}
+
+// boolLogic converts a Go bool to L0/L1.
+func boolLogic(b bool) Logic {
+	if b {
+		return L1
+	}
+	return L0
+}

@@ -1,0 +1,116 @@
+package hdl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickResolveCommutative: net resolution is commutative and
+// idempotent.
+func TestQuickResolveCommutative(t *testing.T) {
+	all := []Logic{L0, L1, LX, LZ}
+	f := func(ai, bi uint8) bool {
+		a, b := all[ai%4], all[bi%4]
+		if Resolve(a, b) != Resolve(b, a) {
+			return false
+		}
+		return Resolve(a, a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan: ~(a&b) == ~a | ~b on the 4-state domain.
+func TestQuickDeMorgan(t *testing.T) {
+	all := []Logic{L0, L1, LX, LZ}
+	for _, a := range all {
+		for _, b := range all {
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan fails for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+// TestQuickVectorDeMorgan at vector level.
+func TestQuickVectorDeMorgan(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint(a, 64), FromUint(b, 64)
+		lhs := va.BitwiseAnd(vb).BitwiseNot()
+		rhs := va.BitwiseNot().BitwiseOr(vb.BitwiseNot())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSliceSetSliceRoundTrip: writing a slice then reading it back
+// returns the written bits.
+func TestQuickSliceSetSliceRoundTrip(t *testing.T) {
+	f := func(base uint64, part uint16, off uint8) bool {
+		v := FromUint(base, 64)
+		lo := int(off % 48)
+		p := FromUint(uint64(part), 16)
+		out := v.SetSlice(lo, p)
+		return out.Slice(lo, 16).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddCommutesAssociates at fixed width.
+func TestQuickAddCommutesAssociates(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		va, vb, vc := FromUint(uint64(a), 32), FromUint(uint64(b), 32), FromUint(uint64(c), 32)
+		if !va.Add(vb).Equal(vb.Add(va)) {
+			return false
+		}
+		return va.Add(vb).Add(vc).Equal(va.Add(vb.Add(vc)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReduceXorIsParity.
+func TestQuickReduceXorIsParity(t *testing.T) {
+	f := func(a uint64) bool {
+		v := FromUint(a, 64)
+		pop := 0
+		for x := a; x != 0; x &= x - 1 {
+			pop++
+		}
+		return v.ReduceXor().Equal(FromBool(pop%2 == 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSignExtendPreservesValue for signed interpretation.
+func TestQuickSignExtendPreservesValue(t *testing.T) {
+	f := func(raw int16) bool {
+		v := FromInt(int64(raw), 16)
+		w := v.SignExtend(32)
+		got, ok := w.Int()
+		return ok && got == int64(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHexRoundTrip through formatting.
+func TestQuickHexRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		v := FromUint(a, 64)
+		parsed, err := ParseVerilogLiteral("64'h" + v.HexString())
+		return err == nil && parsed.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

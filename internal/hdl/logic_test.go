@@ -1,0 +1,118 @@
+package hdl
+
+import "testing"
+
+func TestLogicNot(t *testing.T) {
+	cases := []struct{ in, want Logic }{
+		{L0, L1}, {L1, L0}, {LX, LX}, {LZ, LX},
+	}
+	for _, c := range cases {
+		if got := c.in.Not(); got != c.want {
+			t.Errorf("Not(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLogicAndTruthTable(t *testing.T) {
+	// Verilog AND: 0 dominates, X propagates otherwise.
+	all := []Logic{L0, L1, LX, LZ}
+	for _, a := range all {
+		for _, b := range all {
+			got := a.And(b)
+			switch {
+			case a == L0 || b == L0:
+				if got != L0 {
+					t.Errorf("%v & %v = %v, want 0", a, b, got)
+				}
+			case a == L1 && b == L1:
+				if got != L1 {
+					t.Errorf("%v & %v = %v, want 1", a, b, got)
+				}
+			default:
+				if got != LX {
+					t.Errorf("%v & %v = %v, want x", a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicOrTruthTable(t *testing.T) {
+	all := []Logic{L0, L1, LX, LZ}
+	for _, a := range all {
+		for _, b := range all {
+			got := a.Or(b)
+			switch {
+			case a == L1 || b == L1:
+				if got != L1 {
+					t.Errorf("%v | %v = %v, want 1", a, b, got)
+				}
+			case a == L0 && b == L0:
+				if got != L0 {
+					t.Errorf("%v | %v = %v, want 0", a, b, got)
+				}
+			default:
+				if got != LX {
+					t.Errorf("%v | %v = %v, want x", a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicXor(t *testing.T) {
+	if got := L1.Xor(L0); got != L1 {
+		t.Errorf("1^0 = %v", got)
+	}
+	if got := L1.Xor(L1); got != L0 {
+		t.Errorf("1^1 = %v", got)
+	}
+	if got := L1.Xor(LX); got != LX {
+		t.Errorf("1^x = %v", got)
+	}
+	if got := LZ.Xor(L0); got != LX {
+		t.Errorf("z^0 = %v", got)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ a, b, want Logic }{
+		{LZ, L1, L1},
+		{L0, LZ, L0},
+		{L0, L1, LX},
+		{L1, L1, L1},
+		{LZ, LZ, LZ},
+		{LX, L1, LX},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.a, c.b); got != c.want {
+			t.Errorf("Resolve(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogicFromRune(t *testing.T) {
+	cases := []struct {
+		r    rune
+		want Logic
+	}{
+		{'0', L0}, {'1', L1}, {'x', LX}, {'X', LX}, {'z', LZ}, {'Z', LZ}, {'?', LZ}, {'q', LX},
+	}
+	for _, c := range cases {
+		if got := LogicFromRune(c.r); got != c.want {
+			t.Errorf("LogicFromRune(%q) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestLogicString(t *testing.T) {
+	if L0.String() != "0" || L1.String() != "1" || LX.String() != "x" || LZ.String() != "z" {
+		t.Errorf("bad String renders: %v %v %v %v", L0, L1, LX, LZ)
+	}
+}
+
+func TestIsKnown(t *testing.T) {
+	if !L0.IsKnown() || !L1.IsKnown() || LX.IsKnown() || LZ.IsKnown() {
+		t.Error("IsKnown misclassifies")
+	}
+}

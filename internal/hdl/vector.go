@@ -1,0 +1,596 @@
+package hdl
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Vector is an arbitrary-width 4-state bit-vector. Bits are stored
+// little-endian: Bits[0] is the LSB. A zero-length Vector is invalid as
+// an operand; constructors never produce one.
+type Vector struct {
+	Bits []Logic
+}
+
+// NewVector returns a width-bit vector with every bit set to fill.
+func NewVector(width int, fill Logic) Vector {
+	if width < 1 {
+		width = 1
+	}
+	bits := make([]Logic, width)
+	for i := range bits {
+		bits[i] = fill
+	}
+	return Vector{Bits: bits}
+}
+
+// FromUint returns a width-bit vector holding v truncated to width bits.
+func FromUint(v uint64, width int) Vector {
+	out := NewVector(width, L0)
+	for i := 0; i < width && i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			out.Bits[i] = L1
+		}
+	}
+	return out
+}
+
+// FromInt returns a width-bit two's-complement vector holding v.
+func FromInt(v int64, width int) Vector {
+	return FromUint(uint64(v), width)
+}
+
+// FromBool returns a 1-bit vector: 1 if b else 0.
+func FromBool(b bool) Vector {
+	return Vector{Bits: []Logic{boolLogic(b)}}
+}
+
+// Scalar returns a 1-bit vector holding l.
+func Scalar(l Logic) Vector { return Vector{Bits: []Logic{l}} }
+
+// Width returns the number of bits.
+func (v Vector) Width() int { return len(v.Bits) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	bits := make([]Logic, len(v.Bits))
+	copy(bits, v.Bits)
+	return Vector{Bits: bits}
+}
+
+// Bit returns bit i, or LX when i is out of range (Verilog out-of-bounds
+// select semantics).
+func (v Vector) Bit(i int) Logic {
+	if i < 0 || i >= len(v.Bits) {
+		return LX
+	}
+	return v.Bits[i]
+}
+
+// IsKnown reports whether every bit is 0 or 1.
+func (v Vector) IsKnown() bool {
+	for _, b := range v.Bits {
+		if !b.IsKnown() {
+			return false
+		}
+	}
+	return true
+}
+
+// HasZ reports whether any bit is Z.
+func (v Vector) HasZ() bool {
+	for _, b := range v.Bits {
+		if b == LZ {
+			return true
+		}
+	}
+	return false
+}
+
+// IsZero reports whether every bit is known zero.
+func (v Vector) IsZero() bool {
+	for _, b := range v.Bits {
+		if b != L0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Uint returns the value as a uint64, treating X/Z bits as zero and
+// truncating to 64 bits. ok is false when any bit is unknown.
+func (v Vector) Uint() (val uint64, ok bool) {
+	ok = true
+	for i, b := range v.Bits {
+		switch b {
+		case L1:
+			if i < 64 {
+				val |= 1 << uint(i)
+			}
+		case LX, LZ:
+			ok = false
+		}
+	}
+	return val, ok
+}
+
+// Int returns the value interpreted as a signed two's-complement number
+// of v's width. ok is false when any bit is unknown.
+func (v Vector) Int() (val int64, ok bool) {
+	u, ok := v.Uint()
+	if !ok {
+		return 0, false
+	}
+	w := v.Width()
+	if w >= 64 {
+		return int64(u), true
+	}
+	if u&(1<<uint(w-1)) != 0 { // sign bit set: extend
+		u |= ^uint64(0) << uint(w)
+	}
+	return int64(u), true
+}
+
+// Resize returns v zero-extended or truncated to width bits.
+func (v Vector) Resize(width int) Vector {
+	if width < 1 {
+		width = 1
+	}
+	out := NewVector(width, L0)
+	n := copy(out.Bits, v.Bits)
+	_ = n
+	return out
+}
+
+// SignExtend returns v sign-extended (MSB-replicated) or truncated to width.
+func (v Vector) SignExtend(width int) Vector {
+	if width <= v.Width() {
+		return v.Resize(width)
+	}
+	out := NewVector(width, v.Bits[v.Width()-1])
+	copy(out.Bits, v.Bits)
+	return out
+}
+
+// XFill returns a width-bit vector of all X.
+func XFill(width int) Vector { return NewVector(width, LX) }
+
+// bigInt converts a fully-known vector to a non-negative big.Int.
+func (v Vector) bigInt() *big.Int {
+	n := new(big.Int)
+	for i := len(v.Bits) - 1; i >= 0; i-- {
+		n.Lsh(n, 1)
+		if v.Bits[i] == L1 {
+			n.SetBit(n, 0, 1)
+		}
+	}
+	return n
+}
+
+// fromBig builds a width-bit vector from the low bits of n (n >= 0).
+func fromBig(n *big.Int, width int) Vector {
+	out := NewVector(width, L0)
+	for i := 0; i < width; i++ {
+		if n.Bit(i) == 1 {
+			out.Bits[i] = L1
+		}
+	}
+	return out
+}
+
+// Add returns a+b at width max(len a, len b), Verilog unsigned semantics.
+// Any unknown operand bit makes the whole result X.
+func (a Vector) Add(b Vector) Vector {
+	return a.arith(b, func(x, y *big.Int) *big.Int { return x.Add(x, y) })
+}
+
+// Sub returns a-b (two's complement wraparound).
+func (a Vector) Sub(b Vector) Vector {
+	w := maxInt(a.Width(), b.Width())
+	if !a.IsKnown() || !b.IsKnown() {
+		return XFill(w)
+	}
+	x, y := a.Resize(w).bigInt(), b.Resize(w).bigInt()
+	x.Sub(x, y)
+	if x.Sign() < 0 {
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		x.Add(x, mod)
+	}
+	return fromBig(x, w)
+}
+
+// Mul returns a*b truncated to max width.
+func (a Vector) Mul(b Vector) Vector {
+	return a.arith(b, func(x, y *big.Int) *big.Int { return x.Mul(x, y) })
+}
+
+// Div returns a/b; division by zero yields all-X (Verilog semantics).
+func (a Vector) Div(b Vector) Vector {
+	w := maxInt(a.Width(), b.Width())
+	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
+		return XFill(w)
+	}
+	x, y := a.bigInt(), b.bigInt()
+	return fromBig(x.Div(x, y), w)
+}
+
+// Mod returns a%b; modulo by zero yields all-X.
+func (a Vector) Mod(b Vector) Vector {
+	w := maxInt(a.Width(), b.Width())
+	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
+		return XFill(w)
+	}
+	x, y := a.bigInt(), b.bigInt()
+	return fromBig(x.Mod(x, y), w)
+}
+
+// Pow returns a**b truncated to a's width.
+func (a Vector) Pow(b Vector) Vector {
+	w := a.Width()
+	if !a.IsKnown() || !b.IsKnown() {
+		return XFill(w)
+	}
+	e, ok := b.Uint()
+	if !ok || e > 4096 {
+		return XFill(w)
+	}
+	x := a.bigInt()
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	return fromBig(x.Exp(x, new(big.Int).SetUint64(e), mod), w)
+}
+
+func (a Vector) arith(b Vector, op func(x, y *big.Int) *big.Int) Vector {
+	w := maxInt(a.Width(), b.Width())
+	if !a.IsKnown() || !b.IsKnown() {
+		return XFill(w)
+	}
+	return fromBig(op(a.bigInt(), b.bigInt()), w)
+}
+
+// Neg returns two's-complement negation at v's width.
+func (v Vector) Neg() Vector {
+	return NewVector(v.Width(), L0).Sub(v)
+}
+
+// BitwiseNot returns ~v.
+func (v Vector) BitwiseNot() Vector {
+	out := NewVector(v.Width(), L0)
+	for i, b := range v.Bits {
+		out.Bits[i] = b.Not()
+	}
+	return out
+}
+
+// bitwise applies op bit-by-bit at max width, zero-extending.
+func (a Vector) bitwise(b Vector, op func(x, y Logic) Logic) Vector {
+	w := maxInt(a.Width(), b.Width())
+	ax, bx := a.Resize(w), b.Resize(w)
+	out := NewVector(w, L0)
+	for i := 0; i < w; i++ {
+		out.Bits[i] = op(ax.Bits[i], bx.Bits[i])
+	}
+	return out
+}
+
+// BitwiseAnd returns a & b.
+func (a Vector) BitwiseAnd(b Vector) Vector { return a.bitwise(b, Logic.And) }
+
+// BitwiseOr returns a | b.
+func (a Vector) BitwiseOr(b Vector) Vector { return a.bitwise(b, Logic.Or) }
+
+// BitwiseXor returns a ^ b.
+func (a Vector) BitwiseXor(b Vector) Vector { return a.bitwise(b, Logic.Xor) }
+
+// BitwiseXnor returns a ~^ b.
+func (a Vector) BitwiseXnor(b Vector) Vector {
+	return a.bitwise(b, func(x, y Logic) Logic { return x.Xor(y).Not() })
+}
+
+// ToBool reduces v for use in a condition: L1 if any bit is known 1,
+// L0 if all bits are known 0, LX otherwise.
+func (v Vector) ToBool() Logic {
+	sawX := false
+	for _, b := range v.Bits {
+		switch b {
+		case L1:
+			return L1
+		case LX, LZ:
+			sawX = true
+		}
+	}
+	if sawX {
+		return LX
+	}
+	return L0
+}
+
+// LogicalNot returns !v as a 1-bit vector.
+func (v Vector) LogicalNot() Vector { return Scalar(v.ToBool().Not()) }
+
+// LogicalAnd returns a && b as a 1-bit vector.
+func (a Vector) LogicalAnd(b Vector) Vector { return Scalar(a.ToBool().And(b.ToBool())) }
+
+// LogicalOr returns a || b as a 1-bit vector.
+func (a Vector) LogicalOr(b Vector) Vector { return Scalar(a.ToBool().Or(b.ToBool())) }
+
+// Eq returns a == b (1-bit, X if any operand bit unknown).
+func (a Vector) Eq(b Vector) Vector {
+	w := maxInt(a.Width(), b.Width())
+	ax, bx := a.Resize(w), b.Resize(w)
+	if !ax.IsKnown() || !bx.IsKnown() {
+		return Scalar(LX)
+	}
+	for i := 0; i < w; i++ {
+		if ax.Bits[i] != bx.Bits[i] {
+			return FromBool(false)
+		}
+	}
+	return FromBool(true)
+}
+
+// Neq returns a != b.
+func (a Vector) Neq(b Vector) Vector { return a.Eq(b).LogicalNot() }
+
+// CaseEq returns a === b: exact 4-state comparison, always 0 or 1.
+func (a Vector) CaseEq(b Vector) Vector {
+	w := maxInt(a.Width(), b.Width())
+	ax, bx := a.Resize(w), b.Resize(w)
+	for i := 0; i < w; i++ {
+		if ax.Bits[i] != bx.Bits[i] {
+			return FromBool(false)
+		}
+	}
+	return FromBool(true)
+}
+
+// CaseNeq returns a !== b.
+func (a Vector) CaseNeq(b Vector) Vector { return a.CaseEq(b).LogicalNot() }
+
+// cmp returns -1, 0, +1 comparing unsigned values; ok=false on unknowns.
+func (a Vector) cmp(b Vector) (int, bool) {
+	if !a.IsKnown() || !b.IsKnown() {
+		return 0, false
+	}
+	return a.bigInt().Cmp(b.bigInt()), true
+}
+
+// Lt returns a < b (unsigned).
+func (a Vector) Lt(b Vector) Vector {
+	c, ok := a.cmp(b)
+	if !ok {
+		return Scalar(LX)
+	}
+	return FromBool(c < 0)
+}
+
+// Le returns a <= b (unsigned).
+func (a Vector) Le(b Vector) Vector {
+	c, ok := a.cmp(b)
+	if !ok {
+		return Scalar(LX)
+	}
+	return FromBool(c <= 0)
+}
+
+// Gt returns a > b (unsigned).
+func (a Vector) Gt(b Vector) Vector {
+	c, ok := a.cmp(b)
+	if !ok {
+		return Scalar(LX)
+	}
+	return FromBool(c > 0)
+}
+
+// Ge returns a >= b (unsigned).
+func (a Vector) Ge(b Vector) Vector {
+	c, ok := a.cmp(b)
+	if !ok {
+		return Scalar(LX)
+	}
+	return FromBool(c >= 0)
+}
+
+// Shl returns a << b (logical, zero fill) at a's width.
+func (a Vector) Shl(b Vector) Vector {
+	n, ok := b.Uint()
+	if !ok {
+		return XFill(a.Width())
+	}
+	out := NewVector(a.Width(), L0)
+	for i := range out.Bits {
+		src := int64(i) - int64(n)
+		if src >= 0 && src < int64(len(a.Bits)) {
+			out.Bits[i] = a.Bits[src]
+		}
+	}
+	return out
+}
+
+// Shr returns a >> b (logical, zero fill) at a's width.
+func (a Vector) Shr(b Vector) Vector {
+	n, ok := b.Uint()
+	if !ok {
+		return XFill(a.Width())
+	}
+	out := NewVector(a.Width(), L0)
+	for i := range out.Bits {
+		src := int64(i) + int64(n)
+		if src < int64(len(a.Bits)) {
+			out.Bits[i] = a.Bits[src]
+		}
+	}
+	return out
+}
+
+// AShr returns a >>> b (arithmetic, sign fill) at a's width.
+func (a Vector) AShr(b Vector) Vector {
+	n, ok := b.Uint()
+	if !ok {
+		return XFill(a.Width())
+	}
+	sign := a.Bits[a.Width()-1]
+	out := NewVector(a.Width(), sign)
+	for i := range out.Bits {
+		src := int64(i) + int64(n)
+		if src < int64(len(a.Bits)) {
+			out.Bits[i] = a.Bits[src]
+		}
+	}
+	return out
+}
+
+// ReduceAnd returns &v.
+func (v Vector) ReduceAnd() Vector {
+	acc := L1
+	for _, b := range v.Bits {
+		acc = acc.And(b)
+	}
+	return Scalar(acc)
+}
+
+// ReduceOr returns |v.
+func (v Vector) ReduceOr() Vector {
+	acc := L0
+	for _, b := range v.Bits {
+		acc = acc.Or(b)
+	}
+	return Scalar(acc)
+}
+
+// ReduceXor returns ^v.
+func (v Vector) ReduceXor() Vector {
+	acc := L0
+	for _, b := range v.Bits {
+		acc = acc.Xor(b)
+	}
+	return Scalar(acc)
+}
+
+// Concat returns {a, b}: a occupies the high bits, b the low bits,
+// matching Verilog concatenation order.
+func Concat(parts ...Vector) Vector {
+	total := 0
+	for _, p := range parts {
+		total += p.Width()
+	}
+	if total == 0 {
+		return Scalar(LX)
+	}
+	out := NewVector(total, L0)
+	pos := 0
+	for i := len(parts) - 1; i >= 0; i-- { // last part is least significant
+		copy(out.Bits[pos:], parts[i].Bits)
+		pos += parts[i].Width()
+	}
+	return out
+}
+
+// Replicate returns {n{v}}.
+func Replicate(n int, v Vector) Vector {
+	if n < 1 {
+		return Scalar(LX)
+	}
+	out := NewVector(n*v.Width(), L0)
+	for i := 0; i < n; i++ {
+		copy(out.Bits[i*v.Width():], v.Bits)
+	}
+	return out
+}
+
+// Slice returns bits [lo .. lo+width-1] (LSB-relative), X-filling any
+// out-of-range positions.
+func (v Vector) Slice(lo, width int) Vector {
+	out := NewVector(width, LX)
+	for i := 0; i < width; i++ {
+		out.Bits[i] = v.Bit(lo + i)
+	}
+	return out
+}
+
+// SetSlice writes src into v starting at LSB-relative offset lo,
+// returning a new vector; out-of-range bits of src are dropped.
+func (v Vector) SetSlice(lo int, src Vector) Vector {
+	out := v.Clone()
+	for i := 0; i < src.Width(); i++ {
+		if lo+i >= 0 && lo+i < out.Width() {
+			out.Bits[lo+i] = src.Bits[i]
+		}
+	}
+	return out
+}
+
+// Equal reports exact 4-state equality of a and b including width.
+func (a Vector) Equal(b Vector) bool {
+	if a.Width() != b.Width() {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BinString renders MSB-first binary, e.g. "10x0".
+func (v Vector) BinString() string {
+	var sb strings.Builder
+	for i := len(v.Bits) - 1; i >= 0; i-- {
+		sb.WriteRune(v.Bits[i].Rune())
+	}
+	return sb.String()
+}
+
+// HexString renders MSB-first hex; a nibble containing any X prints 'x',
+// any Z (without X) prints 'z'.
+func (v Vector) HexString() string {
+	n := (v.Width() + 3) / 4
+	var sb strings.Builder
+	for d := n - 1; d >= 0; d-- {
+		val, hasX, hasZ := 0, false, false
+		for b := 0; b < 4; b++ {
+			idx := d*4 + b
+			if idx >= v.Width() {
+				continue
+			}
+			switch v.Bits[idx] {
+			case L1:
+				val |= 1 << b
+			case LX:
+				hasX = true
+			case LZ:
+				hasZ = true
+			}
+		}
+		switch {
+		case hasX:
+			sb.WriteByte('x')
+		case hasZ:
+			sb.WriteByte('z')
+		default:
+			sb.WriteString(fmt.Sprintf("%x", val))
+		}
+	}
+	return sb.String()
+}
+
+// DecString renders the unsigned decimal value, or "x" if unknown.
+func (v Vector) DecString() string {
+	if !v.IsKnown() {
+		return "x"
+	}
+	return v.bigInt().String()
+}
+
+// String implements fmt.Stringer as width'b<bits>.
+func (v Vector) String() string {
+	return fmt.Sprintf("%d'b%s", v.Width(), v.BinString())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

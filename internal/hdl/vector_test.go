@@ -1,0 +1,373 @@
+package hdl
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 255, 256, 1 << 31, 0xDEADBEEF} {
+		vec := FromUint(v, 64)
+		got, ok := vec.Uint()
+		if !ok || got != v {
+			t.Errorf("round trip %d -> %d (ok=%v)", v, got, ok)
+		}
+	}
+}
+
+func TestFromUintTruncates(t *testing.T) {
+	vec := FromUint(0x1FF, 8)
+	got, _ := vec.Uint()
+	if got != 0xFF {
+		t.Errorf("truncation: got %#x, want 0xFF", got)
+	}
+}
+
+func TestIntSignExtension(t *testing.T) {
+	vec := FromInt(-1, 8)
+	got, ok := vec.Int()
+	if !ok || got != -1 {
+		t.Errorf("FromInt(-1,8).Int() = %d, %v", got, ok)
+	}
+	vec = FromInt(-5, 16)
+	got, _ = vec.Int()
+	if got != -5 {
+		t.Errorf("got %d want -5", got)
+	}
+}
+
+func TestAddCarry(t *testing.T) {
+	a := FromUint(0xFF, 8)
+	b := FromUint(1, 8)
+	sum := a.Add(b)
+	got, _ := sum.Uint()
+	if got != 0 || sum.Width() != 8 {
+		t.Errorf("0xFF+1 at 8 bits = %d (w=%d), want 0", got, sum.Width())
+	}
+}
+
+func TestSubWraps(t *testing.T) {
+	a := FromUint(0, 8)
+	b := FromUint(1, 8)
+	got, _ := a.Sub(b).Uint()
+	if got != 0xFF {
+		t.Errorf("0-1 = %#x, want 0xFF", got)
+	}
+}
+
+func TestArithXPropagation(t *testing.T) {
+	a := FromUint(3, 4)
+	x := NewVector(4, LX)
+	for name, out := range map[string]Vector{
+		"add": a.Add(x), "sub": a.Sub(x), "mul": a.Mul(x), "div": a.Div(x), "mod": a.Mod(x),
+	} {
+		if out.IsKnown() {
+			t.Errorf("%s with X operand produced known result %v", name, out)
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	a := FromUint(7, 4)
+	z := FromUint(0, 4)
+	if a.Div(z).IsKnown() || a.Mod(z).IsKnown() {
+		t.Error("div/mod by zero must be all-X")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	got, _ := FromUint(1, 8).Neg().Uint()
+	if got != 0xFF {
+		t.Errorf("-1 at 8 bits = %#x", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := FromUint(0b1011, 4)
+	if got, _ := a.Shl(FromUint(1, 4)).Uint(); got != 0b0110 {
+		t.Errorf("shl: %#b", got)
+	}
+	if got, _ := a.Shr(FromUint(1, 4)).Uint(); got != 0b0101 {
+		t.Errorf("shr: %#b", got)
+	}
+	// Arithmetic shift keeps sign bit.
+	if got, _ := a.AShr(FromUint(1, 4)).Uint(); got != 0b1101 {
+		t.Errorf("ashr: %#b", got)
+	}
+	pos := FromUint(0b0100, 4)
+	if got, _ := pos.AShr(FromUint(1, 4)).Uint(); got != 0b0010 {
+		t.Errorf("ashr positive: %#b", got)
+	}
+	// Oversized shift clears.
+	if got, _ := a.Shl(FromUint(64, 8)).Uint(); got != 0 {
+		t.Errorf("shl 64: %#b", got)
+	}
+}
+
+func TestRelationalOps(t *testing.T) {
+	a, b := FromUint(3, 8), FromUint(5, 8)
+	checks := []struct {
+		name string
+		got  Vector
+		want bool
+	}{
+		{"lt", a.Lt(b), true},
+		{"le", a.Le(b), true},
+		{"gt", a.Gt(b), false},
+		{"ge", a.Ge(b), false},
+		{"eq", a.Eq(b), false},
+		{"neq", a.Neq(b), true},
+	}
+	for _, c := range checks {
+		want := FromBool(c.want)
+		if !c.got.Equal(want) {
+			t.Errorf("%s: got %v want %v", c.name, c.got, want)
+		}
+	}
+}
+
+func TestEqWithXIsX(t *testing.T) {
+	a := NewVector(4, LX)
+	b := FromUint(5, 4)
+	if a.Eq(b).ToBool() != LX {
+		t.Error("== with X must be X")
+	}
+	// But case equality is decisive.
+	if !a.CaseEq(a).Equal(FromBool(true)) {
+		t.Error("=== of identical X vectors must be 1")
+	}
+	if !a.CaseEq(b).Equal(FromBool(false)) {
+		t.Error("=== of differing vectors must be 0")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	v := FromUint(0b1011, 4)
+	if !v.ReduceAnd().Equal(FromBool(false)) {
+		t.Error("&1011 should be 0")
+	}
+	if !v.ReduceOr().Equal(FromBool(true)) {
+		t.Error("|1011 should be 1")
+	}
+	if !v.ReduceXor().Equal(FromBool(true)) {
+		t.Error("^1011 should be 1 (three ones)")
+	}
+	all1 := FromUint(0b1111, 4)
+	if !all1.ReduceAnd().Equal(FromBool(true)) {
+		t.Error("&1111 should be 1")
+	}
+}
+
+func TestConcatOrder(t *testing.T) {
+	hi := FromUint(0b10, 2)
+	lo := FromUint(0b01, 2)
+	got, _ := Concat(hi, lo).Uint()
+	if got != 0b1001 {
+		t.Errorf("{2'b10,2'b01} = %#b, want 0b1001", got)
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	v := FromUint(0b10, 2)
+	got, _ := Replicate(3, v).Uint()
+	if got != 0b101010 {
+		t.Errorf("{3{2'b10}} = %#b", got)
+	}
+}
+
+func TestSliceAndSetSlice(t *testing.T) {
+	v := FromUint(0xAB, 8)
+	nib := v.Slice(4, 4)
+	if got, _ := nib.Uint(); got != 0xA {
+		t.Errorf("high nibble = %#x", got)
+	}
+	v2 := v.SetSlice(0, FromUint(0xC, 4))
+	if got, _ := v2.Uint(); got != 0xAC {
+		t.Errorf("SetSlice = %#x", got)
+	}
+	// Out of range select yields X.
+	if v.Bit(100) != LX {
+		t.Error("out-of-range Bit must be X")
+	}
+}
+
+func TestToBool(t *testing.T) {
+	if FromUint(0, 4).ToBool() != L0 {
+		t.Error("0 -> L0")
+	}
+	if FromUint(2, 4).ToBool() != L1 {
+		t.Error("2 -> L1")
+	}
+	mix := Vector{Bits: []Logic{L0, LX, L0, L0}}
+	if mix.ToBool() != LX {
+		t.Error("0x00 -> LX")
+	}
+	mixWith1 := Vector{Bits: []Logic{L1, LX}}
+	if mixWith1.ToBool() != L1 {
+		t.Error("any known 1 -> L1 even with X present")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	v := Vector{Bits: []Logic{L0, L1, LX, LZ}} // MSB-first: z x 1 0
+	if v.BinString() != "zx10" {
+		t.Errorf("BinString = %q", v.BinString())
+	}
+	if FromUint(0xAB, 8).HexString() != "ab" {
+		t.Errorf("HexString = %q", FromUint(0xAB, 8).HexString())
+	}
+	withX := Vector{Bits: []Logic{LX, L0, L0, L0, L1, L0, L1, L0}}
+	if withX.HexString() != "5x" {
+		t.Errorf("HexString with X = %q", withX.HexString())
+	}
+	if FromUint(300, 12).DecString() != "300" {
+		t.Errorf("DecString = %q", FromUint(300, 12).DecString())
+	}
+	if NewVector(4, LX).DecString() != "x" {
+		t.Errorf("x DecString = %q", NewVector(4, LX).DecString())
+	}
+}
+
+func TestResizeAndSignExtend(t *testing.T) {
+	v := FromUint(0b101, 3)
+	if got, _ := v.Resize(6).Uint(); got != 0b101 {
+		t.Errorf("zero extend = %#b", got)
+	}
+	if got, _ := v.SignExtend(6).Uint(); got != 0b111101 {
+		t.Errorf("sign extend = %#b", got)
+	}
+	if v.Resize(2).Width() != 2 {
+		t.Error("truncation width")
+	}
+}
+
+// Property tests: vector arithmetic must agree with math/big on fully
+// known operands at width 64.
+
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 300} }
+
+func TestQuickAddMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint(a, 64), FromUint(b, 64)
+		got, ok := va.Add(vb).Uint()
+		return ok && got == a+b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got, ok := FromUint(a, 64).Sub(FromUint(b, 64)).Uint()
+		return ok && got == a-b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulMatchesBig(t *testing.T) {
+	f := func(a, b uint32) bool {
+		got, ok := FromUint(uint64(a), 64).Mul(FromUint(uint64(b), 64)).Uint()
+		return ok && got == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivModMatchesBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if b == 0 {
+			return true
+		}
+		q, ok1 := FromUint(a, 64).Div(FromUint(b, 64)).Uint()
+		r, ok2 := FromUint(a, 64).Mod(FromUint(b, 64)).Uint()
+		return ok1 && ok2 && q == a/b && r == a%b
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitwiseMatchesUint(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint(a, 64), FromUint(b, 64)
+		and, _ := va.BitwiseAnd(vb).Uint()
+		or, _ := va.BitwiseOr(vb).Uint()
+		xor, _ := va.BitwiseXor(vb).Uint()
+		not, _ := va.BitwiseNot().Uint()
+		return and == a&b && or == a|b && xor == a^b && not == ^a
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftMatchesUint(t *testing.T) {
+	f := func(a uint64, nRaw uint8) bool {
+		n := uint64(nRaw % 70)
+		va := FromUint(a, 64)
+		shl, _ := va.Shl(FromUint(n, 8)).Uint()
+		shr, _ := va.Shr(FromUint(n, 8)).Uint()
+		var wantShl, wantShr uint64
+		if n < 64 {
+			wantShl, wantShr = a<<n, a>>n
+		}
+		return shl == wantShl && shr == wantShr
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComparisonsMatchBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint(a, 64), FromUint(b, 64)
+		ba, bb := new(big.Int).SetUint64(a), new(big.Int).SetUint64(b)
+		c := ba.Cmp(bb)
+		return va.Lt(vb).Equal(FromBool(c < 0)) &&
+			va.Le(vb).Equal(FromBool(c <= 0)) &&
+			va.Gt(vb).Equal(FromBool(c > 0)) &&
+			va.Ge(vb).Equal(FromBool(c >= 0)) &&
+			va.Eq(vb).Equal(FromBool(c == 0))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatSliceInverse(t *testing.T) {
+	f := func(a uint32, b uint16) bool {
+		va, vb := FromUint(uint64(a), 32), FromUint(uint64(b), 16)
+		cat := Concat(va, vb)
+		return cat.Slice(0, 16).Equal(vb) && cat.Slice(16, 32).Equal(va)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegIsSubFromZero(t *testing.T) {
+	f := func(a uint64) bool {
+		va := FromUint(a, 64)
+		got, _ := va.Neg().Uint()
+		return got == -a
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	got, _ := FromUint(3, 16).Pow(FromUint(4, 8)).Uint()
+	if got != 81 {
+		t.Errorf("3**4 = %d", got)
+	}
+	got, _ = FromUint(2, 8).Pow(FromUint(10, 8)).Uint()
+	if got != 0 { // 1024 truncated to 8 bits
+		t.Errorf("2**10 @8b = %d", got)
+	}
+}

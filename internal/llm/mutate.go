@@ -1,0 +1,342 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// MutKind distinguishes syntax-breaking from behaviour-changing defects.
+type MutKind int
+
+// Mutation kinds.
+const (
+	MutSyntax MutKind = iota
+	MutFunctional
+)
+
+// Mutation is one concrete defect injected into generated code. Apply
+// transforms source text; Marker is a substring of the resulting broken
+// region used to decide whether agent feedback localises the defect.
+type Mutation struct {
+	Kind   MutKind
+	Desc   string
+	Marker string
+	Apply  func(src string) string
+}
+
+// mutantSite is an applicable mutation opportunity found in the source.
+// weight biases sampling: subtle boundary defects carry more weight than
+// loud structural ones, matching the empirical skew of LLM functional
+// bugs toward corner cases.
+type mutantSite struct {
+	desc   string
+	marker string
+	weight int
+	apply  func(string) string
+}
+
+// replaceNth replaces the n-th occurrence (0-based) of old with new.
+func replaceNth(src, old, new string, n int) string {
+	idx := 0
+	for i := 0; i <= n; i++ {
+		j := strings.Index(src[idx:], old)
+		if j < 0 {
+			return src
+		}
+		idx += j
+		if i < n {
+			idx += len(old)
+		}
+	}
+	return src[:idx] + new + src[idx+len(old):]
+}
+
+func countOcc(src, sub string) int { return strings.Count(src, sub) }
+
+// ---------------------------------------------------------------- syntax
+
+// syntaxSites enumerates syntax-defect opportunities for the language.
+func syntaxSites(src string, verilog bool) []mutantSite {
+	var sites []mutantSite
+	addOccs := func(tok, repl, desc string, limit int) {
+		n := countOcc(src, tok)
+		if n > limit {
+			n = limit
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			sites = append(sites, mutantSite{
+				desc:   desc,
+				marker: strings.TrimSpace(repl),
+				apply:  func(s string) string { return replaceNth(s, tok, repl, i) },
+			})
+		}
+	}
+	if verilog {
+		// Drop a semicolon after an assignment.
+		addOccs(";\n", "\n", "missing semicolon", 4)
+		// Misspell endmodule.
+		if strings.Contains(src, "endmodule") {
+			sites = append(sites, mutantSite{
+				desc:   "misspelled endmodule",
+				marker: "endmodul",
+				apply:  func(s string) string { return strings.Replace(s, "endmodule", "endmodul", 1) },
+			})
+		}
+		// Misspell begin.
+		addOccs("begin", "begn", "misspelled 'begin'", 2)
+		// Unbalanced parenthesis in an expression.
+		addOccs(");\n", ";\n", "missing closing parenthesis", 3)
+		// reg keyword dropped from an output that is written procedurally.
+		if strings.Contains(src, "output reg") {
+			sites = append(sites, mutantSite{
+				desc:   "output missing 'reg' despite procedural assignment",
+				marker: "non-register",
+				apply:  func(s string) string { return strings.Replace(s, "output reg", "output", 1) },
+			})
+		}
+		// Undeclared identifier: rename a use of a known signal.
+		for _, id := range []string{"reset", "count", "state", "din", "sel", "cin"} {
+			tok := "(" + id + ")"
+			if strings.Contains(src, tok) {
+				id := id
+				sites = append(sites, mutantSite{
+					desc:   "reference to undeclared identifier",
+					marker: id + "_sig",
+					apply: func(s string) string {
+						return strings.Replace(s, "("+id+")", "("+id+"_sig)", 1)
+					},
+				})
+			}
+		}
+		// endcase dropped.
+		addOccs("endcase", "", "missing endcase", 1)
+	} else {
+		// VHDL: drop the semicolon of an assignment statement (library
+		// and use clauses are too forgiving to bother mutating).
+		for _, tok := range []string{"<= ", ":= "} {
+			n := countOcc(src, tok)
+			if n > 3 {
+				n = 3
+			}
+			for i := 0; i < n; i++ {
+				i, tok := i, tok
+				sites = append(sites, mutantSite{
+					desc:   "missing semicolon",
+					marker: ";",
+					apply: func(s string) string {
+						// Remove the first ";" after the i-th assignment.
+						idx := 0
+						for k := 0; k <= i; k++ {
+							j := strings.Index(s[idx:], tok)
+							if j < 0 {
+								return s
+							}
+							idx += j + len(tok)
+						}
+						semi := strings.Index(s[idx:], ";")
+						if semi < 0 {
+							return s
+						}
+						return s[:idx+semi] + s[idx+semi+1:]
+					},
+				})
+			}
+		}
+		// end if dropped.
+		addOccs("end if;", "", "missing 'end if'", 2)
+		// Misspell entity.
+		if strings.Contains(src, "end entity;") {
+			sites = append(sites, mutantSite{
+				desc:   "misspelled 'entity'",
+				marker: "entty",
+				apply:  func(s string) string { return strings.Replace(s, "end entity;", "end entty;", 1) },
+			})
+		}
+		// Signal assigned with := instead of <=.
+		if idx := strings.Index(src, "  q <= "); idx >= 0 {
+			sites = append(sites, mutantSite{
+				desc:   "signal assigned with ':='",
+				marker: "q :=",
+				apply:  func(s string) string { return strings.Replace(s, "  q <= ", "  q := ", 1) },
+			})
+		}
+		// end process dropped.
+		addOccs("end process;", "", "missing 'end process'", 1)
+		// Misspell architecture.
+		if strings.Contains(src, "architecture rtl") {
+			sites = append(sites, mutantSite{
+				desc:   "misspelled 'architecture'",
+				marker: "architcture",
+				apply:  func(s string) string { return strings.Replace(s, "architecture rtl", "architcture rtl", 1) },
+			})
+		}
+		// Undeclared identifier.
+		for _, id := range []string{"reset", "cnt", "state", "din", "sel", "r"} {
+			tok := id + " = '1'"
+			if strings.Contains(src, tok) {
+				id := id
+				sites = append(sites, mutantSite{
+					desc:   "reference to undeclared identifier",
+					marker: id + "_sig",
+					apply: func(s string) string {
+						return strings.Replace(s, id+" = '1'", id+"_sig = '1'", 1)
+					},
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// ---------------------------------------------------------- functional
+
+// funcSites enumerates behaviour-changing (but compilable) mutations.
+func funcSites(src string, verilog bool) []mutantSite {
+	var sites []mutantSite
+	type swap struct {
+		from, to, desc string
+		weight         int
+	}
+	var swaps []swap
+	if verilog {
+		swaps = []swap{
+			{" + 1", " + 2", "off-by-one increment", 1},
+			{" - 1", " - 2", "off-by-one decrement", 1},
+			{" & ", " | ", "AND swapped with OR", 1},
+			{" | ", " & ", "OR swapped with AND", 1},
+			{" ^ ", " & ", "XOR swapped with AND", 1},
+			{" == ", " != ", "equality inverted", 1},
+			{" < ", " >= ", "comparison inverted", 1},
+			{" > ", " <= ", "comparison inverted", 1},
+			{"posedge", "negedge", "wrong clock edge", 1},
+			{"? a : b", "? b : a", "mux arms swapped", 1},
+			{"? b : a", "? a : b", "mux arms swapped", 1},
+			{"if (reset)", "if (!reset)", "reset polarity inverted", 1},
+			{"<= 1'b1", "<= 1'b0", "constant flipped", 1},
+			{"<= 0;\n", "<= 1;\n", "reset value wrong", 1},
+			{" >> ", " << ", "shift direction reversed", 1},
+			{" << ", " >> ", "shift direction reversed", 1},
+			{"~", "", "inversion dropped", 1},
+		}
+	} else {
+		swaps = []swap{
+			{" + 1", " + 2", "off-by-one increment", 1},
+			{" - 1", " - 2", "off-by-one decrement", 1},
+			{" and ", " or ", "AND swapped with OR", 1},
+			{" or ", " and ", "OR swapped with AND", 1},
+			{" xor ", " and ", "XOR swapped with AND", 1},
+			{"rising_edge", "falling_edge", "wrong clock edge", 1},
+			{"reset = '1'", "reset = '0'", "reset polarity inverted", 1},
+			{"<= '1'", "<= '0'", "constant flipped", 1},
+			{"(others => '0')", "(others => '1')", "reset value wrong", 1},
+			{"shift_right", "shift_left", "shift direction reversed", 1},
+			{"shift_left", "shift_right", "shift direction reversed", 1},
+			{"not ", "", "inversion dropped", 1},
+			{" /= ", " = ", "inequality inverted", 1},
+		}
+	}
+	// Subtle boundary defects: off-by-one thresholds and wrong case
+	// constants. These are the defects most likely to slip past a
+	// low-coverage self-generated testbench while still failing the
+	// exhaustive reference bench — the gap that keeps AIVRIL 2 below
+	// 100% functional in the paper.
+	if verilog {
+		swaps = append(swaps,
+			swap{">= 4'd9", ">= 4'd10", "wrap threshold off by one", 6},
+			swap{"== 2'b11", "== 2'b10", "terminal count off by one", 6},
+			swap{"!= 4'd15", "!= 4'd14", "saturation limit off by one", 6},
+			swap{">= 3'd5", ">= 3'd6", "threshold off by one", 6},
+			swap{"== 2'd3", "== 2'd2", "count limit off by one", 6},
+			swap{"cnt <= 2'd3", "cnt <= 2'd2", "stretch length off by one", 6},
+			swap{"q <= 4'b0001", "q <= 4'b0010", "initial pattern wrong", 6},
+			swap{"state <= 4'd1", "state <= 4'd0", "FSM transition dropped", 6},
+			swap{"4'd0: state <= din ? 4'd1 : 4'd0", "4'd0: state <= 4'd0", "FSM arc stuck", 6},
+			swap{"4'd4", "4'd3", "state constant off by one", 6},
+			swap{"8'hFF", "8'hFE", "saturation constant off by one", 6},
+		)
+	} else {
+		swaps = append(swaps,
+			swap{">= 9", ">= 10", "wrap threshold off by one", 6},
+			swap{"= \"11\"", "= \"10\"", "terminal count off by one", 6},
+			swap{"/= 15", "/= 14", "saturation limit off by one", 6},
+			swap{">= 5", ">= 6", "threshold off by one", 6},
+			swap{"r <= \"0001\"", "r <= \"0010\"", "initial pattern wrong", 6},
+			swap{"state <= 1; else state <= 0", "state <= 0; else state <= 0", "FSM arc stuck", 6},
+			swap{"cnt <= \"11\"", "cnt <= \"10\"", "stretch length off by one", 6},
+			swap{"when 4 =>", "when 3 =>", "state constant off by one", 6},
+			swap{"\"11111111\"", "\"11111110\"", "saturation constant off by one", 6},
+		)
+	}
+	for _, sw := range swaps {
+		sw := sw
+		n := countOcc(src, sw.from)
+		if n > 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			// Skip mutations that would produce identical code.
+			if sw.from == sw.to {
+				continue
+			}
+			sites = append(sites, mutantSite{
+				desc:   sw.desc,
+				marker: strings.TrimSpace(sw.to),
+				weight: sw.weight,
+				apply:  func(s string) string { return replaceNth(s, sw.from, sw.to, i) },
+			})
+		}
+	}
+	return sites
+}
+
+// sampleMutations picks up to n distinct mutation sites of the given kind.
+func sampleMutations(rng *rand.Rand, src string, verilog bool, kind MutKind, n int) []Mutation {
+	var sites []mutantSite
+	if kind == MutSyntax {
+		sites = syntaxSites(src, verilog)
+	} else {
+		sites = funcSites(src, verilog)
+	}
+	if len(sites) == 0 || n <= 0 {
+		return nil
+	}
+	// Weighted sampling without replacement.
+	total := 0
+	for i := range sites {
+		if sites[i].weight <= 0 {
+			sites[i].weight = 1
+		}
+		total += sites[i].weight
+	}
+	var out []Mutation
+	for len(out) < n && total > 0 {
+		pick := rng.Intn(total)
+		for i := range sites {
+			w := sites[i].weight
+			if w == 0 {
+				continue
+			}
+			if pick < w {
+				out = append(out, Mutation{
+					Kind: kind, Desc: sites[i].desc, Marker: sites[i].marker, Apply: sites[i].apply,
+				})
+				total -= w
+				sites[i].weight = 0
+				break
+			}
+			pick -= w
+		}
+	}
+	return out
+}
+
+// render applies the active mutations to the golden source in order.
+func render(golden string, muts []Mutation) string {
+	src := golden
+	for _, m := range muts {
+		src = m.Apply(src)
+	}
+	return src
+}

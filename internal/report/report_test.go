@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/edatool"
+	"repro/internal/exp"
+)
+
+func fakeSummaries() []*exp.Summary {
+	mk := func(model string, lang edatool.Language, bs, bf, ls, lf int) *exp.Summary {
+		return &exp.Summary{
+			Model: model, Language: lang, N: 100,
+			BaselineSyntaxPass: bs, BaselineFuncPass: bf,
+			LoopSyntaxPass: ls, LoopFuncPass: lf,
+			AvgBaselineLatency: 10, AvgSyntaxLatency: 5, AvgFuncLatency: 15,
+		}
+	}
+	return []*exp.Summary{
+		mk("claude-3.5-sonnet", edatool.Verilog, 91, 60, 100, 77),
+		mk("claude-3.5-sonnet", edatool.VHDL, 88, 54, 100, 66),
+		mk("llama3-70b", edatool.Verilog, 71, 38, 100, 55),
+		mk("llama3-70b", edatool.VHDL, 1, 0, 59, 33),
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1(fakeSummaries())
+	for _, want := range []string{
+		"Table 1", "claude-3.5-sonnet", "AIVRIL2 (llama3-70b)",
+		"91.00", "77.00", "N/A", // ΔF is N/A for llama VHDL (baseline 0)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// ΔF for claude Verilog: (77-60)/60 = 28.33%.
+	if !strings.Contains(out, "28.33") {
+		t.Errorf("ΔF computation missing:\n%s", out)
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	out := Fig3(fakeSummaries())
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "30.00") {
+		t.Errorf("fig3:\n%s", out)
+	}
+}
+
+func TestTable2IncludesLiteratureAndMeasured(t *testing.T) {
+	out := Table2([]Table2Row{
+		{Technology: "AIVRIL2 (claude-3.5-sonnet)", License: "Closed Source", PassAt1F: 77, Measured: true},
+	})
+	for _, want := range []string{"ChipNemo-13B", "22.40", "RTLFixer", "AIVRIL2 (claude-3.5-sonnet)", "measured", "cited"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	rows := map[string]*exp.Summary{
+		"frozen": fakeSummaries()[0],
+		"cogen":  fakeSummaries()[1],
+	}
+	out := Ablation(rows)
+	if !strings.Contains(out, "frozen") || !strings.Contains(out, "cogen") {
+		t.Errorf("ablation:\n%s", out)
+	}
+}
+
+func TestIterSweepRender(t *testing.T) {
+	out := IterSweep([]int{1, 2}, fakeSummaries()[:2])
+	if !strings.Contains(out, "budget") || !strings.Contains(out, "1") {
+		t.Errorf("sweep:\n%s", out)
+	}
+}

@@ -1,0 +1,299 @@
+// Package sim implements the language-neutral event-driven simulation
+// kernel shared by the Verilog (vsim) and VHDL (vhdlsim) interpreters.
+//
+// The kernel follows the stratified event model of IEEE 1364: each time
+// slot runs active events to exhaustion, then applies nonblocking-
+// assignment (NBA) updates, repeating delta cycles until the slot is
+// quiescent before advancing simulated time. Processes are cooperative
+// coroutines: each runs on its own goroutine but exactly one goroutine
+// is ever runnable, so simulation is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in arbitrary units (the front-ends use 1 = 1ns).
+type Time uint64
+
+// futureEvent is a callback scheduled at an absolute time.
+type futureEvent struct {
+	at  Time
+	seq uint64 // FIFO tiebreak within one time
+	fn  func()
+}
+
+type futureQueue []futureEvent
+
+func (q futureQueue) Len() int { return len(q) }
+func (q futureQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q futureQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *futureQueue) Push(x any)   { *q = append(*q, x.(futureEvent)) }
+func (q *futureQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// StopReason reports why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopIdle    StopReason = iota // no events left
+	StopFinish                    // a process called Finish ($finish)
+	StopTimeout                   // simulated-time limit reached
+	StopDeltas                    // delta-cycle limit exceeded (oscillation)
+	StopEvents                    // total event budget exceeded
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopIdle:
+		return "idle"
+	case StopFinish:
+		return "finish"
+	case StopTimeout:
+		return "timeout"
+	case StopDeltas:
+		return "delta-limit"
+	default:
+		return "event-limit"
+	}
+}
+
+// Kernel is the simulation scheduler.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	future   futureQueue
+	active   []func()
+	nba      []func()
+	finished bool
+
+	// Limits guard against runaway simulations of buggy generated RTL.
+	MaxTime   Time
+	MaxDeltas int
+	MaxEvents uint64
+
+	eventCount uint64
+	procs      []*Proc
+	fault      string
+}
+
+// Fault returns the message of a runtime fault raised by a process
+// (an interpreter error on malformed RTL), or "".
+func (k *Kernel) Fault() string { return k.fault }
+
+// SetFault records a runtime fault and stops the simulation.
+func (k *Kernel) SetFault(msg string) {
+	if k.fault == "" {
+		k.fault = msg
+	}
+	k.finished = true
+}
+
+// Shutdown terminates every live process goroutine. Call once after Run
+// returns; the kernel is unusable afterwards.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if !p.dead {
+			p.killed = true
+			p.step()
+		}
+	}
+}
+
+// NewKernel returns a kernel with generous default limits.
+func NewKernel() *Kernel {
+	return &Kernel{
+		MaxTime:   1_000_000,
+		MaxDeltas: 10_000,
+		MaxEvents: 50_000_000,
+	}
+}
+
+// Now returns current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule queues fn to run at now+delay in the active region.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	if delay == 0 {
+		k.Active(fn)
+		return
+	}
+	k.seq++
+	heap.Push(&k.future, futureEvent{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Active queues fn into the current delta's active region.
+func (k *Kernel) Active(fn func()) { k.active = append(k.active, fn) }
+
+// NBA queues an update into the nonblocking-assignment region of the
+// current time slot.
+func (k *Kernel) NBA(fn func()) { k.nba = append(k.nba, fn) }
+
+// Finish requests simulation stop at the end of the current event.
+func (k *Kernel) Finish() { k.finished = true }
+
+// Finished reports whether Finish has been called.
+func (k *Kernel) Finished() bool { return k.finished }
+
+// Run executes events until quiescence, Finish, or a limit.
+func (k *Kernel) Run() StopReason {
+	for {
+		deltas := 0
+		for len(k.active) > 0 || len(k.nba) > 0 {
+			// Drain the active region FIFO; events may append more.
+			for len(k.active) > 0 {
+				ev := k.active[0]
+				k.active = k.active[1:]
+				k.eventCount++
+				if k.eventCount > k.MaxEvents {
+					return StopEvents
+				}
+				ev()
+				if k.finished {
+					return StopFinish
+				}
+			}
+			// Apply NBA updates; these typically reactivate processes.
+			if len(k.nba) > 0 {
+				updates := k.nba
+				k.nba = nil
+				for _, u := range updates {
+					u()
+				}
+				if k.finished {
+					return StopFinish
+				}
+			}
+			deltas++
+			if deltas > k.MaxDeltas {
+				return StopDeltas
+			}
+		}
+		if k.future.Len() == 0 {
+			return StopIdle
+		}
+		next := heap.Pop(&k.future).(futureEvent)
+		if next.at > k.MaxTime {
+			return StopTimeout
+		}
+		k.now = next.at
+		k.Active(next.fn)
+		// Pull in all events at the same timestamp.
+		for k.future.Len() > 0 && k.future[0].at == k.now {
+			ev := heap.Pop(&k.future).(futureEvent)
+			k.Active(ev.fn)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- procs
+
+// Proc is a cooperative process coroutine. The body runs on its own
+// goroutine but only while the kernel is blocked waiting for it, so at
+// most one goroutine is ever executing simulation code.
+type Proc struct {
+	Name   string
+	k      *Kernel
+	resume chan struct{}
+	yield  chan struct{}
+	dead   bool
+	killed bool
+}
+
+// SpawnProcess creates a process and schedules its first activation in
+// the current active region.
+func (k *Kernel) SpawnProcess(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		k:      k,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for first activation
+		if p.killed {
+			p.dead = true
+			p.yield <- struct{}{}
+			return
+		}
+		defer func() {
+			p.dead = true
+			// TerminateProcess is the clean unwind sentinel; any other
+			// panic is an interpreter fault on malformed RTL, recorded
+			// as a simulation fatal instead of crashing the harness.
+			if r := recover(); r != nil {
+				if _, ok := r.(TerminateProcess); !ok {
+					k.SetFault(fmt.Sprintf("simulation fatal in process %s: %v", name, r))
+				}
+			}
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	k.Active(func() { p.step() })
+	return p
+}
+
+// TerminateProcess is the panic sentinel a process body may raise to
+// unwind itself cleanly (e.g. after $finish).
+type TerminateProcess struct{}
+
+// step resumes the process and waits for it to yield or terminate.
+func (p *Proc) step() {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// suspend blocks the process body until the scheduler resumes it again.
+// Must only be called from inside the process goroutine.
+func (p *Proc) suspend() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(TerminateProcess{})
+	}
+}
+
+// Delay suspends the process for d time units.
+func (p *Proc) Delay(d Time) {
+	p.k.Schedule(d, func() { p.step() })
+	if d == 0 {
+		// Zero delay still yields to the end of the active queue.
+	}
+	p.suspend()
+}
+
+// WaitActivation suspends the process until someone calls Activate.
+// Used for event-control waits: the interpreter registers the process
+// with its signal sensitivity machinery and then calls WaitActivation.
+func (p *Proc) WaitActivation() { p.suspend() }
+
+// Activate schedules the process to resume in the active region.
+func (p *Proc) Activate() {
+	if p.dead {
+		return
+	}
+	p.k.Active(func() { p.step() })
+}
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Dead reports whether the process body has returned.
+func (p *Proc) Dead() bool { return p.dead }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(10, func() { order = append(order, 2) })
+	k.Schedule(5, func() { order = append(order, 1) })
+	k.Schedule(10, func() { order = append(order, 3) }) // FIFO at same time
+	if r := k.Run(); r != StopIdle {
+		t.Fatalf("stop = %v", r)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 10 {
+		t.Errorf("now = %d", k.Now())
+	}
+}
+
+func TestNBARunsAfterActive(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Active(func() {
+		k.NBA(func() { order = append(order, "nba") })
+		k.Active(func() { order = append(order, "active2") })
+		order = append(order, "active1")
+	})
+	k.Run()
+	want := []string{"active1", "active2", "nba"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessDelay(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.SpawnProcess("p", func(p *Proc) {
+		times = append(times, k.Now())
+		p.Delay(7)
+		times = append(times, k.Now())
+		p.Delay(3)
+		times = append(times, k.Now())
+	})
+	if r := k.Run(); r != StopIdle {
+		t.Fatalf("stop = %v", r)
+	}
+	k.Shutdown()
+	if len(times) != 3 || times[0] != 0 || times[1] != 7 || times[2] != 10 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	k := NewKernel()
+	var log []string
+	k.SpawnProcess("a", func(p *Proc) {
+		log = append(log, "a0")
+		p.Delay(5)
+		log = append(log, "a5")
+		p.Delay(10)
+		log = append(log, "a15")
+	})
+	k.SpawnProcess("b", func(p *Proc) {
+		log = append(log, "b0")
+		p.Delay(10)
+		log = append(log, "b10")
+	})
+	k.Run()
+	k.Shutdown()
+	want := []string{"a0", "b0", "a5", "b10", "a15"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestFinishStopsRun(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.SpawnProcess("p", func(p *Proc) {
+		p.Delay(5)
+		k.Finish()
+		panic(TerminateProcess{})
+	})
+	k.Schedule(100, func() { ran = true })
+	if r := k.Run(); r != StopFinish {
+		t.Fatalf("stop = %v", r)
+	}
+	k.Shutdown()
+	if ran {
+		t.Error("event after finish should not run")
+	}
+	if k.Now() != 5 {
+		t.Errorf("now = %d", k.Now())
+	}
+}
+
+func TestActivationWait(t *testing.T) {
+	k := NewKernel()
+	var got Time
+	var waiter *Proc
+	waiter = k.SpawnProcess("waiter", func(p *Proc) {
+		p.WaitActivation()
+		got = k.Now()
+	})
+	k.SpawnProcess("kicker", func(p *Proc) {
+		p.Delay(42)
+		waiter.Activate()
+	})
+	k.Run()
+	k.Shutdown()
+	if got != 42 {
+		t.Errorf("woken at %d, want 42", got)
+	}
+}
+
+func TestDeltaLimit(t *testing.T) {
+	k := NewKernel()
+	k.MaxDeltas = 50
+	var spin func()
+	spin = func() {
+		k.NBA(func() { k.Active(spin) })
+	}
+	k.Active(spin)
+	if r := k.Run(); r != StopDeltas {
+		t.Errorf("stop = %v, want delta-limit", r)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	k := NewKernel()
+	k.MaxTime = 100
+	var tick func()
+	tick = func() { k.Schedule(30, tick) }
+	k.Schedule(30, tick)
+	if r := k.Run(); r != StopTimeout {
+		t.Errorf("stop = %v, want timeout", r)
+	}
+	if k.Now() > 100 {
+		t.Errorf("now = %d advanced past limit", k.Now())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel()
+	k.MaxEvents = 100
+	var loop func()
+	loop = func() { k.Active(loop) }
+	k.Active(loop)
+	if r := k.Run(); r != StopEvents {
+		t.Errorf("stop = %v, want event-limit", r)
+	}
+}
+
+func TestShutdownKillsInfiniteProcess(t *testing.T) {
+	k := NewKernel()
+	iterations := 0
+	k.SpawnProcess("clock", func(p *Proc) {
+		for {
+			p.Delay(5)
+			iterations++
+			if iterations > 3 {
+				k.Finish()
+				// keep looping: the process itself never returns
+			}
+		}
+	})
+	if r := k.Run(); r != StopFinish {
+		t.Fatalf("stop = %v", r)
+	}
+	k.Shutdown() // must not hang
+}
+
+func TestProcessPanicBecomesFault(t *testing.T) {
+	k := NewKernel()
+	k.SpawnProcess("bad", func(p *Proc) {
+		var s []int
+		_ = s[3] // index out of range
+	})
+	r := k.Run()
+	k.Shutdown()
+	if r != StopFinish {
+		t.Fatalf("stop = %v", r)
+	}
+	if k.Fault() == "" {
+		t.Error("fault not recorded")
+	}
+}
+
+func TestZeroDelayYieldsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.SpawnProcess("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Delay(0)
+		order = append(order, "a2")
+	})
+	k.SpawnProcess("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	k.Shutdown()
+	// a runs, delays 0 (goes to back of active queue), b runs, a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) (ok bool, msgs string) {
+	t.Helper()
+	sf, pd := Parse("t.v", src)
+	if pd.HasErrors() {
+		t.Fatalf("parse errors in checker test fixture: %v", pd)
+	}
+	diags := Check("t.v", sf, nil)
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return !diags.HasErrors(), sb.String()
+}
+
+func TestCheckCleanModule(t *testing.T) {
+	ok, msgs := checkSrc(t, sampleCounter)
+	if !ok {
+		t.Errorf("clean module flagged: %s", msgs)
+	}
+}
+
+func TestCheckUndeclaredIdent(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input a, output y);
+  assign y = a & undeclared_net;
+endmodule`)
+	if ok {
+		t.Fatal("undeclared identifier not flagged")
+	}
+	if !strings.Contains(msgs, "undeclared_net") || !strings.Contains(msgs, "not declared") {
+		t.Errorf("message: %s", msgs)
+	}
+}
+
+func TestCheckProceduralAssignToWire(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input clk, input d, output q);
+  always @(posedge clk) q <= d;
+endmodule`)
+	if ok {
+		t.Fatal("procedural assignment to wire output not flagged")
+	}
+	if !strings.Contains(msgs, "reg") {
+		t.Errorf("message should suggest reg: %s", msgs)
+	}
+}
+
+func TestCheckContinuousAssignToReg(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input d, output reg q);
+  assign q = d;
+endmodule`)
+	if ok {
+		t.Fatal("continuous assignment to reg not flagged")
+	}
+	if !strings.Contains(msgs, "wire") {
+		t.Errorf("message: %s", msgs)
+	}
+}
+
+func TestCheckAssignToInput(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input d, output reg q);
+  wire d2;
+  always @(*) begin
+    q = d;
+  end
+  assign d = 1'b0;
+endmodule`)
+	if ok {
+		t.Fatal("assignment to input not flagged")
+	}
+	if !strings.Contains(msgs, "input port") {
+		t.Errorf("message: %s", msgs)
+	}
+}
+
+func TestCheckDuplicateDecl(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input a, output y);
+  wire w;
+  wire w;
+  assign y = a;
+endmodule`)
+	if ok {
+		t.Fatal("duplicate declaration not flagged")
+	}
+	if !strings.Contains(msgs, "already declared") {
+		t.Errorf("message: %s", msgs)
+	}
+}
+
+func TestCheckNonANSIRedeclarationLegal(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(a, y);
+  input a;
+  output y;
+  reg y;
+  always @(*) y = a;
+endmodule`)
+	if !ok {
+		t.Errorf("non-ANSI output reg redeclaration should be legal: %s", msgs)
+	}
+}
+
+func TestCheckUnknownInstanceModule(t *testing.T) {
+	ok, msgs := checkSrc(t, `module tb;
+  wire q;
+  mystery u0(.q(q));
+endmodule`)
+	if ok {
+		t.Fatal("unknown module not flagged")
+	}
+	if !strings.Contains(msgs, "mystery") {
+		t.Errorf("message: %s", msgs)
+	}
+}
+
+func TestCheckInstanceWithExtern(t *testing.T) {
+	dutSrc := `module dut(input a, output y); assign y = a; endmodule`
+	dutSf, _ := Parse("dut.v", dutSrc)
+	tbSrc := `module tb;
+  reg a; wire y;
+  dut u0(.a(a), .y(y));
+endmodule`
+	tbSf, _ := Parse("tb.v", tbSrc)
+	extern := map[string]*Module{"dut": dutSf.Modules[0]}
+	diags := Check("tb.v", tbSf, extern)
+	if diags.HasErrors() {
+		t.Errorf("extern module should satisfy instance: %v", diags)
+	}
+}
+
+func TestCheckBadPortName(t *testing.T) {
+	dutSf, _ := Parse("dut.v", `module dut(input a, output y); assign y = a; endmodule`)
+	tbSf, _ := Parse("tb.v", `module tb;
+  reg a; wire y;
+  dut u0(.a(a), .z(y));
+endmodule`)
+	diags := Check("tb.v", tbSf, map[string]*Module{"dut": dutSf.Modules[0]})
+	if !diags.HasErrors() {
+		t.Fatal("bad port name not flagged")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, `"z"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diags: %v", diags)
+	}
+}
+
+func TestCheckAssignToParameter(t *testing.T) {
+	ok, msgs := checkSrc(t, `module m(input a, output reg y);
+  parameter P = 4;
+  always @(*) begin
+    P = a;
+    y = a;
+  end
+endmodule`)
+	if ok {
+		t.Fatal("assignment to parameter not flagged")
+	}
+	if !strings.Contains(msgs, "parameter") {
+		t.Errorf("message: %s", msgs)
+	}
+}

@@ -1,0 +1,120 @@
+package verilog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := Tokens("module foo; endmodule")
+	want := []TokKind{TokKeyword, TokIdent, TokOp, TokKeyword, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d kind %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"8'hFF":      "8'hFF",
+		"4'b10x0":    "4'b10x0",
+		"42":         "42",
+		"16 'd12":    "16'd12", // space before tick is legal
+		"8'b0000_01": "8'b0000_01",
+		"'d3":        "'d3",
+		"2'b1?":      "2'b1?",
+	}
+	for src, want := range cases {
+		toks := Tokens(src)
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("lex %q: got %v %q", src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := Tokens("a // line\n /* block\nmore */ b `timescale 1ns/1ps\nc")
+	var idents []string
+	for _, tk := range toks {
+		if tk.Kind == TokIdent {
+			idents = append(idents, tk.Text)
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[1] != "b" || idents[2] != "c" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks := Tokens(`$display("hi\n%d", x);`)
+	if toks[0].Kind != TokSysName || toks[0].Text != "$display" {
+		t.Fatalf("sysname: %v", toks[0])
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "hi\n%d" {
+		t.Fatalf("string: %v %q", toks[2].Kind, toks[2].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := Tokens("a <= b == c <<< 2 !== d")
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokOp {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", "==", "<<<", "!=="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := Tokens("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	toks := Tokens("\"abc\nd")
+	if toks[0].Kind != TokError {
+		t.Errorf("want TokError, got %v", toks[0])
+	}
+}
+
+func TestLexAlwaysTerminates(t *testing.T) {
+	// Property: lexing arbitrary input terminates with EOF and never
+	// produces an empty non-EOF token stream element.
+	f := func(s string) bool {
+		toks := Tokens(s)
+		if len(toks) == 0 {
+			return false
+		}
+		return toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package verilog implements a lexer, parser, and semantic checker for a
+// synthesisable Verilog-2001 subset plus the testbench constructs needed
+// by the AIVRIL 2 reproduction (initial blocks, delays, system tasks).
+//
+// The front-end produces either an AST for elaboration by package vsim or
+// a list of structured diagnostics that package edatool renders into
+// Vivado-style compiler logs for the Review Agent.
+package verilog
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber // sized or unsized literal, e.g. 8'hFF, 42
+	TokString
+	TokSysName // $display, $time, ...
+	TokOp      // operator or punctuation
+	TokError   // lexically malformed token
+)
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%v %q at %v", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the reserved-word set of the supported subset.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "integer": true,
+	"parameter": true, "localparam": true, "assign": true,
+	"always": true, "initial": true, "begin": true, "end": true,
+	"if": true, "else": true, "case": true, "casez": true, "casex": true,
+	"endcase": true, "default": true, "for": true, "while": true,
+	"repeat": true, "forever": true, "posedge": true, "negedge": true,
+	"or": true, "signed": true, "genvar": true, "generate": true,
+	"endgenerate": true, "function": true, "endfunction": true,
+	"task": true, "endtask": true, "real": true, "time": true,
+	"wait": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,199 @@
+package vhdl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenises VHDL source. Like the Verilog lexer it never fails:
+// malformed constructs yield TokError tokens for the parser to report.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokens lexes all of src, ending with TokEOF.
+func Tokens(src string) []Token {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t := lx.Next()
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(n int) rune {
+	if lx.pos+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+n]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.advance()
+		case r == '-' && lx.peekAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+var vhdlOps = []string{
+	"<=", ">=", "/=", ":=", "=>", "**",
+	"=", "<", ">", "+", "-", "*", "/", "&",
+	"(", ")", ",", ";", ":", "'", ".", "|",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	start := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r):
+		return lx.lexIdentOrBitStr(start)
+	case unicode.IsDigit(r):
+		return lx.lexNumber(start)
+	case r == '"':
+		return lx.lexStringOrBitStr(start, 'b')
+	case r == '\'':
+		// Character literal 'x' only when a printable char is followed
+		// by a closing quote; otherwise it is the attribute tick.
+		if lx.peekAt(2) == '\'' && lx.peekAt(1) != 0 {
+			lx.advance()
+			ch := lx.advance()
+			lx.advance()
+			return Token{Kind: TokChar, Text: string(ch), Pos: start}
+		}
+	}
+	rest := string(lx.src[lx.pos:])
+	for _, op := range vhdlOps {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				lx.advance()
+			}
+			return Token{Kind: TokOp, Text: op, Pos: start}
+		}
+	}
+	lx.advance()
+	return Token{Kind: TokError, Text: string(r), Pos: start}
+}
+
+// lexIdentOrBitStr lexes an identifier/keyword, or a based bit string
+// such as x"AF" / b"1010".
+func (lx *Lexer) lexIdentOrBitStr(start Pos) Token {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(unicode.ToLower(r))
+		} else {
+			break
+		}
+		lx.advance()
+	}
+	text := sb.String()
+	if (text == "x" || text == "b" || text == "o") && lx.peek() == '"' {
+		t := lx.lexStringOrBitStr(start, text[0])
+		return t
+	}
+	if IsKeyword(text) {
+		return Token{Kind: TokKeyword, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+// lexStringOrBitStr lexes a double-quoted literal. kind 'b' (default)
+// marks a binary bit-string when the content is all 01xz_-; otherwise
+// the token is a plain string. kind 'x'/'o' forces based interpretation.
+func (lx *Lexer) lexStringOrBitStr(start Pos, kind byte) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if r == '"' {
+			lx.advance()
+			body := sb.String()
+			if kind == 'x' || kind == 'o' {
+				return Token{Kind: TokBitStr, Text: string(kind) + ":" + body, Pos: start}
+			}
+			if isBitBody(body) {
+				return Token{Kind: TokBitStr, Text: "b:" + body, Pos: start}
+			}
+			return Token{Kind: TokString, Text: body, Pos: start}
+		}
+		if r == '\n' {
+			break
+		}
+		sb.WriteRune(lx.advance())
+	}
+	return Token{Kind: TokError, Text: "unterminated string", Pos: start}
+}
+
+func isBitBody(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch r {
+		case '0', '1', 'x', 'X', 'z', 'Z', 'u', 'U', '_', '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (lx *Lexer) lexNumber(start Pos) Token {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsDigit(r) || r == '_' {
+			sb.WriteRune(lx.advance())
+		} else {
+			break
+		}
+	}
+	return Token{Kind: TokInt, Text: strings.ReplaceAll(sb.String(), "_", ""), Pos: start}
+}

@@ -1,0 +1,66 @@
+// Package vhdl implements a lexer, parser, and semantic checker for a
+// VHDL-93 subset sufficient for the RTL designs and testbenches used by
+// the AIVRIL 2 reproduction: entity/architecture pairs, processes,
+// signal/variable assignment, if/case/for, assert/report, wait
+// statements, and direct entity instantiation.
+//
+// VHDL is case-insensitive; the lexer lower-cases identifiers and
+// keywords, preserving original text only inside string literals.
+package vhdl
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt    // integer literal
+	TokChar   // character literal '0'
+	TokBitStr // bit string "1010" or x"AF"
+	TokString // string literal used by report
+	TokOp     // operator / punctuation
+	TokError
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // lower-cased for idents/keywords
+	Pos  Pos
+}
+
+var keywords = map[string]bool{
+	"entity": true, "is": true, "end": true, "architecture": true, "of": true,
+	"port": true, "generic": true, "map": true, "in": true, "out": true,
+	"inout": true, "buffer": true, "signal": true, "variable": true,
+	"constant": true, "begin": true, "process": true, "if": true,
+	"then": true, "elsif": true, "else": true, "case": true, "when": true,
+	"others": true, "for": true, "loop": true, "to": true, "downto": true,
+	"wait": true, "until": true, "on": true, "after": true, "report": true,
+	"assert": true, "severity": true, "library": true, "use": true,
+	"and": true, "or": true, "not": true, "xor": true, "nand": true,
+	"nor": true, "xnor": true, "mod": true, "rem": true, "sll": true,
+	"srl": true, "null": true, "component": true, "work": true,
+	"all": true, "type": true, "range": true, "array": true, "subtype": true,
+	"function": true, "return": true, "while": true, "exit": true,
+	"integer": true, "boolean": true, "natural": true, "positive": true,
+	"ns": true, "ps": true, "us": true, "ms": true,
+	"true": true, "false": true, "generate": true, "select": true,
+	"with": true, "block": true, "label": true, "configuration": true,
+	"string": true, "time": true, "event": true, "length": true,
+}
+
+// IsKeyword reports whether the lower-cased word is reserved.
+func IsKeyword(s string) bool { return keywords[s] }

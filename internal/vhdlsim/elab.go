@@ -1,0 +1,409 @@
+// Package vhdlsim elaborates a parsed VHDL design and interprets it on
+// the shared event kernel. VHDL semantics differ from Verilog in ways
+// this interpreter models faithfully for the supported subset: every
+// process runs once at time zero; signal assignments always take effect
+// in the next delta (or after an explicit `after` delay); variables
+// update immediately and persist across process activations.
+package vhdlsim
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+	"repro/internal/vhdl"
+)
+
+// SigKind tags the declared type of a signal for operator dispatch.
+type SigKind int
+
+// Signal kinds.
+const (
+	KindLogic  SigKind = iota // std_logic
+	KindVector                // std_logic_vector / unsigned / signed
+	KindInt                   // integer / natural / positive
+	KindBool                  // boolean
+)
+
+// Signal is one elaborated VHDL signal.
+type Signal struct {
+	Name  string
+	Local string
+	Kind  SigKind
+	Width int
+	MSB   int // left bound for downto; for `to` ranges MSB < LSB
+	LSB   int
+
+	Val  hdl.Vector
+	Prev hdl.Vector
+	// eventStamp marks the delta batch of the most recent value change;
+	// compared against the simulator's global stamp for 'event.
+	eventStamp uint64
+
+	watchers   []*watcher
+	persistent []*persistentWatcher
+}
+
+func (s *Signal) declIndexToBit(idx int) (int, bool) {
+	if s.MSB >= s.LSB { // downto
+		if idx < s.LSB || idx > s.MSB {
+			return 0, false
+		}
+		return idx - s.LSB, true
+	}
+	if idx < s.MSB || idx > s.LSB { // to
+		return 0, false
+	}
+	return s.LSB - idx, true
+}
+
+// Instance is one node of the elaborated hierarchy.
+type Instance struct {
+	Path     string
+	Entity   *vhdl.Entity
+	Arch     *vhdl.Architecture
+	Signals  map[string]*Signal
+	Generics map[string]hdl.Vector
+	Children []*Instance
+	Parent   *Instance
+}
+
+// Design is the elaborated hierarchy plus bound behaviour.
+type Design struct {
+	Top      *Instance
+	entities map[string]*vhdl.Entity
+	archs    map[string]*vhdl.Architecture
+
+	processes   []boundProcess
+	concAssigns []boundConc
+	portBinds   []portBind
+}
+
+type boundProcess struct {
+	scope *Instance
+	ps    *vhdl.ProcessStmt
+}
+
+type boundConc struct {
+	scope *Instance
+	ca    *vhdl.ConcAssign
+}
+
+// portBind links a child port to a parent actual expression.
+type portBind struct {
+	childScope  *Instance
+	parentScope *Instance
+	portName    string
+	dir         vhdl.PortDir
+	actual      vhdl.Expr
+}
+
+// ElabError is an elaboration failure.
+type ElabError struct {
+	Pos vhdl.Pos
+	Msg string
+}
+
+func (e *ElabError) Error() string { return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg) }
+
+func elabErrf(pos vhdl.Pos, format string, args ...any) *ElabError {
+	return &ElabError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Elaborate builds the design rooted at the entity named top.
+func Elaborate(units []*vhdl.DesignFile, top string) (*Design, error) {
+	d := &Design{
+		entities: map[string]*vhdl.Entity{},
+		archs:    map[string]*vhdl.Architecture{},
+	}
+	for _, u := range units {
+		for _, e := range u.Entities {
+			d.entities[e.Name] = e
+		}
+		for _, a := range u.Archs {
+			d.archs[a.EntityName] = a // last architecture wins
+		}
+	}
+	ent, ok := d.entities[top]
+	if !ok {
+		return nil, fmt.Errorf("top entity %q not found", top)
+	}
+	inst, err := d.elabInstance(nil, ent, top, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.Top = inst
+	return d, nil
+}
+
+func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, genOverrides map[string]hdl.Vector) (*Instance, error) {
+	depth := 0
+	for p := parent; p != nil; p = p.Parent {
+		depth++
+	}
+	if depth > 64 {
+		return nil, elabErrf(ent.Pos, "instantiation depth exceeds 64")
+	}
+	arch, ok := d.archs[ent.Name]
+	if !ok {
+		return nil, elabErrf(ent.Pos, "entity %q has no architecture", ent.Name)
+	}
+	inst := &Instance{
+		Path: path, Entity: ent, Arch: arch,
+		Signals:  map[string]*Signal{},
+		Generics: map[string]hdl.Vector{},
+		Parent:   parent,
+	}
+	for _, g := range ent.Generics {
+		if ov, has := genOverrides[g.Name]; has {
+			inst.Generics[g.Name] = ov
+			continue
+		}
+		if g.Default == nil {
+			return nil, elabErrf(g.Pos, "generic %q has no value", g.Name)
+		}
+		v, err := inst.evalConst(g.Default)
+		if err != nil {
+			return nil, err
+		}
+		inst.Generics[g.Name] = v
+	}
+	for _, p := range ent.Ports {
+		sig, err := inst.makeSignal(path, p.Name, p.Type, nil)
+		if err != nil {
+			return nil, err
+		}
+		inst.Signals[p.Name] = sig
+	}
+	for _, dec := range arch.Decls {
+		switch x := dec.(type) {
+		case *vhdl.SignalDecl:
+			for _, nm := range x.Names {
+				sig, err := inst.makeSignal(path, nm, x.Type, x.Init)
+				if err != nil {
+					return nil, err
+				}
+				inst.Signals[nm] = sig
+			}
+		case *vhdl.ConstDecl:
+			v, err := inst.evalConst(x.Value)
+			if err != nil {
+				return nil, err
+			}
+			inst.Generics[x.Name] = v // constants live with generics
+		}
+	}
+	for _, cs := range arch.Stmts {
+		switch x := cs.(type) {
+		case *vhdl.ProcessStmt:
+			d.processes = append(d.processes, boundProcess{scope: inst, ps: x})
+		case *vhdl.ConcAssign:
+			d.concAssigns = append(d.concAssigns, boundConc{scope: inst, ca: x})
+		case *vhdl.InstanceStmt:
+			if err := d.elabChild(inst, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// makeSignal creates a signal from a type reference, evaluating range
+// bounds against the instance generics.
+func (inst *Instance) makeSignal(path, name string, tr vhdl.TypeRef, init vhdl.Expr) (*Signal, error) {
+	sig := &Signal{Name: path + "." + name, Local: name}
+	switch tr.Name {
+	case "std_logic", "std_ulogic", "bit":
+		sig.Kind, sig.Width = KindLogic, 1
+	case "boolean":
+		sig.Kind, sig.Width = KindBool, 1
+	case "integer", "natural", "positive", "time":
+		sig.Kind, sig.Width = KindInt, 32
+		sig.MSB, sig.LSB = 31, 0
+	case "std_logic_vector", "unsigned", "signed", "bit_vector":
+		sig.Kind = KindVector
+		if !tr.HasRange {
+			return nil, elabErrf(tr.Pos, "type %s requires a range", tr.Name)
+		}
+		lv, err := inst.evalConst(tr.Left)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := inst.evalConst(tr.Right)
+		if err != nil {
+			return nil, err
+		}
+		l64, ok1 := lv.Int()
+		r64, ok2 := rv.Int()
+		if !ok1 || !ok2 {
+			return nil, elabErrf(tr.Pos, "range bounds of %q are not computable", name)
+		}
+		left, right := int(l64), int(r64)
+		w := left - right
+		if w < 0 {
+			w = -w
+		}
+		w++
+		if w > 1<<16 {
+			return nil, elabErrf(tr.Pos, "vector %q too wide (%d bits)", name, w)
+		}
+		sig.Width = w
+		if tr.Descending {
+			sig.MSB, sig.LSB = left, right
+		} else {
+			sig.MSB, sig.LSB = left, right // MSB<LSB encodes ascending
+		}
+	default:
+		return nil, elabErrf(tr.Pos, "unsupported type %q", tr.Name)
+	}
+	if sig.Kind == KindLogic || sig.Kind == KindVector {
+		sig.Val = hdl.XFill(sig.Width)
+	} else {
+		sig.Val = hdl.NewVector(sig.Width, hdl.L0)
+	}
+	if init != nil {
+		v, err := inst.evalConstCtx(init, sig.Width)
+		if err == nil {
+			sig.Val = v.Resize(sig.Width)
+		}
+	}
+	sig.Prev = sig.Val.Clone()
+	return sig, nil
+}
+
+func (d *Design) elabChild(parent *Instance, x *vhdl.InstanceStmt) error {
+	ent, ok := d.entities[x.EntityName]
+	if !ok {
+		return elabErrf(x.Pos, "entity %q is not defined", x.EntityName)
+	}
+	overrides := map[string]hdl.Vector{}
+	for i, as := range x.Generics {
+		if as.Actual == nil {
+			continue
+		}
+		v, err := parent.evalConst(as.Actual)
+		if err != nil {
+			return err
+		}
+		name := as.Formal
+		if name == "" {
+			if i >= len(ent.Generics) {
+				return elabErrf(as.Pos, "too many generic associations for %q", x.EntityName)
+			}
+			name = ent.Generics[i].Name
+		}
+		overrides[name] = v
+	}
+	label := x.Label
+	if label == "" {
+		label = fmt.Sprintf("u%d", len(parent.Children))
+	}
+	child, err := d.elabInstance(parent, ent, parent.Path+"."+label, overrides)
+	if err != nil {
+		return err
+	}
+	parent.Children = append(parent.Children, child)
+
+	for i, as := range x.Ports {
+		if as.Actual == nil {
+			continue
+		}
+		name := as.Formal
+		if name == "" {
+			if i >= len(ent.Ports) {
+				return elabErrf(as.Pos, "too many port associations for %q", x.EntityName)
+			}
+			name = ent.Ports[i].Name
+		}
+		var dir vhdl.PortDir
+		found := false
+		for _, p := range ent.Ports {
+			if p.Name == name {
+				dir, found = p.Dir, true
+				break
+			}
+		}
+		if !found {
+			return elabErrf(as.Pos, "entity %q has no port %q", x.EntityName, name)
+		}
+		if dir == vhdl.DirInout {
+			return elabErrf(as.Pos, "inout ports are not supported by this simulator subset")
+		}
+		d.portBinds = append(d.portBinds, portBind{
+			childScope: child, parentScope: parent,
+			portName: name, dir: dir, actual: as.Actual,
+		})
+	}
+	return nil
+}
+
+// evalConst evaluates an elaboration-time constant (generics only).
+func (inst *Instance) evalConst(e vhdl.Expr) (hdl.Vector, error) {
+	return inst.evalConstCtx(e, 0)
+}
+
+func (inst *Instance) evalConstCtx(e vhdl.Expr, ctx int) (hdl.Vector, error) {
+	switch x := e.(type) {
+	case *vhdl.IntLit:
+		return hdl.FromInt(x.Value, 32), nil
+	case *vhdl.CharLit:
+		return hdl.Scalar(x.Value), nil
+	case *vhdl.BitStrLit:
+		return x.Value.Clone(), nil
+	case *vhdl.BoolLit:
+		return hdl.FromBool(x.Value), nil
+	case *vhdl.Name:
+		if v, ok := inst.Generics[x.Ident]; ok {
+			return v.Clone(), nil
+		}
+		return hdl.Vector{}, elabErrf(x.Pos, "%q is not a constant in this context", x.Ident)
+	case *vhdl.UnaryExpr:
+		v, err := inst.evalConstCtx(x.X, ctx)
+		if err != nil {
+			return hdl.Vector{}, err
+		}
+		switch x.Op {
+		case "-":
+			return v.Neg(), nil
+		case "+":
+			return v, nil
+		case "not":
+			return v.BitwiseNot(), nil
+		}
+		return hdl.Vector{}, elabErrf(x.Pos, "unsupported constant operator %q", x.Op)
+	case *vhdl.BinaryExpr:
+		l, err := inst.evalConstCtx(x.L, ctx)
+		if err != nil {
+			return hdl.Vector{}, err
+		}
+		r, err := inst.evalConstCtx(x.R, ctx)
+		if err != nil {
+			return hdl.Vector{}, err
+		}
+		switch x.Op {
+		case "+":
+			return l.Add(r), nil
+		case "-":
+			return l.Sub(r), nil
+		case "*":
+			return l.Mul(r), nil
+		case "/":
+			return l.Div(r), nil
+		case "mod", "rem":
+			return l.Mod(r), nil
+		case "**":
+			return l.Pow(r), nil
+		}
+		return hdl.Vector{}, elabErrf(x.Pos, "unsupported constant operator %q", x.Op)
+	case *vhdl.AggregateExpr:
+		if ctx <= 0 {
+			return hdl.Vector{}, elabErrf(x.Pos, "aggregate needs a sized context")
+		}
+		v, err := inst.evalConstCtx(x.Others, 1)
+		if err != nil {
+			return hdl.Vector{}, err
+		}
+		return hdl.NewVector(ctx, v.Bit(0)), nil
+	default:
+		return hdl.Vector{}, elabErrf(e.ExprPos(), "expression is not constant")
+	}
+}

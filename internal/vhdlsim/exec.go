@@ -1,0 +1,467 @@
+package vhdlsim
+
+import (
+	"repro/internal/hdl"
+	"repro/internal/sim"
+	"repro/internal/vhdl"
+)
+
+// watcher observes a signal for a wait group (one-shot).
+type watcher struct {
+	dead  bool
+	group *waitGroup
+}
+
+type waitGroup struct {
+	fired    bool
+	watchers []*watcher
+	resume   func()
+}
+
+func (g *waitGroup) fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, w := range g.watchers {
+		w.dead = true
+	}
+	g.resume()
+}
+
+// persistent watchers (for concurrent assignments) never detach.
+type persistentWatcher struct {
+	fire func()
+}
+
+// applyUpdate commits a signal value change, stamping the event batch
+// and notifying watchers. Same-value writes are transactions without
+// events and are ignored.
+func (s *Simulator) applyUpdate(sig *Signal, v hdl.Vector) {
+	v = v.Resize(sig.Width)
+	if sig.Val.Equal(v) {
+		return
+	}
+	if !s.inBatch {
+		s.stamp++
+		s.inBatch = true
+		s.kernel.Active(func() { s.inBatch = false })
+	}
+	sig.Prev = sig.Val
+	sig.Val = v
+	sig.eventStamp = s.stamp
+	live := sig.watchers[:0]
+	for _, w := range sig.watchers {
+		if w.dead {
+			continue
+		}
+		w.group.fire()
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	sig.watchers = live
+	for _, pw := range sig.persistent {
+		pw.fire()
+	}
+}
+
+// scheduleUpdate queues a signal assignment: zero delay lands in the
+// next delta (NBA region); positive delays are scheduled in time.
+func (s *Simulator) scheduleUpdate(sig *Signal, v hdl.Vector, delay sim.Time) {
+	if delay == 0 {
+		s.kernel.NBA(func() { s.applyUpdate(sig, v) })
+		return
+	}
+	s.kernel.Schedule(delay, func() { s.applyUpdate(sig, v) })
+}
+
+// sigTarget is a resolved signal assignment destination.
+type sigTarget struct {
+	sig   *Signal
+	lo    int
+	width int
+	ok    bool
+}
+
+// resolveSigTarget resolves an assignment target expression.
+func (s *Simulator) resolveSigTarget(inst *Instance, en *env, target vhdl.Expr) sigTarget {
+	switch x := target.(type) {
+	case *vhdl.Name:
+		sig, _, _, kind := s.lookupValue(inst, nil, x.Ident)
+		if kind != 1 {
+			panic(faultf("assignment target %q is not a signal", x.Ident))
+		}
+		return sigTarget{sig: sig, lo: 0, width: sig.Width, ok: true}
+	case *vhdl.CallOrIndex:
+		sig, _, _, kind := s.lookupValue(inst, nil, x.Name)
+		if kind != 1 {
+			panic(faultf("assignment target %q is not a signal", x.Name))
+		}
+		if x.IsSlice {
+			l64, ok1 := indexValue(s.eval(inst, en, x.Left))
+			r64, ok2 := indexValue(s.eval(inst, en, x.Right))
+			if !ok1 || !ok2 {
+				return sigTarget{ok: false, width: 1}
+			}
+			lb, okL := sig.declIndexToBit(int(l64))
+			rb, okR := sig.declIndexToBit(int(r64))
+			if !okL || !okR {
+				return sigTarget{ok: false, width: 1}
+			}
+			if lb > rb {
+				lb, rb = rb, lb
+			}
+			return sigTarget{sig: sig, lo: lb, width: rb - lb + 1, ok: true}
+		}
+		if len(x.Args) != 1 {
+			panic(faultf("bad index on assignment target %q", x.Name))
+		}
+		i64, ok := indexValue(s.eval(inst, en, x.Args[0]))
+		if !ok {
+			return sigTarget{ok: false, width: 1}
+		}
+		bit, inRange := sig.declIndexToBit(int(i64))
+		if !inRange {
+			return sigTarget{ok: false, width: 1}
+		}
+		return sigTarget{sig: sig, lo: bit, width: 1, ok: true}
+	default:
+		panic(faultf("unsupported assignment target at %v", target.ExprPos()))
+	}
+}
+
+// assignSignal evaluates and schedules one signal assignment.
+func (s *Simulator) assignSignal(inst *Instance, en *env, target vhdl.Expr, valExpr vhdl.Expr, afterNs vhdl.Expr) {
+	t := s.resolveSigTarget(inst, en, target)
+	val := s.evalCtx(inst, en, valExpr, t.width)
+	var delay sim.Time
+	if afterNs != nil {
+		dv := s.eval(inst, en, afterNs)
+		d64, ok := dv.v.Uint()
+		if !ok {
+			panic(faultf("unknown delay value"))
+		}
+		delay = sim.Time(d64)
+	}
+	if !t.ok {
+		return
+	}
+	if t.lo == 0 && t.width == t.sig.Width {
+		s.scheduleUpdate(t.sig, val.v.Resize(t.width), delay)
+		return
+	}
+	// Partial write: read-modify-write against the value the signal
+	// will hold when the update applies; we approximate with current
+	// value captured at apply time.
+	part := val.v.Resize(t.width)
+	sg, lo := t.sig, t.lo
+	apply := func() { s.applyUpdate(sg, sg.Val.SetSlice(lo, part)) }
+	if delay == 0 {
+		s.kernel.NBA(apply)
+	} else {
+		s.kernel.Schedule(delay, apply)
+	}
+}
+
+// ---------------------------------------------------------------- exec
+
+const stmtBudget = 20_000_000
+
+func (s *Simulator) tick() {
+	s.steps++
+	if s.steps > stmtBudget {
+		panic(faultf("statement budget exceeded (possible infinite loop)"))
+	}
+}
+
+// loopExit is the sentinel panic for `exit`.
+type loopExit struct{}
+
+func (s *Simulator) execStmts(inst *Instance, en *env, p *sim.Proc, body []vhdl.Stmt) {
+	for _, st := range body {
+		s.execStmt(inst, en, p, st)
+	}
+}
+
+func (s *Simulator) execStmt(inst *Instance, en *env, p *sim.Proc, st vhdl.Stmt) {
+	s.tick()
+	switch x := st.(type) {
+	case *vhdl.SigAssign:
+		s.assignSignal(inst, en, x.Target, x.Value, x.AfterNs)
+	case *vhdl.VarAssign:
+		s.execVarAssign(inst, en, x)
+	case *vhdl.IfStmt:
+		for _, br := range x.Branches {
+			if s.truthy(s.eval(inst, en, br.Cond)) {
+				s.execStmts(inst, en, p, br.Body)
+				return
+			}
+		}
+		s.execStmts(inst, en, p, x.Else)
+	case *vhdl.CaseStmt:
+		s.execCase(inst, en, p, x)
+	case *vhdl.ForStmt:
+		s.execFor(inst, en, p, x)
+	case *vhdl.WhileStmt:
+		func() {
+			defer catchExit()
+			for s.truthy(s.eval(inst, en, x.Cond)) {
+				s.tick()
+				s.execStmts(inst, en, p, x.Body)
+			}
+		}()
+	case *vhdl.WaitStmt:
+		s.execWait(inst, en, p, x)
+	case *vhdl.AssertStmt:
+		if !s.truthy(s.eval(inst, en, x.Cond)) {
+			msg := s.messageText(inst, en, x.Report)
+			if msg == "" {
+				msg = "Assertion violation."
+			}
+			sev := x.Severity
+			if sev == "" {
+				sev = "error" // VHDL default assert severity
+			}
+			s.reportSeverity(sev, msg, x.Pos)
+		}
+	case *vhdl.ReportStmt:
+		s.reportSeverity(sevOrNote(x.Severity), s.messageText(inst, en, x.Message), x.Pos)
+	case *vhdl.NullStmt:
+		// nothing
+	case *vhdl.ExitStmt:
+		if x.When == nil || s.truthy(s.eval(inst, en, x.When)) {
+			panic(loopExit{})
+		}
+	}
+}
+
+func sevOrNote(s string) string {
+	if s == "" {
+		return "note"
+	}
+	return s
+}
+
+func catchExit() {
+	if r := recover(); r != nil {
+		if _, ok := r.(loopExit); ok {
+			return
+		}
+		panic(r)
+	}
+}
+
+// truthy interprets a value as a condition: boolean true or bit '1'.
+func (s *Simulator) truthy(v value) bool {
+	return v.v.ToBool() == hdl.L1
+}
+
+func (s *Simulator) execVarAssign(inst *Instance, en *env, x *vhdl.VarAssign) {
+	switch t := x.Target.(type) {
+	case *vhdl.Name:
+		vs, ok := en.vars[t.Ident]
+		if !ok {
+			panic(faultf("assignment target %q is not a variable", t.Ident))
+		}
+		val := s.evalCtx(inst, en, x.Value, vs.val.Width())
+		vs.val = val.v.Resize(vs.val.Width())
+	case *vhdl.CallOrIndex:
+		vs, ok := en.vars[t.Name]
+		if !ok {
+			panic(faultf("assignment target %q is not a variable", t.Name))
+		}
+		if t.IsSlice {
+			l64, ok1 := indexValue(s.eval(inst, en, t.Left))
+			r64, ok2 := indexValue(s.eval(inst, en, t.Right))
+			if !ok1 || !ok2 {
+				return
+			}
+			lo, hi := int(r64), int(l64)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			val := s.evalCtx(inst, en, x.Value, hi-lo+1)
+			vs.val = vs.val.SetSlice(lo, val.v.Resize(hi-lo+1))
+			return
+		}
+		if len(t.Args) != 1 {
+			panic(faultf("bad index on variable %q", t.Name))
+		}
+		i64, ok2 := indexValue(s.eval(inst, en, t.Args[0]))
+		if !ok2 {
+			return
+		}
+		val := s.evalCtx(inst, en, x.Value, 1)
+		vs.val = vs.val.SetSlice(int(i64), val.v.Resize(1))
+	default:
+		panic(faultf("unsupported variable assignment target"))
+	}
+}
+
+func (s *Simulator) execCase(inst *Instance, en *env, p *sim.Proc, x *vhdl.CaseStmt) {
+	subject := s.eval(inst, en, x.Expr)
+	var others *vhdl.CaseArm
+	for i := range x.Arms {
+		arm := &x.Arms[i]
+		if arm.Choices == nil {
+			others = arm
+			continue
+		}
+		for _, c := range arm.Choices {
+			cv := s.evalCtx(inst, en, c, subject.v.Width())
+			lv, rv, _ := numericPair(subject, cv)
+			if lv.CaseEq(rv).Equal(hdl.FromBool(true)) {
+				s.execStmts(inst, en, p, arm.Body)
+				return
+			}
+		}
+	}
+	if others != nil {
+		s.execStmts(inst, en, p, others.Body)
+	}
+}
+
+func (s *Simulator) execFor(inst *Instance, en *env, p *sim.Proc, x *vhdl.ForStmt) {
+	lV := s.eval(inst, en, x.Left)
+	rV := s.eval(inst, en, x.Right)
+	l64, ok1 := lV.v.Int()
+	r64, ok2 := rV.v.Int()
+	if !ok1 || !ok2 {
+		panic(faultf("for-loop bounds are not computable"))
+	}
+	slot := &varSlot{val: hdl.FromInt(l64, 32), isInt: true}
+	prev, had := en.vars[x.Var]
+	en.vars[x.Var] = slot
+	defer func() {
+		if had {
+			en.vars[x.Var] = prev
+		} else {
+			delete(en.vars, x.Var)
+		}
+	}()
+	defer catchExit()
+	if x.Descending {
+		for i := l64; i >= r64; i-- {
+			s.tick()
+			slot.val = hdl.FromInt(i, 32)
+			s.execStmts(inst, en, p, x.Body)
+		}
+	} else {
+		for i := l64; i <= r64; i++ {
+			s.tick()
+			slot.val = hdl.FromInt(i, 32)
+			s.execStmts(inst, en, p, x.Body)
+		}
+	}
+}
+
+// execWait implements wait; / wait for; / wait until; / wait on.
+func (s *Simulator) execWait(inst *Instance, en *env, p *sim.Proc, x *vhdl.WaitStmt) {
+	switch {
+	case x.Forever:
+		p.WaitActivation() // never activated: process sleeps forever
+	case x.ForNs != nil && x.Until == nil:
+		dv := s.eval(inst, en, x.ForNs)
+		d64, ok := dv.v.Uint()
+		if !ok {
+			panic(faultf("unknown wait duration"))
+		}
+		p.Delay(sim.Time(d64))
+	case x.Until != nil:
+		sigs := s.collectSignals(inst, x.Until)
+		if len(sigs) == 0 {
+			panic(faultf("wait until condition references no signals"))
+		}
+		for {
+			s.tick()
+			s.waitOnSignals(p, sigs)
+			if s.truthy(s.eval(inst, en, x.Until)) {
+				return
+			}
+		}
+	default: // wait on
+		var sigs []*Signal
+		for _, nm := range x.OnSignals {
+			sigs = append(sigs, s.collectSignals(inst, nm)...)
+		}
+		if len(sigs) == 0 {
+			panic(faultf("wait on references no signals"))
+		}
+		s.waitOnSignals(p, sigs)
+	}
+}
+
+// waitOnSignals registers a one-shot wait on any event of sigs.
+func (s *Simulator) waitOnSignals(p *sim.Proc, sigs []*Signal) {
+	g := &waitGroup{resume: func() { p.Activate() }}
+	for _, sg := range sigs {
+		w := &watcher{group: g}
+		g.watchers = append(g.watchers, w)
+		sg.watchers = append(sg.watchers, w)
+	}
+	p.WaitActivation()
+}
+
+// collectSignals gathers signals read by an expression.
+func (s *Simulator) collectSignals(inst *Instance, e vhdl.Expr) []*Signal {
+	var out []*Signal
+	seen := map[*Signal]bool{}
+	add := func(sig *Signal) {
+		if sig != nil && !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	var walk func(vhdl.Expr)
+	walk = func(e vhdl.Expr) {
+		switch x := e.(type) {
+		case *vhdl.Name:
+			if sig, ok := inst.Signals[x.Ident]; ok {
+				add(sig)
+			}
+		case *vhdl.UnaryExpr:
+			walk(x.X)
+		case *vhdl.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *vhdl.CallOrIndex:
+			if sig, ok := inst.Signals[x.Name]; ok {
+				add(sig)
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+			if x.IsSlice {
+				walk(x.Left)
+				walk(x.Right)
+			}
+		case *vhdl.AttrExpr:
+			if sig, ok := inst.Signals[x.Base]; ok {
+				add(sig)
+			}
+		case *vhdl.AggregateExpr:
+			walk(x.Others)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// messageText renders a report/assert message expression (strings and
+// simple & concatenations of strings).
+func (s *Simulator) messageText(inst *Instance, en *env, e vhdl.Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *vhdl.StrLit:
+		return x.Value
+	case *vhdl.BinaryExpr:
+		if x.Op == "&" {
+			return s.messageText(inst, en, x.L) + s.messageText(inst, en, x.R)
+		}
+	}
+	// Fall back to a numeric rendering.
+	v := s.eval(inst, en, e)
+	return v.v.DecString()
+}

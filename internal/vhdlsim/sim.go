@@ -1,0 +1,289 @@
+package vhdlsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/vhdl"
+)
+
+// Options configures a VHDL simulation run.
+type Options struct {
+	MaxTime   sim.Time
+	File      string
+	MaxOutput int
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Log          string
+	AssertErrors int  // severity error/failure asserts that fired
+	Failed       bool // severity failure terminated the run
+	TimedOut     bool
+	Fault        string
+	EndTime      sim.Time
+}
+
+// Simulator interprets an elaborated VHDL design.
+type Simulator struct {
+	kernel *sim.Kernel
+	design *Design
+	log    strings.Builder
+	logCap int
+	file   string
+	steps  uint64
+
+	// Event-batch stamping for 'event / rising_edge.
+	stamp   uint64
+	inBatch bool
+
+	assertErrors int
+	failed       bool
+}
+
+// Simulate elaborates the entity named top from the units and runs it.
+func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, error) {
+	d, err := Elaborate(units, top)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxTime == 0 {
+		opts.MaxTime = 1_000_000
+	}
+	if opts.MaxOutput == 0 {
+		opts.MaxOutput = 1 << 20
+	}
+	if opts.File == "" {
+		opts.File = "tb.vhd"
+	}
+	s := &Simulator{
+		kernel: sim.NewKernel(),
+		design: d,
+		file:   opts.File,
+		logCap: opts.MaxOutput,
+	}
+	s.kernel.MaxTime = opts.MaxTime
+	s.bind()
+	reason := s.kernel.Run()
+	s.kernel.Shutdown()
+
+	res := &Result{
+		Log:          s.log.String(),
+		AssertErrors: s.assertErrors,
+		Failed:       s.failed,
+		Fault:        s.kernel.Fault(),
+		EndTime:      s.kernel.Now(),
+	}
+	switch reason {
+	case sim.StopTimeout, sim.StopDeltas, sim.StopEvents:
+		res.TimedOut = true
+		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, s.kernel.Now())
+	}
+	if res.Fault != "" && !strings.Contains(res.Log, res.Fault) {
+		res.Log += "SIMULATOR: " + res.Fault + "\n"
+	}
+	return res, nil
+}
+
+func (s *Simulator) bind() {
+	// Port bindings behave like concurrent assignments.
+	for i := range s.design.portBinds {
+		s.bindPort(&s.design.portBinds[i])
+	}
+	for i := range s.design.concAssigns {
+		s.bindConcAssign(&s.design.concAssigns[i])
+	}
+	for i := range s.design.processes {
+		s.bindProcess(&s.design.processes[i])
+	}
+}
+
+// bindPort wires one port association: in-ports copy parent actual to
+// the child port signal; out-ports copy the child port to the parent
+// actual (which must be an assignable name).
+func (s *Simulator) bindPort(pb *portBind) {
+	update := func() {
+		defer s.recoverFault()
+		if pb.dir == vhdl.DirIn {
+			val := s.eval(pb.parentScope, nil, pb.actual)
+			sig := pb.childScope.Signals[pb.portName]
+			s.applyUpdate(sig, val.v)
+			return
+		}
+		// out port: child port drives the parent actual.
+		src := pb.childScope.Signals[pb.portName]
+		t := s.resolveSigTarget(pb.parentScope, nil, pb.actual)
+		if !t.ok {
+			return
+		}
+		if t.lo == 0 && t.width == t.sig.Width {
+			s.applyUpdate(t.sig, src.Val)
+		} else {
+			s.applyUpdate(t.sig, t.sig.Val.SetSlice(t.lo, src.Val.Resize(t.width)))
+		}
+	}
+	pw := &persistentWatcher{fire: func() { s.kernel.Active(update) }}
+	func() {
+		defer s.recoverFault()
+		if pb.dir == vhdl.DirIn {
+			for _, sg := range s.collectSignals(pb.parentScope, pb.actual) {
+				sg.persistent = append(sg.persistent, pw)
+			}
+		} else {
+			src := pb.childScope.Signals[pb.portName]
+			src.persistent = append(src.persistent, pw)
+		}
+	}()
+	s.kernel.Active(update)
+}
+
+func (s *Simulator) bindConcAssign(bc *boundConc) {
+	inst, ca := bc.scope, bc.ca
+	update := func() {
+		defer s.recoverFault()
+		t := s.resolveSigTarget(inst, nil, ca.Target)
+		for _, w := range ca.Waves {
+			if w.Cond != nil && !s.truthy(s.eval(inst, nil, w.Cond)) {
+				continue
+			}
+			s.assignSignal(inst, nil, ca.Target, w.Value, w.AfterNs)
+			return
+		}
+		_ = t
+	}
+	pw := &persistentWatcher{fire: func() { s.kernel.Active(update) }}
+	func() {
+		defer s.recoverFault()
+		seen := map[*Signal]bool{}
+		for _, w := range ca.Waves {
+			for _, sg := range s.collectSignals(inst, w.Value) {
+				if !seen[sg] {
+					seen[sg] = true
+					sg.persistent = append(sg.persistent, pw)
+				}
+			}
+			if w.Cond != nil {
+				for _, sg := range s.collectSignals(inst, w.Cond) {
+					if !seen[sg] {
+						seen[sg] = true
+						sg.persistent = append(sg.persistent, pw)
+					}
+				}
+			}
+		}
+	}()
+	s.kernel.Active(update)
+}
+
+func (s *Simulator) bindProcess(bp *boundProcess) {
+	inst, ps := bp.scope, bp.ps
+	name := inst.Path + "." + ps.Label
+	if ps.Label == "" {
+		name = inst.Path + ".process"
+	}
+	s.kernel.SpawnProcess(name, func(p *sim.Proc) {
+		defer s.procRecover()
+		en := newEnv()
+		// Declare variables once; they persist across activations.
+		for _, d := range ps.Decls {
+			switch vd := d.(type) {
+			case *vhdl.VarDecl:
+				for _, nm := range vd.Names {
+					slot, err := s.makeVarSlot(inst, en, vd)
+					if err != nil {
+						panic(faultf("%v", err))
+					}
+					en.vars[nm] = slot
+				}
+			case *vhdl.ConstDecl:
+				v := s.eval(inst, en, vd.Value)
+				en.vars[vd.Name] = &varSlot{val: v.v, isInt: v.isInt}
+			}
+		}
+		var sens []*Signal
+		for _, se := range ps.Sens {
+			sens = append(sens, s.collectSignals(inst, se)...)
+		}
+		// VHDL semantics: every process executes once at time zero,
+		// then (for sensitivity-list processes) waits on its signals.
+		for {
+			s.execStmts(inst, en, p, ps.Body)
+			if len(sens) == 0 {
+				// No sensitivity list: body must contain waits; if the
+				// body ran to completion without waiting it loops, and
+				// the statement budget will catch runaway processes.
+				s.tick()
+				continue
+			}
+			s.waitOnSignals(p, sens)
+		}
+	})
+}
+
+func (s *Simulator) makeVarSlot(inst *Instance, en *env, vd *vhdl.VarDecl) (*varSlot, error) {
+	// Reuse signal sizing logic through a throwaway signal.
+	sig, err := inst.makeSignal("var", "v", vd.Type, nil)
+	if err != nil {
+		return nil, err
+	}
+	slot := &varSlot{val: sig.Val, isInt: sig.Kind == KindInt}
+	if vd.Init != nil {
+		v := s.evalCtx(inst, en, vd.Init, slot.val.Width())
+		slot.val = v.v.Resize(slot.val.Width())
+	}
+	return slot, nil
+}
+
+func (s *Simulator) recoverFault() {
+	if r := recover(); r != nil {
+		if f, ok := r.(runtimeFault); ok {
+			s.kernel.SetFault(f.msg)
+			return
+		}
+		panic(r)
+	}
+}
+
+func (s *Simulator) procRecover() {
+	if r := recover(); r != nil {
+		switch f := r.(type) {
+		case runtimeFault:
+			s.kernel.SetFault(f.msg)
+			panic(sim.TerminateProcess{})
+		default:
+			panic(r)
+		}
+	}
+}
+
+func (s *Simulator) logf(format string, args ...any) {
+	if s.log.Len() > s.logCap {
+		return
+	}
+	fmt.Fprintf(&s.log, format, args...)
+}
+
+// reportSeverity renders an assert/report message in xsim style and
+// applies severity semantics: error counts; failure stops the run.
+func (s *Simulator) reportSeverity(severity, msg string, pos vhdl.Pos) {
+	switch severity {
+	case "note", "":
+		s.logf("Note: %s\n", msg)
+	case "warning":
+		s.logf("Warning: %s\n", msg)
+	case "error":
+		s.assertErrors++
+		s.logf("Error: %s\n", msg)
+		s.logf("Time: %d ns  Iteration: 0  Process: line_%d\n", s.kernel.Now(), pos.Line)
+	case "failure":
+		s.assertErrors++
+		s.failed = true
+		s.logf("Failure: %s\n", msg)
+		s.logf("%s:%d: severity FAILURE at %d ns\n", s.file, pos.Line, s.kernel.Now())
+		s.kernel.Finish()
+		panic(sim.TerminateProcess{})
+	default:
+		s.logf("Note: %s\n", msg)
+	}
+}

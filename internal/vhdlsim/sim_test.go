@@ -1,0 +1,342 @@
+package vhdlsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vhdl"
+)
+
+func runVHDL(t *testing.T, top string, srcs ...string) *Result {
+	t.Helper()
+	var units []*vhdl.DesignFile
+	for i, src := range srcs {
+		df, diags := vhdl.Parse("src.vhd", src)
+		if diags.HasErrors() {
+			t.Fatalf("parse errors in source %d: %v", i, diags)
+		}
+		units = append(units, df)
+	}
+	res, err := Simulate(units, top, Options{MaxTime: 100000})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return res
+}
+
+func TestVHDLCombinational(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity andgate is
+  port (a, b : in std_logic; y : out std_logic);
+end entity;
+architecture rtl of andgate is
+begin
+  y <= a and b;
+end architecture;
+`, `
+entity tb is end entity;
+architecture sim of tb is
+  signal a, b, y : std_logic := '0';
+begin
+  uut: entity work.andgate port map (a => a, b => b, y => y);
+  stim: process
+  begin
+    a <= '1'; b <= '1';
+    wait for 1 ns;
+    assert y = '1' report "Test Case 1 Failed: y should be 1" severity error;
+    a <= '0';
+    wait for 1 ns;
+    assert y = '0' report "Test Case 2 Failed: y should be 0" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("log:\n%s", res.Log)
+	}
+	if res.AssertErrors != 0 {
+		t.Errorf("assert errors = %d, log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLCounter(t *testing.T) {
+	res := runVHDL(t, "tb", `
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity counter is
+  generic (WIDTH : integer := 4);
+  port (
+    clk   : in  std_logic;
+    reset : in  std_logic;
+    count : out std_logic_vector(WIDTH-1 downto 0)
+  );
+end entity;
+architecture rtl of counter is
+  signal cnt : unsigned(WIDTH-1 downto 0) := (others => '0');
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        cnt <= (others => '0');
+      else
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  count <= std_logic_vector(cnt);
+end architecture;
+`, `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal reset : std_logic := '1';
+  signal count : std_logic_vector(3 downto 0);
+begin
+  clk <= not clk after 5 ns;
+  uut: entity work.counter generic map (WIDTH => 4) port map (clk => clk, reset => reset, count => count);
+  stim: process
+  begin
+    wait until rising_edge(clk);
+    wait for 1 ns;
+    reset <= '0';
+    wait until rising_edge(clk);
+    wait until rising_edge(clk);
+    wait until rising_edge(clk);
+    wait for 1 ns;
+    assert count = "0011" report "Test Case 1 Failed: count should be 3" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLDetectsFunctionalBug(t *testing.T) {
+	// Counter that never resets: the testbench must flag it.
+	res := runVHDL(t, "tb", `
+entity dff is
+  port (clk, d : in std_logic; q : out std_logic);
+end entity;
+architecture bad of dff is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      q <= not d; -- functional bug: inverts
+    end if;
+  end process;
+end architecture;
+`, `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal d, q : std_logic := '0';
+begin
+  clk <= not clk after 5 ns;
+  uut: entity work.dff port map (clk => clk, d => d, q => q);
+  process
+  begin
+    d <= '1';
+    wait until rising_edge(clk);
+    wait for 1 ns;
+    assert q = '1' report "Test Case 1 Failed: q should follow d" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors == 0 {
+		t.Errorf("bug not detected, log:\n%s", res.Log)
+	}
+	if !strings.Contains(res.Log, "Test Case 1 Failed") {
+		t.Errorf("log:\n%s", res.Log)
+	}
+}
+
+func TestVHDLVariablesAndForLoop(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity tb is end entity;
+architecture sim of tb is
+  signal vec : std_logic_vector(7 downto 0) := "10110100";
+  signal ones : integer := 0;
+begin
+  process
+    variable n : integer := 0;
+  begin
+    wait for 1 ns;
+    n := 0;
+    for i in 0 to 7 loop
+      if vec(i) = '1' then
+        n := n + 1;
+      end if;
+    end loop;
+    ones <= n;
+    wait for 1 ns;
+    assert ones = 4 report "Test Case 1 Failed: popcount wrong" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLCaseStatement(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity dec is
+  port (sel : in std_logic_vector(1 downto 0); y : out std_logic_vector(3 downto 0));
+end entity;
+architecture rtl of dec is
+begin
+  process(sel)
+  begin
+    case sel is
+      when "00" => y <= "0001";
+      when "01" => y <= "0010";
+      when "10" => y <= "0100";
+      when others => y <= "1000";
+    end case;
+  end process;
+end architecture;
+`, `
+entity tb is end entity;
+architecture sim of tb is
+  signal sel : std_logic_vector(1 downto 0) := "00";
+  signal y : std_logic_vector(3 downto 0);
+begin
+  uut: entity work.dec port map (sel => sel, y => y);
+  process
+  begin
+    wait for 1 ns;
+    assert y = "0001" report "TC1 Failed" severity error;
+    sel <= "10";
+    wait for 1 ns;
+    assert y = "0100" report "TC2 Failed" severity error;
+    sel <= "11";
+    wait for 1 ns;
+    assert y = "1000" report "TC3 Failed" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLConditionalAssign(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity mux2 is
+  port (a, b, s : in std_logic; y : out std_logic);
+end entity;
+architecture rtl of mux2 is
+begin
+  y <= a when s = '0' else b;
+end architecture;
+`, `
+entity tb is end entity;
+architecture sim of tb is
+  signal a : std_logic := '1';
+  signal b : std_logic := '0';
+  signal s : std_logic := '0';
+  signal y : std_logic;
+begin
+  uut: entity work.mux2 port map (a => a, b => b, s => s, y => y);
+  process
+  begin
+    wait for 1 ns;
+    assert y = '1' report "TC1 Failed" severity error;
+    s <= '1';
+    wait for 1 ns;
+    assert y = '0' report "TC2 Failed" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLSeverityFailureStops(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity tb is end entity;
+architecture sim of tb is
+begin
+  process
+  begin
+    wait for 1 ns;
+    assert false report "fatal condition" severity failure;
+    report "UNREACHABLE";
+    wait;
+  end process;
+end architecture;`)
+	if !res.Failed {
+		t.Error("failure severity should stop the run")
+	}
+	if strings.Contains(res.Log, "UNREACHABLE") {
+		t.Error("execution continued past failure")
+	}
+}
+
+func TestVHDLSliceOps(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity tb is end entity;
+architecture sim of tb is
+  signal word : std_logic_vector(15 downto 0) := x"0000";
+begin
+  process
+  begin
+    wait for 1 ns;
+    word(7 downto 4) <= "1010";
+    wait for 1 ns;
+    assert word(7 downto 4) = "1010" report "TC1 Failed" severity error;
+    assert word(15 downto 8) = x"00" report "TC2 Failed" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLUnsignedArithmetic(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity tb is end entity;
+architecture sim of tb is
+  signal a : unsigned(7 downto 0) := x"C8";
+  signal b : unsigned(7 downto 0) := x"64";
+  signal sum : unsigned(8 downto 0);
+begin
+  process
+  begin
+    wait for 1 ns;
+    sum <= resize(a, 9) + resize(b, 9);
+    wait for 1 ns;
+    assert to_integer(sum) = 300 report "TC1 Failed: sum wrong" severity error;
+    report "All tests passed successfully!";
+    wait;
+  end process;
+end architecture;`)
+	if res.AssertErrors != 0 || !strings.Contains(res.Log, "All tests passed successfully!") {
+		t.Errorf("errors=%d log:\n%s", res.AssertErrors, res.Log)
+	}
+}
+
+func TestVHDLTimeoutWithoutWaitForever(t *testing.T) {
+	res := runVHDL(t, "tb", `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+begin
+  clk <= not clk after 5 ns;
+end architecture;`)
+	if !res.TimedOut {
+		t.Errorf("free-running clock should hit MaxTime; result: %+v", res)
+	}
+}

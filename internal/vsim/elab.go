@@ -1,0 +1,379 @@
+// Package vsim elaborates a parsed Verilog design into a signal/process
+// network and interprets it on the sim kernel. It supports the
+// synthesisable subset produced by package bench plus the testbench
+// constructs (initial blocks, delays, event controls, system tasks)
+// needed for self-checking simulation.
+package vsim
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+	"repro/internal/verilog"
+)
+
+// Signal is one elaborated net, register, or memory.
+type Signal struct {
+	Name   string // hierarchical name, e.g. "tb.dut.count"
+	Local  string // name within its module
+	Width  int
+	MSB    int
+	LSB    int
+	Kind   verilog.NetKind
+	Signed bool // declared signed, or an integer
+
+	Val hdl.Vector
+
+	IsMem bool
+	MemLo int
+	MemHi int
+	Mem   map[int]hdl.Vector
+
+	watchers []*watcher
+}
+
+// declIndexToBit maps a declared index (e.g. 5 in x[5]) to a storage bit
+// offset, honouring ascending and descending ranges. ok is false when
+// the index is out of the declared range.
+func (s *Signal) declIndexToBit(idx int) (int, bool) {
+	if s.MSB >= s.LSB {
+		if idx < s.LSB || idx > s.MSB {
+			return 0, false
+		}
+		return idx - s.LSB, true
+	}
+	if idx < s.MSB || idx > s.LSB {
+		return 0, false
+	}
+	return s.LSB - idx, true
+}
+
+// MemWord returns memory word idx (X-filled when unwritten or out of range).
+func (s *Signal) MemWord(idx int) hdl.Vector {
+	if !s.IsMem || idx < s.MemLo || idx > s.MemHi {
+		return hdl.XFill(s.Width)
+	}
+	if w, ok := s.Mem[idx]; ok {
+		return w.Clone()
+	}
+	return hdl.XFill(s.Width)
+}
+
+// Instance is one node of the elaborated hierarchy.
+type Instance struct {
+	Path     string
+	Module   *verilog.Module
+	Signals  map[string]*Signal
+	Params   map[string]hdl.Vector
+	Children []*Instance
+	Parent   *Instance
+}
+
+// Design is a fully elaborated hierarchy.
+type Design struct {
+	Top     *Instance
+	All     []*Signal
+	modules map[string]*verilog.Module
+	// implicit continuous assignments created for port connections:
+	// each has an owning scope for expression evaluation.
+	contAssigns []boundAssign
+	procs       []boundProc
+}
+
+// boundAssign is a continuous assignment whose sides may live in
+// different scopes (port bindings cross the parent/child boundary).
+type boundAssign struct {
+	lhsScope *Instance
+	rhsScope *Instance
+	lhs      verilog.Expr
+	rhs      verilog.Expr
+}
+
+// boundProc is an always/initial block bound to its instance.
+type boundProc struct {
+	scope   *Instance
+	always  *verilog.AlwaysBlock
+	initial *verilog.InitialBlock
+}
+
+// ElabError is an elaboration failure (the RTL is structurally unusable).
+type ElabError struct {
+	Pos verilog.Pos
+	Msg string
+}
+
+func (e *ElabError) Error() string { return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg) }
+
+func elabErrf(pos verilog.Pos, format string, args ...any) *ElabError {
+	return &ElabError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Elaborate builds the design rooted at top from the given module set.
+func Elaborate(modules map[string]*verilog.Module, top string) (*Design, error) {
+	m, ok := modules[top]
+	if !ok {
+		return nil, fmt.Errorf("top module %q not found", top)
+	}
+	d := &Design{modules: modules}
+	inst, err := d.elabInstance(nil, m, top, nil, verilog.Pos{})
+	if err != nil {
+		return nil, err
+	}
+	d.Top = inst
+	return d, nil
+}
+
+const maxInstances = 4096
+
+func (d *Design) countInstances(i *Instance) int {
+	n := 1
+	for _, c := range i.Children {
+		n += d.countInstances(c)
+	}
+	return n
+}
+
+// elabInstance instantiates module m as path, with parameter overrides.
+func (d *Design) elabInstance(parent *Instance, m *verilog.Module, path string, paramOverrides map[string]hdl.Vector, pos verilog.Pos) (*Instance, error) {
+	if parent != nil {
+		depth := 0
+		for p := parent; p != nil; p = p.Parent {
+			depth++
+		}
+		if depth > 64 {
+			return nil, elabErrf(pos, "instantiation depth exceeds 64 (recursive instantiation of %q?)", m.Name)
+		}
+	}
+	inst := &Instance{
+		Path:    path,
+		Module:  m,
+		Signals: map[string]*Signal{},
+		Params:  map[string]hdl.Vector{},
+		Parent:  parent,
+	}
+
+	// Pass 1: parameters (in declaration order, allowing dependencies).
+	for _, it := range m.Items {
+		pd, ok := it.(*verilog.ParamDecl)
+		if !ok {
+			continue
+		}
+		if ov, has := paramOverrides[pd.Name]; has && !pd.IsLocal {
+			inst.Params[pd.Name] = ov
+			continue
+		}
+		if pd.Value == nil {
+			return nil, elabErrf(pd.Pos, "parameter %q has no value", pd.Name)
+		}
+		v, err := inst.evalConst(pd.Value)
+		if err != nil {
+			return nil, err
+		}
+		inst.Params[pd.Name] = v
+	}
+
+	// Pass 2: ports become signals.
+	for _, p := range m.Ports {
+		w, msb, lsb := 1, 0, 0
+		if p.Range != nil {
+			var err error
+			w, msb, lsb, err = inst.evalRange(p.Range)
+			if err != nil {
+				return nil, err
+			}
+		}
+		kind := verilog.KindWire
+		if p.IsReg {
+			kind = verilog.KindReg
+		}
+		sig := &Signal{
+			Name: path + "." + p.Name, Local: p.Name,
+			Width: w, MSB: msb, LSB: lsb, Kind: kind, Signed: p.Signed,
+			Val: hdl.XFill(w),
+		}
+		inst.Signals[p.Name] = sig
+		d.All = append(d.All, sig)
+	}
+
+	// Pass 3: net declarations.
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		w, msb, lsb := 1, 0, 0
+		if nd.Kind == verilog.KindInteger {
+			w, msb, lsb = 32, 31, 0
+		}
+		if nd.Range != nil {
+			var err error
+			w, msb, lsb, err = inst.evalRange(nd.Range)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, n := range nd.Names {
+			if existing, dup := inst.Signals[n.Name]; dup {
+				// Non-ANSI port + body decl merge: adopt kind and range.
+				existing.Kind = nd.Kind
+				if nd.Range != nil {
+					existing.Width, existing.MSB, existing.LSB = w, msb, lsb
+					existing.Val = hdl.XFill(w)
+				}
+				continue
+			}
+			sig := &Signal{
+				Name: path + "." + n.Name, Local: n.Name,
+				Width: w, MSB: msb, LSB: lsb, Kind: nd.Kind,
+				Signed: nd.Signed || nd.Kind == verilog.KindInteger,
+				Val:    hdl.XFill(w),
+			}
+			if n.Array != nil {
+				loV, err1 := inst.evalConst(n.Array.MSB)
+				hiV, err2 := inst.evalConst(n.Array.LSB)
+				if err1 != nil {
+					return nil, err1
+				}
+				if err2 != nil {
+					return nil, err2
+				}
+				lo64, _ := loV.Uint()
+				hi64, _ := hiV.Uint()
+				lo, hi := int(lo64), int(hi64)
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if hi-lo > 1<<20 {
+					return nil, elabErrf(n.Pos, "memory %q too large (%d words)", n.Name, hi-lo+1)
+				}
+				sig.IsMem, sig.MemLo, sig.MemHi = true, lo, hi
+				sig.Mem = map[int]hdl.Vector{}
+			}
+			if n.Init != nil && !sig.IsMem {
+				v, err := inst.evalConst(n.Init)
+				if err == nil {
+					sig.Val = v.Resize(w)
+				} else {
+					// Non-constant init: lower to a continuous assignment.
+					d.contAssigns = append(d.contAssigns, boundAssign{
+						lhsScope: inst, rhsScope: inst,
+						lhs: &verilog.Ident{Name: n.Name, Pos: n.Pos},
+						rhs: n.Init,
+					})
+				}
+			}
+			inst.Signals[n.Name] = sig
+			d.All = append(d.All, sig)
+		}
+	}
+
+	// Pass 4: behavioural items and children.
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *verilog.ContAssign:
+			d.contAssigns = append(d.contAssigns, boundAssign{lhsScope: inst, rhsScope: inst, lhs: x.LHS, rhs: x.RHS})
+		case *verilog.AlwaysBlock:
+			d.procs = append(d.procs, boundProc{scope: inst, always: x})
+		case *verilog.InitialBlock:
+			d.procs = append(d.procs, boundProc{scope: inst, initial: x})
+		case *verilog.Instance:
+			if err := d.elabChild(inst, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.Top == nil && d.countInstances(inst) > maxInstances {
+		return nil, elabErrf(m.Pos, "design exceeds %d instances", maxInstances)
+	}
+	return inst, nil
+}
+
+func (d *Design) elabChild(parent *Instance, x *verilog.Instance) error {
+	childMod, ok := d.modules[x.ModuleName]
+	if !ok {
+		return elabErrf(x.Pos, "module %q is not defined", x.ModuleName)
+	}
+	// Parameter overrides.
+	overrides := map[string]hdl.Vector{}
+	ordered := []hdl.Vector{}
+	for _, pc := range x.Params {
+		if pc.Expr == nil {
+			continue
+		}
+		v, err := parent.evalConst(pc.Expr)
+		if err != nil {
+			return err
+		}
+		if pc.Name != "" {
+			overrides[pc.Name] = v
+		} else {
+			ordered = append(ordered, v)
+		}
+	}
+	if len(ordered) > 0 {
+		i := 0
+		for _, it := range childMod.Items {
+			pd, isP := it.(*verilog.ParamDecl)
+			if !isP || pd.IsLocal {
+				continue
+			}
+			if i < len(ordered) {
+				overrides[pd.Name] = ordered[i]
+				i++
+			}
+		}
+	}
+	child, err := d.elabInstance(parent, childMod, parent.Path+"."+x.InstName, overrides, x.Pos)
+	if err != nil {
+		return err
+	}
+	parent.Children = append(parent.Children, child)
+
+	// Port binding. Build the port->expr association.
+	assoc := map[string]verilog.Expr{}
+	if len(x.Conns) > 0 && x.Conns[0].Name == "" {
+		// Ordered connections.
+		if len(x.Conns) > len(childMod.Ports) {
+			return elabErrf(x.Pos, "instance %q has %d connections for %d ports", x.InstName, len(x.Conns), len(childMod.Ports))
+		}
+		for i, c := range x.Conns {
+			assoc[childMod.Ports[i].Name] = c.Expr
+		}
+	} else {
+		for _, c := range x.Conns {
+			found := false
+			for _, p := range childMod.Ports {
+				if p.Name == c.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return elabErrf(c.Pos, "module %q has no port %q", x.ModuleName, c.Name)
+			}
+			assoc[c.Name] = c.Expr
+		}
+	}
+	for _, p := range childMod.Ports {
+		ex, connected := assoc[p.Name]
+		if !connected || ex == nil {
+			continue // unconnected: stays X
+		}
+		portRef := &verilog.Ident{Name: p.Name, Pos: x.Pos}
+		switch p.Dir {
+		case verilog.DirInput:
+			d.contAssigns = append(d.contAssigns, boundAssign{
+				lhsScope: child, rhsScope: parent,
+				lhs: portRef, rhs: ex,
+			})
+		case verilog.DirOutput:
+			d.contAssigns = append(d.contAssigns, boundAssign{
+				lhsScope: parent, rhsScope: child,
+				lhs: ex, rhs: portRef,
+			})
+		case verilog.DirInout:
+			return elabErrf(x.Pos, "inout ports are not supported by this simulator subset")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package vsim
+
+import (
+	"repro/internal/hdl"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// watcher observes one signal on behalf of a wait group.
+type watcher struct {
+	dead  bool
+	edge  verilog.EdgeKind
+	eval  func() hdl.Logic // current value of the sensitivity expression
+	last  hdl.Logic
+	group *waitGroup
+}
+
+// waitGroup is a one-shot event control: the first matching trigger on
+// any member watcher fires the group, detaches all members, and resumes
+// the waiting activity.
+type waitGroup struct {
+	fired    bool
+	watchers []*watcher
+	resume   func()
+}
+
+func (g *waitGroup) fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, w := range g.watchers {
+		w.dead = true
+	}
+	g.resume()
+}
+
+func (w *watcher) notify() {
+	if w.dead {
+		return
+	}
+	if w.edge == verilog.EdgeLevel {
+		w.group.fire()
+		return
+	}
+	nv := w.eval()
+	old := w.last
+	w.last = nv
+	if edgeMatch(old, nv, w.edge) {
+		w.group.fire()
+	}
+}
+
+// edgeMatch implements the IEEE 1364 edge table.
+func edgeMatch(old, nv hdl.Logic, edge verilog.EdgeKind) bool {
+	if old == nv {
+		return false
+	}
+	switch edge {
+	case verilog.EdgePos:
+		// 0->1, 0->x/z, x/z->1
+		return (old == hdl.L0) || (nv == hdl.L1)
+	case verilog.EdgeNeg:
+		return (old == hdl.L1) || (nv == hdl.L0)
+	}
+	return false
+}
+
+// setSignal writes v (resized to the signal width) and notifies watchers.
+func (s *Simulator) setSignal(sig *Signal, v hdl.Vector) {
+	v = v.Resize(sig.Width)
+	if sig.Val.Equal(v) {
+		return
+	}
+	sig.Val = v
+	s.vcd.change(s, sig)
+	s.notifyWatchers(sig)
+}
+
+func (s *Simulator) notifyWatchers(sig *Signal) {
+	live := sig.watchers[:0]
+	for _, w := range sig.watchers {
+		if w.dead {
+			continue
+		}
+		w.notify()
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	sig.watchers = live
+}
+
+// setMemWord writes one memory word and notifies watchers.
+func (s *Simulator) setMemWord(sig *Signal, idx int, v hdl.Vector) {
+	if idx < sig.MemLo || idx > sig.MemHi {
+		return // out-of-range memory write is discarded
+	}
+	sig.Mem[idx] = v.Resize(sig.Width)
+	s.notifyWatchers(sig)
+}
+
+// ------------------------------------------------------------- targets
+
+// target is a resolved primitive assignment destination.
+type target struct {
+	sig    *Signal
+	lo     int // bit offset for vector writes
+	width  int
+	memIdx int
+	isMem  bool
+	ok     bool // false: discard the write (out-of-range select)
+}
+
+// resolveTargets flattens an lvalue into primitive targets, MSB-first
+// for concatenations, and returns the total width.
+func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, int) {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		sig, _, kind := inst.lookup(x.Name)
+		if kind != 1 {
+			panic(faultf("assignment to non-signal %q", x.Name))
+		}
+		if sig.IsMem {
+			panic(faultf("assignment to memory %q without an index", x.Name))
+		}
+		return []target{{sig: sig, lo: 0, width: sig.Width, ok: true}}, sig.Width
+	case *verilog.Index:
+		base, okb := x.Base.(*verilog.Ident)
+		if !okb {
+			panic(faultf("unsupported assignment target at %v", x.Pos))
+		}
+		sig, _, kind := inst.lookup(base.Name)
+		if kind != 1 {
+			panic(faultf("assignment to non-signal %q", base.Name))
+		}
+		i64, known := s.evalIndexValue(inst, x.Idx)
+		if sig.IsMem {
+			if !known {
+				return []target{{ok: false, width: sig.Width}}, sig.Width
+			}
+			return []target{{sig: sig, isMem: true, memIdx: int(i64), width: sig.Width, ok: true}}, sig.Width
+		}
+		if !known {
+			return []target{{ok: false, width: 1}}, 1
+		}
+		bit, inRange := sig.declIndexToBit(int(i64))
+		if !inRange {
+			return []target{{ok: false, width: 1}}, 1
+		}
+		return []target{{sig: sig, lo: bit, width: 1, ok: true}}, 1
+	case *verilog.PartSelect:
+		base, okb := x.Base.(*verilog.Ident)
+		if !okb {
+			panic(faultf("unsupported assignment target at %v", x.Pos))
+		}
+		sig, _, kind := inst.lookup(base.Name)
+		if kind != 1 || sig.IsMem {
+			panic(faultf("bad part-select assignment target %q", base.Name))
+		}
+		m64, ok1 := s.evalIndexValue(inst, x.MSB)
+		l64, ok2 := s.evalIndexValue(inst, x.LSB)
+		if !ok1 || !ok2 {
+			return []target{{ok: false, width: 1}}, 1
+		}
+		loBit, okLo := sig.declIndexToBit(int(l64))
+		hiBit, okHi := sig.declIndexToBit(int(m64))
+		if !okLo || !okHi {
+			w := int(m64 - l64)
+			if w < 0 {
+				w = -w
+			}
+			return []target{{ok: false, width: w + 1}}, w + 1
+		}
+		if loBit > hiBit {
+			loBit, hiBit = hiBit, loBit
+		}
+		w := hiBit - loBit + 1
+		return []target{{sig: sig, lo: loBit, width: w, ok: true}}, w
+	case *verilog.ConcatExpr:
+		var all []target
+		total := 0
+		for _, part := range x.Parts { // MSB-first
+			ts, w := s.resolveTargets(inst, part)
+			all = append(all, ts...)
+			total += w
+		}
+		return all, total
+	default:
+		panic(faultf("unsupported assignment target at %v", lhs.ExprPos()))
+	}
+}
+
+// applyTargets writes val (of at least totalWidth bits) into the targets,
+// slicing MSB-first as Verilog concatenation assignment requires.
+func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
+	val = val.Resize(total)
+	hi := total
+	for _, t := range ts {
+		lo := hi - t.width
+		part := val.Slice(lo, t.width)
+		hi = lo
+		if !t.ok {
+			continue
+		}
+		if t.isMem {
+			s.setMemWord(t.sig, t.memIdx, part)
+			continue
+		}
+		if t.lo == 0 && t.width == t.sig.Width {
+			s.setSignal(t.sig, part)
+		} else {
+			s.setSignal(t.sig, t.sig.Val.SetSlice(t.lo, part))
+		}
+	}
+}
+
+// ---------------------------------------------------------- sensitivity
+
+// registerWait installs a one-shot wait group for the sensitivity list
+// in scope inst; resume runs when it fires.
+func (s *Simulator) registerWait(inst *Instance, sens *verilog.SensList, resume func()) {
+	g := &waitGroup{resume: resume}
+	items := sens.Items
+	if sens.Star {
+		panic(faultf("internal: @* must be expanded before registerWait"))
+	}
+	for _, item := range items {
+		it := item
+		sigs := s.collectSignals(inst, it.Sig)
+		if len(sigs) == 0 {
+			continue
+		}
+		evalBit := func() hdl.Logic { return s.eval(inst, it.Sig).Bit(0) }
+		for _, sg := range sigs {
+			w := &watcher{edge: it.Edge, eval: evalBit, last: evalBit(), group: g}
+			g.watchers = append(g.watchers, w)
+			sg.watchers = append(sg.watchers, w)
+		}
+	}
+	if len(g.watchers) == 0 {
+		// Nothing to wait on: resume immediately to avoid deadlock.
+		s.kernel.Active(resume)
+	}
+}
+
+// collectSignals gathers the signals an expression reads in scope inst.
+func (s *Simulator) collectSignals(inst *Instance, e verilog.Expr) []*Signal {
+	var out []*Signal
+	seen := map[*Signal]bool{}
+	var walk func(verilog.Expr)
+	add := func(sig *Signal) {
+		if sig != nil && !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	walk = func(e verilog.Expr) {
+		switch x := e.(type) {
+		case *verilog.Ident:
+			sig, _, kind := inst.lookup(x.Name)
+			if kind == 1 {
+				add(sig)
+			}
+		case *verilog.Unary:
+			walk(x.X)
+		case *verilog.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *verilog.Ternary:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *verilog.ConcatExpr:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *verilog.ReplicateExpr:
+			walk(x.Count)
+			walk(x.Value)
+		case *verilog.Index:
+			walk(x.Base)
+			walk(x.Idx)
+		case *verilog.PartSelect:
+			walk(x.Base)
+			walk(x.MSB)
+			walk(x.LSB)
+		case *verilog.SysFuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// collectStmtReads gathers every expression read by a statement, for
+// @* sensitivity expansion.
+func collectStmtReads(st verilog.Stmt, out *[]verilog.Expr) {
+	switch x := st.(type) {
+	case *verilog.Block:
+		for _, s := range x.Stmts {
+			collectStmtReads(s, out)
+		}
+	case *verilog.If:
+		*out = append(*out, x.Cond)
+		collectStmtReads(x.Then, out)
+		if x.Else != nil {
+			collectStmtReads(x.Else, out)
+		}
+	case *verilog.Case:
+		*out = append(*out, x.Expr)
+		for _, item := range x.Items {
+			*out = append(*out, item.Exprs...)
+			collectStmtReads(item.Body, out)
+		}
+	case *verilog.For:
+		collectStmtReads(x.Init, out)
+		*out = append(*out, x.Cond)
+		collectStmtReads(x.Step, out)
+		collectStmtReads(x.Body, out)
+	case *verilog.While:
+		*out = append(*out, x.Cond)
+		collectStmtReads(x.Body, out)
+	case *verilog.Repeat:
+		*out = append(*out, x.Count)
+		collectStmtReads(x.Body, out)
+	case *verilog.Forever:
+		collectStmtReads(x.Body, out)
+	case *verilog.Assign:
+		*out = append(*out, x.RHS)
+		// Index expressions on the LHS are also reads.
+		collectLValueIndexReads(x.LHS, out)
+	case *verilog.DelayStmt:
+		collectStmtReads(x.Body, out)
+	case *verilog.EventWait:
+		collectStmtReads(x.Body, out)
+	case *verilog.SysCall:
+		*out = append(*out, x.Args...)
+	}
+}
+
+func collectLValueIndexReads(e verilog.Expr, out *[]verilog.Expr) {
+	switch x := e.(type) {
+	case *verilog.Index:
+		*out = append(*out, x.Idx)
+		collectLValueIndexReads(x.Base, out)
+	case *verilog.PartSelect:
+		*out = append(*out, x.MSB, x.LSB)
+		collectLValueIndexReads(x.Base, out)
+	case *verilog.ConcatExpr:
+		for _, p := range x.Parts {
+			collectLValueIndexReads(p, out)
+		}
+	}
+}
+
+// expandStar converts @* into an explicit level sensitivity list.
+func (s *Simulator) expandStar(body verilog.Stmt) *verilog.SensList {
+	var reads []verilog.Expr
+	collectStmtReads(body, &reads)
+	sl := &verilog.SensList{}
+	for _, e := range reads {
+		sl.Items = append(sl.Items, verilog.SensItem{Edge: verilog.EdgeLevel, Sig: e})
+	}
+	return sl
+}
+
+// ---------------------------------------------------------------- exec
+
+const stmtBudget = 20_000_000
+
+func (s *Simulator) tick() {
+	s.steps++
+	if s.steps > stmtBudget {
+		panic(faultf("statement budget exceeded (possible infinite loop in RTL)"))
+	}
+}
+
+// execStmt interprets one statement in scope inst on process p.
+func (s *Simulator) execStmt(inst *Instance, p *sim.Proc, st verilog.Stmt) {
+	s.tick()
+	switch x := st.(type) {
+	case *verilog.Block:
+		for _, inner := range x.Stmts {
+			s.execStmt(inst, p, inner)
+		}
+	case *verilog.If:
+		if s.eval(inst, x.Cond).ToBool() == hdl.L1 {
+			s.execStmt(inst, p, x.Then)
+		} else if x.Else != nil {
+			s.execStmt(inst, p, x.Else)
+		}
+	case *verilog.Case:
+		s.execCase(inst, p, x)
+	case *verilog.For:
+		s.execStmt(inst, p, x.Init)
+		for s.eval(inst, x.Cond).ToBool() == hdl.L1 {
+			s.tick()
+			s.execStmt(inst, p, x.Body)
+			s.execStmt(inst, p, x.Step)
+		}
+	case *verilog.While:
+		for s.eval(inst, x.Cond).ToBool() == hdl.L1 {
+			s.tick()
+			s.execStmt(inst, p, x.Body)
+		}
+	case *verilog.Repeat:
+		nv := s.eval(inst, x.Count)
+		n, ok := nv.Uint()
+		if !ok {
+			return
+		}
+		for i := uint64(0); i < n; i++ {
+			s.tick()
+			s.execStmt(inst, p, x.Body)
+		}
+	case *verilog.Forever:
+		for {
+			s.tick()
+			s.execStmt(inst, p, x.Body)
+		}
+	case *verilog.Assign:
+		ts, total := s.resolveTargets(inst, x.LHS)
+		val := s.evalCtx(inst, x.RHS, total)
+		if x.Blocking {
+			s.applyTargets(ts, total, val)
+		} else {
+			s.kernel.NBA(func() { s.applyTargets(ts, total, val) })
+		}
+	case *verilog.DelayStmt:
+		av := s.eval(inst, x.Amount)
+		n, ok := av.Uint()
+		if !ok {
+			panic(faultf("delay amount is unknown"))
+		}
+		p.Delay(sim.Time(n))
+		s.execStmt(inst, p, x.Body)
+	case *verilog.EventWait:
+		sens := x.Sens
+		if sens.Star {
+			sens = s.expandStar(x.Body)
+		}
+		s.registerWait(inst, sens, func() { p.Activate() })
+		p.WaitActivation()
+		s.execStmt(inst, p, x.Body)
+	case *verilog.WaitStmt:
+		for s.eval(inst, x.Cond).ToBool() != hdl.L1 {
+			s.tick()
+			sigs := s.collectSignals(inst, x.Cond)
+			if len(sigs) == 0 {
+				panic(faultf("wait condition can never change"))
+			}
+			sl := &verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgeLevel, Sig: x.Cond}}}
+			s.registerWait(inst, sl, func() { p.Activate() })
+			p.WaitActivation()
+		}
+		s.execStmt(inst, p, x.Body)
+	case *verilog.SysCall:
+		s.execSysCall(inst, x)
+	case *verilog.Null:
+		// nothing
+	}
+}
+
+func (s *Simulator) execCase(inst *Instance, p *sim.Proc, x *verilog.Case) {
+	subject := s.eval(inst, x.Expr)
+	var deflt *verilog.CaseItem
+	for i := range x.Items {
+		item := &x.Items[i]
+		if item.Exprs == nil {
+			deflt = item
+			continue
+		}
+		for _, pat := range item.Exprs {
+			pv := s.eval(inst, pat)
+			if caseMatches(x.Kind, subject, pv) {
+				s.execStmt(inst, p, item.Body)
+				return
+			}
+		}
+	}
+	if deflt != nil {
+		s.execStmt(inst, p, deflt.Body)
+	}
+}
+
+// caseMatches compares subject and pattern under case/casez/casex rules.
+func caseMatches(kind verilog.CaseKind, subject, pat hdl.Vector) bool {
+	w := subject.Width()
+	if pat.Width() > w {
+		w = pat.Width()
+	}
+	sv, pv := subject.Resize(w), pat.Resize(w)
+	for i := 0; i < w; i++ {
+		sb, pb := sv.Bits[i], pv.Bits[i]
+		switch kind {
+		case verilog.CaseZ:
+			if sb == hdl.LZ || pb == hdl.LZ {
+				continue
+			}
+		case verilog.CaseX:
+			if sb == hdl.LZ || pb == hdl.LZ || sb == hdl.LX || pb == hdl.LX {
+				continue
+			}
+		}
+		if sb != pb {
+			return false
+		}
+	}
+	return true
+}

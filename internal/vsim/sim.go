@@ -1,0 +1,429 @@
+package vsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hdl"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	MaxTime   sim.Time // simulated-time limit (default 1,000,000)
+	Seed      uint64   // $random seed
+	File      string   // logical source file name used in $finish/$stop lines
+	MaxOutput int      // cap on captured log bytes (default 1 MiB)
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Log      string
+	Finished bool // $finish executed
+	Stopped  bool // $stop executed
+	TimedOut bool // hit MaxTime or event/delta limits
+	Fault    string
+	EndTime  sim.Time
+	VCD      string // waveform dump when the bench ran $dumpvars
+}
+
+// Simulator interprets an elaborated design on the event kernel.
+type Simulator struct {
+	kernel *sim.Kernel
+	design *Design
+	log    strings.Builder
+	logCap int
+	rng    uint64
+	file   string
+	steps  uint64
+
+	finished bool
+	stopped  bool
+	vcd      vcdDumper
+}
+
+// Simulate elaborates top from modules and runs it to completion.
+func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Result, error) {
+	d, err := Elaborate(modules, top)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxTime == 0 {
+		opts.MaxTime = 1_000_000
+	}
+	if opts.MaxOutput == 0 {
+		opts.MaxOutput = 1 << 20
+	}
+	if opts.File == "" {
+		opts.File = "tb.v"
+	}
+	s := &Simulator{
+		kernel: sim.NewKernel(),
+		design: d,
+		rng:    opts.Seed ^ 0x9E3779B97F4A7C15,
+		file:   opts.File,
+		logCap: opts.MaxOutput,
+	}
+	s.kernel.MaxTime = opts.MaxTime
+	s.bind()
+	reason := s.kernel.Run()
+	s.kernel.Shutdown()
+
+	res := &Result{
+		Log:      s.log.String(),
+		Finished: s.finished,
+		Stopped:  s.stopped,
+		Fault:    s.kernel.Fault(),
+		EndTime:  s.kernel.Now(),
+	}
+	if s.vcd.enabled {
+		res.VCD = s.vcd.out.String()
+	}
+	switch reason {
+	case sim.StopTimeout, sim.StopDeltas, sim.StopEvents:
+		res.TimedOut = true
+		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, s.kernel.Now())
+	}
+	if res.Fault != "" && !strings.Contains(res.Log, res.Fault) {
+		res.Log += "SIMULATOR: " + res.Fault + "\n"
+	}
+	return res, nil
+}
+
+// bind creates runtime machinery for every behavioural item.
+func (s *Simulator) bind() {
+	// Continuous assignments: persistent re-evaluation on RHS changes.
+	for i := range s.design.contAssigns {
+		s.bindContAssign(&s.design.contAssigns[i])
+	}
+	// Processes.
+	for i := range s.design.procs {
+		bp := s.design.procs[i]
+		switch {
+		case bp.always != nil:
+			s.bindAlways(bp.scope, bp.always)
+		case bp.initial != nil:
+			s.bindInitial(bp.scope, bp.initial)
+		}
+	}
+}
+
+// contAssignRT is the runtime state of one continuous assignment.
+type contAssignRT struct {
+	s       *Simulator
+	a       *boundAssign
+	pending bool
+}
+
+func (c *contAssignRT) schedule() {
+	if c.pending {
+		return
+	}
+	c.pending = true
+	c.s.kernel.Active(func() {
+		c.pending = false
+		c.update()
+	})
+}
+
+func (c *contAssignRT) update() {
+	defer c.s.recoverFault()
+	ts, total := c.s.resolveTargets(c.a.lhsScope, c.a.lhs)
+	val := c.s.evalCtx(c.a.rhsScope, c.a.rhs, total)
+	c.s.applyTargets(ts, total, val)
+}
+
+func (s *Simulator) bindContAssign(a *boundAssign) {
+	rt := &contAssignRT{s: s, a: a}
+	// Persistent watchers on every RHS signal.
+	func() {
+		defer s.recoverFault()
+		for _, sig := range s.collectSignals(a.rhsScope, a.rhs) {
+			g := &persistentWatch{fire: rt.schedule}
+			w := &watcher{edge: verilog.EdgeLevel, group: g.asGroup()}
+			sig.watchers = append(sig.watchers, w)
+		}
+	}()
+	// Initial evaluation at time zero.
+	rt.schedule()
+}
+
+// persistentWatch adapts the one-shot waitGroup protocol to a
+// persistent callback: fire never detaches and always reschedules.
+type persistentWatch struct {
+	fire func()
+}
+
+func (p *persistentWatch) asGroup() *waitGroup {
+	g := &waitGroup{}
+	g.resume = p.fire
+	// Monkey-patch firing semantics: reset fired immediately so the
+	// group stays armed; watchers stay alive.
+	origResume := g.resume
+	g.resume = func() {
+		g.fired = false
+		for _, w := range g.watchers {
+			w.dead = false
+		}
+		origResume()
+	}
+	return g
+}
+
+// recoverFault converts a runtimeFault panic into a kernel fault.
+func (s *Simulator) recoverFault() {
+	if r := recover(); r != nil {
+		if f, ok := r.(runtimeFault); ok {
+			s.kernel.SetFault(f.msg)
+			return
+		}
+		panic(r)
+	}
+}
+
+func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock) {
+	sens := alw.Sens
+	body := alw.Body
+	s.kernel.SpawnProcess(inst.Path+".always", func(p *sim.Proc) {
+		defer s.procRecover()
+		for {
+			if sens != nil {
+				effective := sens
+				if sens.Star {
+					effective = s.expandStar(body)
+				}
+				s.registerWait(inst, effective, func() { p.Activate() })
+				p.WaitActivation()
+			}
+			s.execStmt(inst, p, body)
+			if sens == nil {
+				// always without @: must contain delays; execStmt's
+				// budget catches zero-delay loops.
+				s.tick()
+			}
+		}
+	})
+}
+
+func (s *Simulator) bindInitial(inst *Instance, ib *verilog.InitialBlock) {
+	s.kernel.SpawnProcess(inst.Path+".initial", func(p *sim.Proc) {
+		defer s.procRecover()
+		s.execStmt(inst, p, ib.Body)
+	})
+}
+
+// procRecover converts runtimeFault panics raised inside a process into
+// kernel faults and unwinds the process cleanly.
+func (s *Simulator) procRecover() {
+	if r := recover(); r != nil {
+		switch f := r.(type) {
+		case runtimeFault:
+			s.kernel.SetFault(f.msg)
+			panic(sim.TerminateProcess{})
+		default:
+			panic(r)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- tasks
+
+func (s *Simulator) logf(format string, args ...any) {
+	if s.log.Len() > s.logCap {
+		return
+	}
+	fmt.Fprintf(&s.log, format, args...)
+}
+
+func (s *Simulator) execSysCall(inst *Instance, x *verilog.SysCall) {
+	switch x.Name {
+	case "$display", "$write", "$strobe", "$error", "$info", "$warning":
+		text := s.formatArgs(inst, x.Args)
+		if x.Name == "$error" {
+			text = "ERROR: " + text
+		}
+		s.logf("%s", text)
+		if x.Name != "$write" {
+			s.logf("\n")
+		}
+	case "$monitor":
+		s.installMonitor(inst, x.Args)
+	case "$finish":
+		s.finished = true
+		s.logf("%s:%d: $finish called at %d (1ns)\n", s.file, x.Pos.Line, s.kernel.Now())
+		s.kernel.Finish()
+		panic(sim.TerminateProcess{})
+	case "$stop":
+		s.stopped = true
+		s.logf("%s:%d: $stop called at %d (1ns)\n", s.file, x.Pos.Line, s.kernel.Now())
+		s.kernel.Finish()
+		panic(sim.TerminateProcess{})
+	case "$fatal":
+		s.logf("FATAL: %s\n", s.formatArgs(inst, x.Args))
+		s.finished = true
+		s.kernel.Finish()
+		panic(sim.TerminateProcess{})
+	case "$dumpfile":
+		if len(x.Args) == 1 {
+			if lit, ok := x.Args[0].(*verilog.StringLit); ok {
+				s.vcd.fileName = lit.Value
+			}
+		}
+	case "$dumpvars":
+		s.vcd.enable(s)
+	case "$timeformat", "$dumpon", "$dumpoff":
+		// Accepted and ignored.
+	case "$readmemh", "$readmemb":
+		panic(faultf("%s is not supported by this simulator", x.Name))
+	default:
+		panic(faultf("unsupported system task %s", x.Name))
+	}
+}
+
+// installMonitor implements $monitor: print now, then re-print whenever
+// any referenced signal changes (at most one line per delta batch).
+func (s *Simulator) installMonitor(inst *Instance, args []verilog.Expr) {
+	print := func() {
+		defer s.recoverFault()
+		s.logf("%s\n", s.formatArgs(inst, args))
+	}
+	pending := false
+	firePrint := func() {
+		if pending {
+			return
+		}
+		pending = true
+		s.kernel.Active(func() {
+			pending = false
+			print()
+		})
+	}
+	func() {
+		defer s.recoverFault()
+		for _, a := range args {
+			for _, sig := range s.collectSignals(inst, a) {
+				g := &persistentWatch{fire: firePrint}
+				w := &watcher{edge: verilog.EdgeLevel, group: g.asGroup()}
+				sig.watchers = append(sig.watchers, w)
+			}
+		}
+	}()
+	print()
+}
+
+// formatArgs renders $display-style arguments: a leading string literal
+// containing % directives is treated as a format string.
+func (s *Simulator) formatArgs(inst *Instance, args []verilog.Expr) string {
+	if len(args) == 0 {
+		return ""
+	}
+	if lit, ok := args[0].(*verilog.StringLit); ok && strings.Contains(lit.Value, "%") {
+		return s.formatString(inst, lit.Value, args[1:])
+	}
+	var sb strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if lit, ok := a.(*verilog.StringLit); ok {
+			sb.WriteString(lit.Value)
+		} else {
+			sb.WriteString(s.eval(inst, a).DecString())
+		}
+	}
+	return sb.String()
+}
+
+func (s *Simulator) formatString(inst *Instance, format string, args []verilog.Expr) string {
+	var sb strings.Builder
+	argi := 0
+	nextArg := func() (hdl.Vector, bool) {
+		if argi >= len(args) {
+			return hdl.Vector{}, false
+		}
+		v := s.eval(inst, args[argi])
+		argi++
+		return v, true
+	}
+	i := 0
+	for i < len(format) {
+		ch := format[i]
+		if ch != '%' {
+			sb.WriteByte(ch)
+			i++
+			continue
+		}
+		i++
+		// Skip width/zero flags: %0d, %2d ...
+		for i < len(format) && (format[i] >= '0' && format[i] <= '9') {
+			i++
+		}
+		if i >= len(format) {
+			sb.WriteByte('%')
+			break
+		}
+		verb := format[i]
+		i++
+		switch verb {
+		case '%':
+			sb.WriteByte('%')
+		case 'd', 'D':
+			if v, ok := nextArg(); ok {
+				sb.WriteString(v.DecString())
+			}
+		case 'b', 'B':
+			if v, ok := nextArg(); ok {
+				sb.WriteString(v.BinString())
+			}
+		case 'h', 'H', 'x', 'X':
+			if v, ok := nextArg(); ok {
+				sb.WriteString(v.HexString())
+			}
+		case 'o', 'O':
+			if v, ok := nextArg(); ok {
+				if u, known := v.Uint(); known {
+					sb.WriteString(fmt.Sprintf("%o", u))
+				} else {
+					sb.WriteString("x")
+				}
+			}
+		case 'c':
+			if v, ok := nextArg(); ok {
+				if u, known := v.Uint(); known {
+					sb.WriteByte(byte(u))
+				}
+			}
+		case 's':
+			if argi < len(args) {
+				if lit, isStr := args[argi].(*verilog.StringLit); isStr {
+					sb.WriteString(lit.Value)
+					argi++
+					break
+				}
+			}
+			if v, ok := nextArg(); ok {
+				// Packed ASCII back to string.
+				n := v.Width() / 8
+				bs := make([]byte, 0, n)
+				for j := n - 1; j >= 0; j-- {
+					u, _ := v.Slice(j*8, 8).Uint()
+					if u != 0 {
+						bs = append(bs, byte(u))
+					}
+				}
+				sb.Write(bs)
+			}
+		case 't', 'T':
+			if v, ok := nextArg(); ok {
+				sb.WriteString(v.DecString())
+			}
+		case 'm':
+			sb.WriteString(inst.Path)
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(verb)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package vsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hdl"
+	"repro/internal/sim"
+)
+
+// vcdDumper records value changes in IEEE 1364 VCD format once the
+// testbench executes $dumpvars. The dump is returned in Result.VCD.
+type vcdDumper struct {
+	out      strings.Builder
+	ids      map[*Signal]string
+	enabled  bool
+	lastTime sim.Time
+	headerOK bool
+	fileName string
+	cap      int
+}
+
+// vcdID generates the printable short identifier for the n-th signal.
+func vcdID(n int) string {
+	const first, last = 33, 126 // '!' .. '~'
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(first + n%(last-first+1)))
+		n /= (last - first + 1)
+		if n == 0 {
+			return sb.String()
+		}
+		n--
+	}
+}
+
+// enable emits the header covering every signal of the design and
+// starts change recording.
+func (v *vcdDumper) enable(s *Simulator) {
+	if v.enabled {
+		return
+	}
+	v.enabled = true
+	v.ids = map[*Signal]string{}
+	if v.cap == 0 {
+		v.cap = 1 << 20
+	}
+	v.out.WriteString("$timescale 1ns $end\n")
+	// Group signals by instance path for $scope sections.
+	byScope := map[string][]*Signal{}
+	var scopes []string
+	for _, sig := range s.design.All {
+		if sig.IsMem {
+			continue // memories are not dumped
+		}
+		scope := sig.Name[:len(sig.Name)-len(sig.Local)-1]
+		if _, ok := byScope[scope]; !ok {
+			scopes = append(scopes, scope)
+		}
+		byScope[scope] = append(byScope[scope], sig)
+	}
+	n := 0
+	for _, scope := range scopes {
+		fmt.Fprintf(&v.out, "$scope module %s $end\n", strings.ReplaceAll(scope, ".", "_"))
+		for _, sig := range byScope[scope] {
+			id := vcdID(n)
+			n++
+			v.ids[sig] = id
+			fmt.Fprintf(&v.out, "$var wire %d %s %s $end\n", sig.Width, id, sig.Local)
+		}
+		v.out.WriteString("$upscope $end\n")
+	}
+	v.out.WriteString("$enddefinitions $end\n")
+	v.out.WriteString("#0\n$dumpvars\n")
+	for sig, id := range v.ids {
+		v.writeValue(sig.Val, id)
+	}
+	v.out.WriteString("$end\n")
+	v.lastTime = s.kernel.Now()
+	v.headerOK = true
+}
+
+// change records one signal transition.
+func (v *vcdDumper) change(s *Simulator, sig *Signal) {
+	if !v.enabled || v.out.Len() > v.cap {
+		return
+	}
+	id, ok := v.ids[sig]
+	if !ok {
+		return
+	}
+	if now := s.kernel.Now(); now != v.lastTime {
+		fmt.Fprintf(&v.out, "#%d\n", now)
+		v.lastTime = now
+	}
+	v.writeValue(sig.Val, id)
+}
+
+func (v *vcdDumper) writeValue(val hdl.Vector, id string) {
+	if val.Width() == 1 {
+		fmt.Fprintf(&v.out, "%c%s\n", val.Bit(0).Rune(), id)
+		return
+	}
+	fmt.Fprintf(&v.out, "b%s %s\n", val.BinString(), id)
+}

@@ -1,0 +1,82 @@
+package vsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verilog"
+)
+
+func TestVCDDump(t *testing.T) {
+	mods := map[string]*verilog.Module{}
+	sf, diags := verilog.Parse("t.v", `
+module tb;
+  reg clk;
+  reg [3:0] n;
+  always #5 clk = ~clk;
+  always @(posedge clk) n <= n + 1;
+  initial begin
+    $dumpfile("wave.vcd");
+    $dumpvars;
+    clk = 0; n = 0;
+    #25;
+    $finish;
+  end
+endmodule`)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	for _, m := range sf.Modules {
+		mods[m.Name] = m
+	}
+	res, err := Simulate(mods, "tb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcd := res.VCD
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 1", "$var wire 4",
+		"$enddefinitions $end",
+		"#0", "#5", "#15",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// The 4-bit counter must show binary value changes.
+	if !strings.Contains(vcd, "b0001 ") && !strings.Contains(vcd, "b0010 ") {
+		t.Errorf("no counter transitions in VCD:\n%s", vcd)
+	}
+}
+
+func TestVCDIdentifiers(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("unprintable id rune %q", r)
+			}
+		}
+	}
+}
+
+func TestNoVCDWithoutDumpvars(t *testing.T) {
+	mods := map[string]*verilog.Module{}
+	sf, _ := verilog.Parse("t.v", `module tb; initial $finish; endmodule`)
+	for _, m := range sf.Modules {
+		mods[m.Name] = m
+	}
+	res, err := Simulate(mods, "tb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VCD != "" {
+		t.Error("VCD produced without $dumpvars")
+	}
+}
