@@ -9,6 +9,18 @@
 //	benchsuite -all         everything
 //
 // Use -every N to subsample the suite (N>1 keeps runs quick).
+//
+// Orchestration flags (see internal/runner):
+//
+//	-cache-dir d   persist one JSON result per evaluated cell under d;
+//	               later runs skip completed cells, so a crashed sweep
+//	               resumes where it died and re-renders are near-free
+//	-resume=false  recompute in-shard cells and overwrite their cache
+//	               entries (default true: reuse what the cache holds)
+//	-shard i/n     evaluate only this invocation's deterministic slice
+//	               of each sweep; shards merge through a shared -cache-dir
+//	-progress      stream per-cell outcomes with a cache-hit rate and ETA
+//	               to stderr
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/llm"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -38,11 +51,32 @@ func main() {
 		jsonOut    = flag.String("json", "", "also write raw summaries as JSON to this file")
 		every      = flag.Int("every", 1, "evaluate every N-th problem (subsampling)")
 		workers    = flag.Int("workers", 0, "max parallel problems (0 = auto)")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (enables resume)")
+		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
+		shardSpec  = flag.String("shard", "", "evaluate only shard \"i/n\" of each sweep (e.g. \"0/2\")")
+		progress   = flag.Bool("progress", false, "stream per-cell progress and ETA to stderr")
 	)
 	flag.Parse()
 	if !*table1 && !*fig3 && !*table2 && !*ablation && !*sweep && !*categories && !*all {
 		flag.Usage()
 		os.Exit(2)
+	}
+	shard, err := runner.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(2)
+	}
+	run := &runner.Runner{Workers: *workers, Shard: shard, Refresh: !*resume}
+	if *cacheDir != "" {
+		if run.Cache, err = runner.OpenCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: opening cache: %v\n", err)
+			os.Exit(1)
+		}
+	} else if shard.Enabled() {
+		fmt.Fprintln(os.Stderr, "benchsuite: warning: -shard without -cache-dir cannot merge results across invocations")
+	}
+	if *progress {
+		run.Progress = runner.NewProgress(os.Stderr)
 	}
 
 	suite := bench.NewSuite()
@@ -58,7 +92,7 @@ func main() {
 	}
 	fmt.Printf("Benchmark suite: %d problems (%d categories)\n\n",
 		len(problems), len(suite.Categories()))
-	opts := exp.Options{Problems: problems, MaxWorkers: *workers}
+	opts := exp.Options{Problems: problems, Runner: run}
 
 	var matrix []*exp.Summary
 	needMatrix := *table1 || *fig3 || *table2 || *categories || *all
@@ -96,6 +130,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsuite: writing JSON: %v\n", err)
 		}
 	}
+	fmt.Println(report.Manifest(run.Stats()))
 }
 
 // measuredTable2 derives our measured comparison rows (Verilog only).

@@ -44,10 +44,12 @@ func DefaultConfig(model llm.Model, lang edatool.Language) Config {
 }
 
 // Latency is the per-stage wall-clock breakdown of Figure 3, seconds.
+// The JSON tags are part of the runner's on-disk cache schema — keep
+// them stable or cached sweeps silently lose their latency columns.
 type Latency struct {
-	Baseline float64 // zero-shot RTL generation
-	Syntax   float64 // Syntax Optimization loop (incl. TB syntax checks)
-	Func     float64 // Functional Optimization loop
+	Baseline float64 `json:"baseline"` // zero-shot RTL generation
+	Syntax   float64 `json:"syntax"`   // Syntax Optimization loop (incl. TB syntax checks)
+	Func     float64 `json:"func"`     // Functional Optimization loop
 }
 
 // Total returns the end-to-end latency.

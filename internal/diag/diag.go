@@ -1,8 +1,3 @@
-// Package diag defines the structured diagnostic type shared by the
-// Verilog and VHDL front-ends. Package edatool renders diagnostics into
-// Vivado-flavoured logs; package agents parses those logs back into
-// corrective prompts, so this type is the common currency of the whole
-// syntax-optimization loop.
 package diag
 
 import (

@@ -1,0 +1,15 @@
+// Package diag defines the structured diagnostic type shared by the
+// Verilog and VHDL front-ends — the common currency of the whole
+// syntax-optimization loop.
+//
+// A Diagnostic carries severity, source position, an error code, and a
+// message. The flow through the system is a round trip: front-ends
+// emit diagnostics while lexing/parsing/checking; internal/edatool
+// renders them into Vivado-flavoured compile logs (the only form a
+// real LLM would ever see); internal/agents parses those logs back
+// into localized feedback items; and the Review Agent folds them into
+// the corrective prompt that drives the next Code Agent repair.
+// Keeping the structured form in one package ensures the log renderer
+// and the log parser cannot drift apart — a drift that would silently
+// break repair convergence rather than any single test.
+package diag

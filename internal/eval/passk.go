@@ -1,6 +1,3 @@
-// Package eval implements the unbiased pass@k estimator of Chen et al.
-// (2021), used by the paper for both pass@1S (syntax) and pass@1F
-// (functional) metrics.
 package eval
 
 // PassAtK returns the unbiased estimator

@@ -6,30 +6,32 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/edatool"
 	"repro/internal/eval"
 	"repro/internal/llm"
+	"repro/internal/runner"
 )
 
-// ProblemOutcome captures one problem's measurements.
+// ProblemOutcome captures one problem's measurements. It is the
+// payload persisted per cell in the runner's result cache, so its JSON
+// shape is the cache schema.
 type ProblemOutcome struct {
-	ID       string
-	Category string
+	ID       string `json:"id"`
+	Category string `json:"category"`
 
-	BaselineSyntaxOK bool
-	BaselineFuncOK   bool
-	LoopSyntaxOK     bool
-	LoopFuncOK       bool
-	SelfVerified     bool
+	BaselineSyntaxOK bool `json:"baseline_syntax_ok"`
+	BaselineFuncOK   bool `json:"baseline_func_ok"`
+	LoopSyntaxOK     bool `json:"loop_syntax_ok"`
+	LoopFuncOK       bool `json:"loop_func_ok"`
+	SelfVerified     bool `json:"self_verified"`
 
-	SyntaxIters int
-	FuncIters   int
-	Latency     core.Latency
+	SyntaxIters int          `json:"syntax_iters"`
+	FuncIters   int          `json:"func_iters"`
+	Latency     core.Latency `json:"latency"`
 }
 
 // Summary aggregates a (model, language) sweep over the suite.
@@ -78,61 +80,95 @@ type Options struct {
 	Problems   []*bench.Problem // defaults to the full suite
 	Configure  func(*core.Config)
 	MaxWorkers int
+	// Runner, when set, orchestrates the sweep: its cache makes runs
+	// resumable, its shard splits the job set across invocations, and
+	// its progress reporter streams per-cell outcomes. When nil the
+	// sweep runs on a private in-memory runner (MaxWorkers workers).
+	Runner *runner.Runner
 }
 
-// Run sweeps one model over one language.
+// configKey fingerprints the effective pipeline configuration. It is
+// part of the runner job identity, so sweeps with different budgets or
+// ablation variants (Configure hooks) occupy distinct cache cells.
+func configKey(cfg core.Config) string {
+	return fmt.Sprintf("syn%d,fun%d,sim%d,freeze=%t,skipf=%t",
+		cfg.MaxSyntaxIters, cfg.MaxFuncIters, cfg.MaxSimTime,
+		cfg.FreezeTestbench, cfg.SkipFunctional)
+}
+
+// effectiveConfig applies the Configure hook on top of the defaults.
+func (o Options) effectiveConfig(model *llm.Profile, lang edatool.Language) core.Config {
+	cfg := core.DefaultConfig(model, lang)
+	if o.Configure != nil {
+		o.Configure(&cfg)
+	}
+	return cfg
+}
+
+// evaluate runs the pipeline and both judgements for one cell. This is
+// the unit of work the runner executes, caches, and shards.
+func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config) ProblemOutcome {
+	res := core.New(cfg).Run(prob)
+	out := ProblemOutcome{
+		ID:           prob.ID,
+		Category:     prob.Category,
+		SelfVerified: res.SelfVerified,
+		SyntaxIters:  res.SyntaxIters,
+		FuncIters:    res.FuncIters,
+		Latency:      res.Latency,
+	}
+	out.BaselineSyntaxOK = core.EvaluateSyntax(lang, res.BaselineRTL)
+	if out.BaselineSyntaxOK {
+		out.BaselineFuncOK = core.EvaluateFunctional(lang, prob, res.BaselineRTL, cfg.MaxSimTime)
+	}
+	out.LoopSyntaxOK = res.SyntaxOK
+	if res.SyntaxOK {
+		out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
+	}
+	return out
+}
+
+// Run sweeps one model over one language by submitting one job per
+// problem to the runner. In a sharded invocation, cells owned by other
+// shards are included only when the cache can supply them; the summary
+// then covers the cells that have results (N reflects that), and a
+// follow-up run against the same cache merges the shards.
 func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 	problems := opts.Problems
 	if problems == nil {
 		problems = bench.NewSuite().Problems
 	}
-	workers := opts.MaxWorkers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-		if workers > 8 {
-			workers = 8
+	r := opts.Runner
+	if r == nil {
+		r = &runner.Runner{Workers: opts.MaxWorkers}
+	}
+	cfg := opts.effectiveConfig(model, lang)
+	key := configKey(cfg)
+	jobs := make([]runner.Job, len(problems))
+	for i, p := range problems {
+		jobs[i] = runner.Job{
+			Problem:  p.ID,
+			Model:    model.Name(),
+			Language: lang.String(),
+			Config:   key,
 		}
 	}
+	results := runner.Execute(r, jobs, func(i int, _ runner.Job) (ProblemOutcome, error) {
+		return evaluate(problems[i], lang, cfg), nil
+	})
+
 	sum := &Summary{
 		Model:    model.Name(),
 		License:  model.License(),
 		Language: lang,
-		N:        len(problems),
-		Outcomes: make([]ProblemOutcome, len(problems)),
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, prob := range problems {
-		wg.Add(1)
-		go func(i int, prob *bench.Problem) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := core.DefaultConfig(model, lang)
-			if opts.Configure != nil {
-				opts.Configure(&cfg)
-			}
-			res := core.New(cfg).Run(prob)
-			out := ProblemOutcome{
-				ID:           prob.ID,
-				Category:     prob.Category,
-				SelfVerified: res.SelfVerified,
-				SyntaxIters:  res.SyntaxIters,
-				FuncIters:    res.FuncIters,
-				Latency:      res.Latency,
-			}
-			out.BaselineSyntaxOK = core.EvaluateSyntax(lang, res.BaselineRTL)
-			if out.BaselineSyntaxOK {
-				out.BaselineFuncOK = core.EvaluateFunctional(lang, prob, res.BaselineRTL, cfg.MaxSimTime)
-			}
-			out.LoopSyntaxOK = res.SyntaxOK
-			if res.SyntaxOK {
-				out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
-			}
-			sum.Outcomes[i] = out
-		}(i, prob)
+	for _, res := range results {
+		if res.Status == runner.Skipped || res.Status == runner.Failed {
+			continue
+		}
+		sum.Outcomes = append(sum.Outcomes, res.Value)
 	}
-	wg.Wait()
+	sum.N = len(sum.Outcomes)
 
 	var latB, latS, latF, itS, itF float64
 	for _, o := range sum.Outcomes {

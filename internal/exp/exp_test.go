@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/edatool"
 	"repro/internal/llm"
+	"repro/internal/runner"
 )
 
 func sampleProblems(every int) []*bench.Problem {
@@ -103,5 +105,85 @@ func TestCategoryRates(t *testing.T) {
 	cr := s.CategoryRates()
 	if cr["fsm"] != [2]int{1, 2} || cr["gates"] != [2]int{1, 1} {
 		t.Errorf("CategoryRates = %v", cr)
+	}
+}
+
+func mustCache(t *testing.T) *runner.Cache {
+	t.Helper()
+	c, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCachedRunIsIdentical: a second identical sweep against the same
+// cache directory must be served entirely from cache and reproduce the
+// first run's summary bit for bit.
+func TestCachedRunIsIdentical(t *testing.T) {
+	problems := sampleProblems(20)
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	cache := mustCache(t)
+
+	r1 := &runner.Runner{Cache: cache}
+	a := Run(model, edatool.Verilog, Options{Problems: problems, Runner: r1})
+	if st := r1.Stats(); st.Executed != len(problems) || st.CacheHits != 0 {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+
+	r2 := &runner.Runner{Cache: cache}
+	b := Run(model, edatool.Verilog, Options{Problems: problems, Runner: r2})
+	if st := r2.Stats(); st.CacheHits != len(problems) || st.Executed != 0 {
+		t.Fatalf("warm run stats: %+v (want 100%% hits)", st)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cached summary differs:\n  cold %+v\n  warm %+v", a, b)
+	}
+}
+
+// TestConfigureChangesCacheCell: ablation variants must not collide
+// with the default configuration in the cache.
+func TestConfigureChangesCacheCell(t *testing.T) {
+	problems := sampleProblems(30)
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	cache := mustCache(t)
+
+	Run(model, edatool.Verilog, Options{Problems: problems, Runner: &runner.Runner{Cache: cache}})
+	r := &runner.Runner{Cache: cache}
+	Run(model, edatool.Verilog, Options{
+		Problems:  problems,
+		Runner:    r,
+		Configure: func(c *core.Config) { c.SkipFunctional = true },
+	})
+	if st := r.Stats(); st.CacheHits != 0 || st.Executed != len(problems) {
+		t.Fatalf("ablation hit default-config cells: %+v", st)
+	}
+}
+
+// TestShardedRunsMergeViaCache: shard 0/2 then shard 1/2 over a shared
+// cache must together reproduce the unsharded summary exactly.
+func TestShardedRunsMergeViaCache(t *testing.T) {
+	problems := sampleProblems(16)
+	model := llm.ProfileByName("llama3-70b")
+	want := Run(model, edatool.Verilog, Options{Problems: problems})
+
+	cache := mustCache(t)
+	r0 := &runner.Runner{Cache: cache, Shard: runner.Shard{Index: 0, Count: 2}}
+	partial := Run(model, edatool.Verilog, Options{Problems: problems, Runner: r0})
+	st0 := r0.Stats()
+	if st0.Skipped == 0 || st0.Executed == 0 {
+		t.Fatalf("shard 0 did not partition: %+v", st0)
+	}
+	if partial.N != st0.Executed {
+		t.Fatalf("partial summary N = %d, executed = %d", partial.N, st0.Executed)
+	}
+
+	r1 := &runner.Runner{Cache: cache, Shard: runner.Shard{Index: 1, Count: 2}}
+	got := Run(model, edatool.Verilog, Options{Problems: problems, Runner: r1})
+	if st1 := r1.Stats(); st1.Skipped != 0 || st1.Executed+st1.CacheHits != len(problems) {
+		t.Fatalf("shard 1 stats: %+v", st1)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("sharded union differs from unsharded run:\n  want %+v\n  got  %+v", want, got)
 	}
 }

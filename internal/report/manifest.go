@@ -1,0 +1,31 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+// Manifest renders the run manifest: what the orchestration layer did
+// on this invocation — cells executed vs served from cache, cells left
+// to other shards, and wall-clock. It is the at-a-glance answer to
+// "did the cache work?" and "is this shard done?".
+func Manifest(st runner.Stats) string {
+	var sb strings.Builder
+	sb.WriteString("Run manifest\n")
+	sb.WriteString(strings.Repeat("-", 44) + "\n")
+	fmt.Fprintf(&sb, "  %-22s %s\n", "shard", st.Shard)
+	fmt.Fprintf(&sb, "  %-22s %d\n", "jobs submitted", st.Total)
+	fmt.Fprintf(&sb, "  %-22s %d\n", "executed", st.Executed)
+	fmt.Fprintf(&sb, "  %-22s %d (%.1f%% hit rate)\n", "cache hits", st.CacheHits, 100*st.HitRate())
+	fmt.Fprintf(&sb, "  %-22s %d\n", "skipped (other shard)", st.Skipped)
+	if st.Failed > 0 {
+		fmt.Fprintf(&sb, "  %-22s %d\n", "failed", st.Failed)
+	}
+	if st.StoreErrors > 0 {
+		fmt.Fprintf(&sb, "  %-22s %d (these cells will recompute next run)\n", "cache write errors", st.StoreErrors)
+	}
+	fmt.Fprintf(&sb, "  %-22s %.2fs\n", "wall-clock", st.Wall.Seconds())
+	return sb.String()
+}

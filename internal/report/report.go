@@ -1,5 +1,3 @@
-// Package report renders the experiment summaries into the tables and
-// figure series of the paper's evaluation section.
 package report
 
 import (

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed on-disk result store: one JSON file per
+// job, named by the job key, fanned out over 256 prefix directories.
+// Writes are atomic (temp file + rename), so a sweep killed mid-write
+// never leaves a truncated entry — the cell simply reruns on resume.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk schema. The job fields are stored alongside the
+// payload so cache directories are self-describing (and auditable with
+// jq), not just the hash the file name carries.
+type entry struct {
+	Job     Job             `json:"job"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (c *Cache) path(j Job) string {
+	key := j.Key()
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Load reads the cached payload for job into v. It returns false (and
+// no error) when the entry does not exist; corrupt entries are
+// reported as errors and treated as misses by the runner.
+func (c *Cache) Load(j Job, v any) (bool, error) {
+	data, err := os.ReadFile(c.path(j))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(e.Payload, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Store writes the payload for job atomically.
+func (c *Cache) Store(j Job, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(entry{Job: j, Payload: payload}, "", " ")
+	if err != nil {
+		return err
+	}
+	path := c.path(j)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Len counts the entries currently on disk (used by tests and the
+// manifest; O(entries)).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

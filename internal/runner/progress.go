@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress streams one line per completed job to a writer, with a
+// running completion count, cache-hit rate, and a wall-clock ETA
+// extrapolated from the executed jobs seen so far. It is shared by
+// every Execute call on a Runner, so the counters span a whole
+// benchsuite invocation. All methods are goroutine-safe.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+
+	total    int
+	done     int
+	hits     int
+	executed int
+	runTime  time.Duration // cumulative elapsed across executed jobs
+}
+
+// NewProgress returns a reporter writing to w (typically os.Stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// Begin registers total more jobs as pending.
+func (p *Progress) Begin(total int) {
+	p.mu.Lock()
+	p.total += total
+	p.mu.Unlock()
+}
+
+// Done reports one finished job.
+func (p *Progress) Done(job Job, status Status, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch status {
+	case Cached:
+		p.hits++
+	case Executed, Failed:
+		p.executed++
+		p.runTime += elapsed
+	}
+	line := fmt.Sprintf("[%*d/%d] %-4s %s", width(p.total), p.done, p.total, status, job)
+	if status == Executed || status == Failed {
+		line += fmt.Sprintf(" (%.1fs)", elapsed.Seconds())
+	}
+	if p.hits > 0 {
+		line += fmt.Sprintf(" · %d%% hit", 100*p.hits/p.done)
+	}
+	if eta, ok := p.eta(); ok {
+		line += " · eta " + eta.Truncate(time.Second).String()
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// eta estimates remaining wall-clock: the pending jobs expected to
+// miss the cache (scaled by the miss rate observed so far) × mean
+// executed-job latency, divided by observed concurrency (total
+// executed time over real time). Cache hits are treated as free, so a
+// mostly-cached resume shows a small ETA rather than pricing every
+// pending hit as a full run.
+func (p *Progress) eta() (time.Duration, bool) {
+	if p.executed == 0 || p.done >= p.total {
+		return 0, false
+	}
+	real := time.Since(p.start)
+	if real <= 0 {
+		return 0, false
+	}
+	concurrency := float64(p.runTime) / float64(real)
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	perJob := float64(p.runTime) / float64(p.executed)
+	missRate := float64(p.executed) / float64(p.done)
+	remaining := float64(p.total-p.done) * missRate * perJob / concurrency
+	return time.Duration(remaining), true
+}
+
+func width(n int) int {
+	w := 1
+	for n >= 10 {
+		n /= 10
+		w++
+	}
+	return w
+}

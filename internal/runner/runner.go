@@ -1,0 +1,224 @@
+// Package runner is the experiment orchestration layer: it turns a
+// sweep of independent pipeline evaluations into addressable Jobs and
+// executes them on a worker pool with deterministic sharding, a
+// content-addressed on-disk result cache, and streaming progress.
+//
+// A Job is keyed by a hash of (problem ID, model, language, config
+// fingerprint), so the same cell always lands in the same shard and
+// the same cache file no matter which invocation runs it. That makes
+// three workflows cheap that the in-memory sweep could not support:
+//
+//   - resuming a crashed sweep (completed cells are cache hits),
+//   - re-running a report without recomputing identical cells, and
+//   - splitting one sweep across machines with -shard i/n and merging
+//     the halves through a shared cache directory.
+//
+// The package is deliberately independent of the experiment types: the
+// executor is generic over the payload, and the cache stores payloads
+// as JSON. internal/exp submits its per-problem evaluations through
+// Execute; cmd/benchsuite wires the flags.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Status classifies how a job's result was obtained.
+type Status int
+
+// Job result statuses.
+const (
+	// Executed means the job ran on this invocation's worker pool.
+	Executed Status = iota
+	// Cached means the result was loaded from the on-disk cache.
+	Cached
+	// Skipped means the job belongs to another shard and no cached
+	// result was available; it has no value.
+	Skipped
+	// Failed means the job ran and returned an error.
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Executed:
+		return "run"
+	case Cached:
+		return "hit"
+	case Skipped:
+		return "skip"
+	default:
+		return "fail"
+	}
+}
+
+// Result pairs a job with its outcome. Value is meaningful only for
+// Executed and Cached results.
+type Result[T any] struct {
+	Job     Job
+	Value   T
+	Status  Status
+	Err     error
+	Elapsed time.Duration
+}
+
+// Stats aggregates runner activity, accumulated across every Execute
+// call on the same Runner (a benchsuite invocation runs many sweeps
+// through one Runner). It backs the run manifest in internal/report.
+type Stats struct {
+	Total       int           // jobs submitted
+	Executed    int           // computed on this invocation
+	CacheHits   int           // loaded from the result cache
+	Skipped     int           // other shard's jobs with no cached result
+	Failed      int           // executed but returned an error
+	StoreErrors int           // results that could not be written to the cache
+	Wall        time.Duration // wall-clock spent inside Execute
+	Shard       Shard         // shard this invocation is responsible for
+}
+
+// Misses returns the number of jobs this shard had to compute because
+// the cache could not supply them.
+func (s Stats) Misses() int { return s.Executed + s.Failed }
+
+// HitRate returns the cache hit fraction over the jobs that had a
+// result (hits + misses), in [0,1].
+func (s Stats) HitRate() float64 {
+	n := s.CacheHits + s.Misses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(n)
+}
+
+// Runner executes job sets. The zero value is a valid runner: no
+// cache, no sharding, no progress, auto-sized worker pool.
+type Runner struct {
+	// Workers caps the number of concurrently executing jobs.
+	// Values <= 0 select min(NumCPU, 8).
+	Workers int
+	// Cache, when non-nil, is consulted before executing a job and
+	// updated after; it is what makes sweeps resumable.
+	Cache *Cache
+	// Shard restricts execution to this invocation's slice of the job
+	// set. Out-of-shard jobs are still served from the cache when
+	// possible, so shards merge through a shared cache directory.
+	Shard Shard
+	// Refresh forces in-shard jobs to recompute and overwrite their
+	// cache entries (-resume=false). Out-of-shard cached results are
+	// still honoured.
+	Refresh bool
+	// Progress, when non-nil, receives one event per completed job.
+	Progress *Progress
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Shard = r.Shard
+	return st
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+func (r *Runner) record(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// Execute runs every job through fn on the runner's worker pool and
+// returns results in job order. fn receives the job's index in the
+// input slice alongside the job itself, so callers can recover the
+// richer objects the job was derived from.
+//
+// For each job the runner resolves, in order: an out-of-shard job is
+// served from the cache or skipped; an in-shard job is served from the
+// cache (unless Refresh is set) or executed, and a freshly executed
+// result is written back to the cache. Execute is itself
+// goroutine-safe, but sequential calls are the intended use.
+func Execute[T any](r *Runner, jobs []Job, fn func(i int, job Job) (T, error)) []Result[T] {
+	start := time.Now()
+	results := make([]Result[T], len(jobs))
+	if r.Progress != nil {
+		r.Progress.Begin(len(jobs))
+	}
+	r.record(func(s *Stats) { s.Total += len(jobs) })
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = executeOne(r, i, job, fn)
+			if r.Progress != nil {
+				r.Progress.Done(results[i].Job, results[i].Status, results[i].Elapsed)
+			}
+		}(i, job)
+	}
+	wg.Wait()
+	r.record(func(s *Stats) { s.Wall += time.Since(start) })
+	return results
+}
+
+func executeOne[T any](r *Runner, i int, job Job, fn func(int, Job) (T, error)) Result[T] {
+	res := Result[T]{Job: job}
+	owned := r.Shard.Owns(job)
+
+	// The cache can satisfy any job; only in-shard jobs may bypass it
+	// via Refresh.
+	if r.Cache != nil && (!owned || !r.Refresh) {
+		ok, err := r.Cache.Load(job, &res.Value)
+		if err == nil && ok {
+			res.Status = Cached
+			r.record(func(s *Stats) { s.CacheHits++ })
+			return res
+		}
+	}
+	if !owned {
+		res.Status = Skipped
+		r.record(func(s *Stats) { s.Skipped++ })
+		return res
+	}
+
+	t0 := time.Now()
+	v, err := fn(i, job)
+	res.Elapsed = time.Since(t0)
+	if err != nil {
+		res.Status = Failed
+		res.Err = err
+		r.record(func(s *Stats) { s.Failed++ })
+		return res
+	}
+	res.Value = v
+	res.Status = Executed
+	r.record(func(s *Stats) { s.Executed++ })
+	if r.Cache != nil {
+		// A failed write must not fail the sweep — the result is in
+		// memory and only resumability degrades — but it must be
+		// visible, or a broken cache directory silently costs the
+		// whole sweep again on the next run.
+		if err := r.Cache.Store(job, v); err != nil {
+			r.record(func(s *Stats) { s.StoreErrors++ })
+		}
+	}
+	return res
+}

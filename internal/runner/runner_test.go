@@ -1,0 +1,336 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func testJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Problem:  fmt.Sprintf("prob-%03d", i),
+			Model:    "claude-3.5-sonnet",
+			Language: "Verilog",
+			Config:   "s5,f5",
+		}
+	}
+	return jobs
+}
+
+type payload struct {
+	ID    string `json:"id"`
+	Value int    `json:"value"`
+}
+
+func TestJobKeyDeterministicAndDistinct(t *testing.T) {
+	a := Job{Problem: "p", Model: "m", Language: "Verilog", Config: "c"}
+	if a.Key() != a.Key() {
+		t.Fatal("key not deterministic")
+	}
+	if len(a.Key()) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(a.Key()))
+	}
+	// The separator must prevent field-boundary aliasing.
+	b := Job{Problem: "pm", Model: "", Language: "Verilog", Config: "c"}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct jobs share a key")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJobs(1)[0]
+
+	var miss payload
+	ok, err := c.Load(job, &miss)
+	if err != nil || ok {
+		t.Fatalf("Load on empty cache = %v, %v; want miss", ok, err)
+	}
+
+	want := payload{ID: job.Problem, Value: 42}
+	if err := c.Store(job, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err = c.Load(job, &got)
+	if err != nil || !ok {
+		t.Fatalf("Load after Store = %v, %v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round-trip: got %+v, want %+v", got, want)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheCorruptEntryIsError(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJobs(1)[0]
+	if err := c.Store(job, payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(job), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v payload
+	if ok, err := c.Load(job, &v); ok || err == nil {
+		t.Fatalf("corrupt entry: Load = %v, %v; want error miss", ok, err)
+	}
+}
+
+func TestExecuteCachesAndResumes(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(20)
+	run := func(i int, j Job) (payload, error) {
+		return payload{ID: j.Problem, Value: i}, nil
+	}
+
+	// Cold run: everything executes and lands in the cache.
+	r1 := &Runner{Cache: cache, Workers: 4}
+	res1 := Execute(r1, jobs, run)
+	st := r1.Stats()
+	if st.Executed != len(jobs) || st.CacheHits != 0 {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+	if cache.Len() != len(jobs) {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), len(jobs))
+	}
+
+	// Simulate a crash that lost some results: delete 7 entries.
+	for i := 0; i < 7; i++ {
+		os.Remove(cache.path(jobs[i]))
+	}
+
+	// Resumed run: only the lost cells recompute.
+	var reran atomic.Int32
+	r2 := &Runner{Cache: cache, Workers: 4}
+	res2 := Execute(r2, jobs, func(i int, j Job) (payload, error) {
+		reran.Add(1)
+		return run(i, j)
+	})
+	st = r2.Stats()
+	if st.Executed != 7 || st.CacheHits != len(jobs)-7 {
+		t.Fatalf("resume stats: %+v", st)
+	}
+	if int(reran.Load()) != 7 {
+		t.Fatalf("recomputed %d cells, want 7", reran.Load())
+	}
+	for i := range jobs {
+		if res1[i].Value != res2[i].Value {
+			t.Fatalf("job %d: resumed value %+v != original %+v", i, res2[i].Value, res1[i].Value)
+		}
+	}
+}
+
+func TestExecuteRefreshOverwrites(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(5)
+	Execute(&Runner{Cache: cache}, jobs, func(i int, j Job) (payload, error) {
+		return payload{Value: 1}, nil
+	})
+	r := &Runner{Cache: cache, Refresh: true}
+	res := Execute(r, jobs, func(i int, j Job) (payload, error) {
+		return payload{Value: 2}, nil
+	})
+	if st := r.Stats(); st.CacheHits != 0 || st.Executed != len(jobs) {
+		t.Fatalf("refresh stats: %+v", st)
+	}
+	for _, re := range res {
+		if re.Value.Value != 2 {
+			t.Fatalf("refresh kept stale value: %+v", re)
+		}
+	}
+	var v payload
+	if ok, _ := cache.Load(jobs[0], &v); !ok || v.Value != 2 {
+		t.Fatalf("cache not overwritten: %+v ok=%v", v, ok)
+	}
+}
+
+func TestShardPartitionDeterministicAndComplete(t *testing.T) {
+	jobs := testJobs(200)
+	for _, n := range []int{2, 3, 5} {
+		counts := make([]int, n)
+		for _, j := range jobs {
+			owners := 0
+			for i := 0; i < n; i++ {
+				sh := Shard{Index: i, Count: n}
+				if sh.Owns(j) != sh.Owns(j) {
+					t.Fatal("Owns not deterministic")
+				}
+				if sh.Owns(j) {
+					owners++
+					counts[i]++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("job %s owned by %d shards of %d", j, owners, n)
+			}
+		}
+		// Hash-based assignment should be roughly balanced.
+		for i, c := range counts {
+			if c == 0 {
+				t.Fatalf("shard %d/%d received no jobs", i, n)
+			}
+		}
+	}
+}
+
+func TestShardedRunsMergeThroughCache(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(30)
+	run := func(i int, j Job) (payload, error) { return payload{ID: j.Problem, Value: i}, nil }
+
+	r0 := &Runner{Cache: cache, Shard: Shard{Index: 0, Count: 2}}
+	res0 := Execute(r0, jobs, run)
+	st0 := r0.Stats()
+	if st0.Executed == 0 || st0.Skipped == 0 || st0.Executed+st0.Skipped != len(jobs) {
+		t.Fatalf("shard 0 stats: %+v", st0)
+	}
+	for _, re := range res0 {
+		if re.Status == Skipped && r0.Shard.Owns(re.Job) {
+			t.Fatal("owned job skipped")
+		}
+	}
+
+	// Shard 1 executes its half and picks the rest up from the cache:
+	// together the two invocations cover the sweep.
+	r1 := &Runner{Cache: cache, Shard: Shard{Index: 1, Count: 2}}
+	res1 := Execute(r1, jobs, run)
+	st1 := r1.Stats()
+	if st1.Skipped != 0 {
+		t.Fatalf("shard 1 after shard 0 skipped %d jobs", st1.Skipped)
+	}
+	if st1.Executed+st1.CacheHits != len(jobs) {
+		t.Fatalf("shard 1 stats: %+v", st1)
+	}
+	for i, re := range res1 {
+		if re.Value.Value != i {
+			t.Fatalf("merged job %d carries value %d", i, re.Value.Value)
+		}
+	}
+}
+
+func TestExecuteFailurePropagates(t *testing.T) {
+	boom := errors.New("boom")
+	r := &Runner{}
+	res := Execute(r, testJobs(3), func(i int, j Job) (payload, error) {
+		if i == 1 {
+			return payload{}, boom
+		}
+		return payload{Value: i}, nil
+	})
+	if res[1].Status != Failed || !errors.Is(res[1].Err, boom) {
+		t.Fatalf("failed job: %+v", res[1])
+	}
+	if st := r.Stats(); st.Failed != 1 || st.Executed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestWorkerPoolConcurrency exercises the pool under -race: many jobs,
+// shared cache, shared progress sink, bounded concurrency.
+func TestWorkerPoolConcurrency(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := &Runner{Workers: 8, Cache: cache, Progress: NewProgress(&buf)}
+	jobs := testJobs(64)
+	var inFlight, peak atomic.Int32
+	res := Execute(r, jobs, func(i int, j Job) (payload, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return payload{Value: i}, nil
+	})
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("observed %d concurrent jobs, pool is 8", p)
+	}
+	for i, re := range res {
+		if re.Value.Value != i {
+			t.Fatalf("result order broken at %d: %+v", i, re)
+		}
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(jobs) {
+		t.Fatalf("progress printed %d lines, want %d", got, len(jobs))
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, bad := range []string{"2/2", "-1/2", "0/0", "x/y", "1"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+	sh, err := ParseShard("1/4")
+	if err != nil || sh.Index != 1 || sh.Count != 4 || !sh.Enabled() {
+		t.Fatalf("ParseShard(1/4) = %+v, %v", sh, err)
+	}
+	if sh.String() != "1/4" {
+		t.Fatalf("String = %q", sh.String())
+	}
+	empty, err := ParseShard("")
+	if err != nil || empty.Enabled() {
+		t.Fatalf("empty shard: %+v, %v", empty, err)
+	}
+}
+
+func TestParseShardRejectsTrailingGarbage(t *testing.T) {
+	for _, bad := range []string{"1/2/3", "1/2x", "a1/2", "1 /2", "1/"} {
+		if sh, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted as %+v", bad, sh)
+		}
+	}
+}
+
+func TestStoreErrorsAreCounted(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy each job's prefix directory with a regular file so Store's
+	// MkdirAll fails (chmod tricks don't work when tests run as root).
+	jobs := testJobs(3)
+	for _, j := range jobs {
+		if err := os.WriteFile(filepath.Dir(cache.path(j)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := &Runner{Cache: cache}
+	Execute(r, jobs, func(i int, j Job) (payload, error) {
+		return payload{Value: i}, nil
+	})
+	if st := r.Stats(); st.StoreErrors != 3 || st.Executed != 3 {
+		t.Fatalf("stats with unwritable cache: %+v", st)
+	}
+}

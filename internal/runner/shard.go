@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Job addresses one evaluation cell of an experiment sweep. The four
+// fields fully determine the pipeline's (deterministic) outcome, so
+// their hash is both the cache key and the shard assignment.
+type Job struct {
+	Problem  string `json:"problem"`  // bench problem ID
+	Model    string `json:"model"`    // llm profile name
+	Language string `json:"language"` // "Verilog" / "VHDL"
+	Config   string `json:"config"`   // fingerprint of the effective core.Config
+}
+
+// Key returns the job's content address: a hex SHA-256 over the four
+// fields with an unambiguous separator. Stable across processes and
+// platforms.
+func (j Job) Key() string {
+	h := sha256.New()
+	for _, f := range []string{j.Problem, j.Model, j.Language, j.Config} {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (j Job) String() string {
+	return j.Problem + "/" + j.Model + "/" + j.Language
+}
+
+// Shard names one slice of a sweep split across Count invocations.
+// The zero value ("every job is mine") disables sharding.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the -shard flag syntax "i/n" (e.g. "0/2"). The
+// empty string yields the disabled zero shard.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	var sh Shard
+	var err1, err2 error
+	if ok {
+		sh.Index, err1 = strconv.Atoi(idx)
+		sh.Count, err2 = strconv.Atoi(cnt)
+	}
+	if !ok || err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("shard %q: want \"index/count\", e.g. \"0/2\"", s)
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("shard %q: need 0 <= index < count", s)
+	}
+	return sh, nil
+}
+
+// Enabled reports whether the shard actually partitions work.
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// Owns reports whether the job belongs to this shard. Assignment
+// depends only on the job key and Count, so every invocation of an
+// identical sweep partitions it identically.
+func (s Shard) Owns(j Job) bool {
+	if !s.Enabled() {
+		return true
+	}
+	sum := sha256.Sum256([]byte(j.Key()))
+	return int(binary.BigEndian.Uint32(sum[:4])%uint32(s.Count)) == s.Index
+}
+
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return "unsharded"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}

@@ -1,0 +1,19 @@
+// Package sim implements the language-neutral event-driven simulation
+// kernel shared by the Verilog (vsim) and VHDL (vhdlsim) interpreters.
+//
+// The kernel follows the stratified event model of IEEE 1364: each
+// time slot runs active events to exhaustion, then applies
+// nonblocking-assignment (NBA) updates, repeating delta cycles until
+// the slot is quiescent before advancing simulated time. Processes are
+// cooperative coroutines: each runs on its own goroutine but exactly
+// one goroutine is ever runnable, so simulation is fully deterministic
+// — a property the experiment layer leans on (cached and sharded
+// sweeps must reproduce in-memory results bit for bit).
+//
+// The kernel knows nothing about HDL syntax. Front-ends elaborate
+// their ASTs into nets, processes, and sensitivity lists; the kernel
+// owns time, the event queues, and value propagation (4-state logic
+// from internal/hdl). Testbench constructs ($display-style checks,
+// $finish) surface as log lines and stop conditions that
+// internal/edatool shapes into tool-flavoured output.
+package sim

@@ -1,12 +1,3 @@
-// Package sim implements the language-neutral event-driven simulation
-// kernel shared by the Verilog (vsim) and VHDL (vhdlsim) interpreters.
-//
-// The kernel follows the stratified event model of IEEE 1364: each time
-// slot runs active events to exhaustion, then applies nonblocking-
-// assignment (NBA) updates, repeating delta cycles until the slot is
-// quiescent before advancing simulated time. Processes are cooperative
-// coroutines: each runs on its own goroutine but exactly one goroutine
-// is ever runnable, so simulation is fully deterministic.
 package sim
 
 import (
