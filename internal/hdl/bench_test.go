@@ -1,0 +1,145 @@
+package hdl
+
+import "testing"
+
+// Micro-benchmarks for the value-domain hot paths. The simulators spend
+// most of their time in these operations, so the packed two-plane
+// representation is regression-guarded here; see docs/PERFORMANCE.md for
+// how to record a baseline.
+
+var benchSink Vector
+var benchSinkU uint64
+var benchSinkB bool
+
+// TestKnown64FastPathAllocs pins the fast-path guarantee: a fully-known
+// <=64-bit arithmetic op allocates exactly its result vector and never
+// enters math/big (whose conversions would show as extra allocations).
+func TestKnown64FastPathAllocs(t *testing.T) {
+	x := FromUint(0xDEADBEEF, 32)
+	y := FromUint(0x1234, 32)
+	ops := map[string]func(Vector, Vector) Vector{
+		"Add": Vector.Add, "Sub": Vector.Sub, "Mul": Vector.Mul,
+		"Div": Vector.Div, "Mod": Vector.Mod,
+	}
+	for name, op := range ops {
+		avg := testing.AllocsPerRun(100, func() { benchSink = op(x, y) })
+		if avg > 1 {
+			t.Errorf("%s on known 32-bit operands: %v allocs/op, want 1 (math/big fallback?)", name, avg)
+		}
+	}
+}
+
+func BenchmarkAdd64(b *testing.B) {
+	x := FromUint(0xDEADBEEF, 32)
+	y := FromUint(0x12345678, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Add(y)
+	}
+}
+
+func BenchmarkSub64(b *testing.B) {
+	x := FromUint(0x12345678, 32)
+	y := FromUint(0xDEADBEEF, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Sub(y)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	x := FromUint(0xABCD, 48)
+	y := FromUint(0x1234, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Mul(y)
+	}
+}
+
+func BenchmarkAddWide(b *testing.B) {
+	x := FromUint(0xDEADBEEF, 256)
+	y := FromUint(0x12345678, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Add(y)
+	}
+}
+
+func BenchmarkBitwiseWide(b *testing.B) {
+	x := FromUint(0xAAAAAAAAAAAAAAAA, 512)
+	y := FromUint(0x5555555555555555, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.BitwiseAnd(y)
+	}
+}
+
+func BenchmarkBitwiseXorX(b *testing.B) {
+	// One operand carries X bits: exercises the 4-state plane math.
+	x := NewVector(128, LX)
+	y := FromUint(0x5555555555555555, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.BitwiseXor(y)
+	}
+}
+
+func BenchmarkEqKnown(b *testing.B) {
+	x := FromUint(0xCAFEBABE, 64)
+	y := FromUint(0xCAFEBABE, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Eq(y)
+	}
+}
+
+func BenchmarkEqualWide(b *testing.B) {
+	x := FromUint(0xCAFEBABE, 1024)
+	y := FromUint(0xCAFEBABE, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSinkB = x.Equal(y)
+	}
+}
+
+func BenchmarkCmpKnown(b *testing.B) {
+	x := FromUint(0xCAFEBABE, 64)
+	y := FromUint(0xCAFEBABF, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Lt(y)
+	}
+}
+
+func BenchmarkShlKnown(b *testing.B) {
+	x := FromUint(0xDEADBEEF, 64)
+	n := FromUint(7, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Shl(n)
+	}
+}
+
+func BenchmarkReduceOrWide(b *testing.B) {
+	x := FromUint(1<<40, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.ReduceOr()
+	}
+}
+
+func BenchmarkResize(b *testing.B) {
+	x := FromUint(0xDEADBEEF, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Resize(64)
+	}
+}
+
+func BenchmarkUintExtract(b *testing.B) {
+	x := FromUint(0xDEADBEEF, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSinkU, _ = x.Uint()
+	}
+}

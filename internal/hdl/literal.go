@@ -101,12 +101,12 @@ func parseBaseDigits(digits string, bitsPerDigit, width int, orig string) (Vecto
 	if len(bits) > 0 && len(bits) < width {
 		top := bits[len(bits)-1]
 		if top == LX || top == LZ {
-			for i := range out.Bits {
-				out.Bits[i] = top
-			}
+			out = NewVector(width, top)
 		}
 	}
-	copy(out.Bits, bits)
+	for i, l := range bits {
+		out.SetBit(i, l)
+	}
 	return out, nil
 }
 
@@ -139,7 +139,7 @@ func ParseVHDLBitString(kind byte, body string) (Vector, error) {
 		runes := []rune(body)
 		out := NewVector(len(runes), L0)
 		for i, r := range runes { // MSB first in source
-			out.Bits[len(runes)-1-i] = LogicFromRune(r)
+			out.SetBit(len(runes)-1-i, LogicFromRune(r))
 		}
 		return out, nil
 	case 'x':

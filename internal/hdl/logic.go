@@ -14,6 +14,10 @@ type Logic uint8
 
 // The four scalar states. Z (high impedance) behaves as X in most
 // expression contexts but is distinct for net resolution and printing.
+//
+// The numeric encoding is load-bearing: bit 0 is the packed Vector's
+// plane-A (value) bit and bit 1 its plane-B (unknown) bit, so
+// Logic(a|b<<1) reassembles a scalar from the planes. Do not reorder.
 const (
 	L0 Logic = iota // logic zero
 	L1              // logic one

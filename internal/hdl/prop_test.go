@@ -1,0 +1,371 @@
+package hdl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file cross-checks the packed two-plane Vector against a naive
+// byte-per-bit reference model — a transliteration of the pre-packing
+// implementation — on random vectors seeded with X and Z bits. Every
+// binary operation, unary operation, and accessor must agree bit for
+// bit; any divergence is a semantics regression in the packed fast
+// paths or plane formulas.
+
+// refVec is the reference model: one Logic per bit, LSB first.
+type refVec []Logic
+
+func refFromVector(v Vector) refVec {
+	out := make(refVec, v.Width())
+	for i := range out {
+		out[i] = v.Bit(i)
+	}
+	return out
+}
+
+func (r refVec) vector() Vector { return FromLogic(r...) }
+
+func (r refVec) isKnown() bool {
+	for _, b := range r {
+		if !b.IsKnown() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r refVec) resize(width int) refVec {
+	if width < 1 {
+		width = 1
+	}
+	out := make(refVec, width)
+	copy(out, r)
+	return out
+}
+
+func (r refVec) uint() (uint64, bool) {
+	val, ok := uint64(0), true
+	for i, b := range r {
+		switch b {
+		case L1:
+			if i < 64 {
+				val |= 1 << uint(i)
+			}
+		case LX, LZ:
+			ok = false
+		}
+	}
+	return val, ok
+}
+
+// refBinary applies op bit-by-bit at max width, zero-extending.
+func refBinary(a, b refVec, op func(x, y Logic) Logic) refVec {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	ax, bx := a.resize(w), b.resize(w)
+	out := make(refVec, w)
+	for i := 0; i < w; i++ {
+		out[i] = op(ax[i], bx[i])
+	}
+	return out
+}
+
+func refToBool(r refVec) Logic {
+	sawX := false
+	for _, b := range r {
+		switch b {
+		case L1:
+			return L1
+		case LX, LZ:
+			sawX = true
+		}
+	}
+	if sawX {
+		return LX
+	}
+	return L0
+}
+
+// randVec draws a vector whose bits are mostly known with a sprinkling
+// of X/Z, biased toward word-boundary widths where packing bugs hide.
+func randVec(rng *rand.Rand) Vector {
+	widths := []int{1, 3, 8, 31, 32, 33, 63, 64, 65, 96, 127, 128, 200}
+	w := widths[rng.Intn(len(widths))]
+	out := NewVector(w, L0)
+	for i := 0; i < w; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			out.SetBit(i, LX)
+		case 1:
+			out.SetBit(i, LZ)
+		default:
+			out.SetBit(i, Logic(rng.Intn(2)))
+		}
+	}
+	return out
+}
+
+// randKnownVec draws a fully-known vector (for arithmetic agreement).
+func randKnownVec(rng *rand.Rand) Vector {
+	widths := []int{1, 4, 16, 31, 32, 33, 63, 64, 65, 100, 128}
+	w := widths[rng.Intn(len(widths))]
+	out := NewVector(w, L0)
+	for i := 0; i < w; i++ {
+		out.SetBit(i, Logic(rng.Intn(2)))
+	}
+	return out
+}
+
+func wantEqual(t *testing.T, op string, a, b, got Vector, want refVec) {
+	t.Helper()
+	if got.Width() != len(want) {
+		t.Fatalf("%s(%v, %v): width %d, want %d", op, a, b, got.Width(), len(want))
+	}
+	for i := range want {
+		if got.Bit(i) != want[i] {
+			t.Fatalf("%s(%v, %v) = %v, want %v (bit %d: %v != %v)",
+				op, a, b, got, want.vector(), i, got.Bit(i), want[i])
+		}
+	}
+}
+
+func TestPropBitwiseAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 3000; iter++ {
+		a, b := randVec(rng), randVec(rng)
+		ra, rb := refFromVector(a), refFromVector(b)
+		wantEqual(t, "and", a, b, a.BitwiseAnd(b), refBinary(ra, rb, Logic.And))
+		wantEqual(t, "or", a, b, a.BitwiseOr(b), refBinary(ra, rb, Logic.Or))
+		wantEqual(t, "xor", a, b, a.BitwiseXor(b), refBinary(ra, rb, Logic.Xor))
+		wantEqual(t, "xnor", a, b, a.BitwiseXnor(b),
+			refBinary(ra, rb, func(x, y Logic) Logic { return x.Xor(y).Not() }))
+
+		// Not is unary; reuse a only.
+		rn := make(refVec, len(ra))
+		for i, l := range ra {
+			rn[i] = l.Not()
+		}
+		wantEqual(t, "not", a, a, a.BitwiseNot(), rn)
+	}
+}
+
+func TestPropCompareAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 3000; iter++ {
+		a, b := randVec(rng), randVec(rng)
+		ra, rb := refFromVector(a), refFromVector(b)
+		w := len(ra)
+		if len(rb) > w {
+			w = len(rb)
+		}
+		rax, rbx := ra.resize(w), rb.resize(w)
+
+		// Eq: X when any operand bit unknown, else bit compare.
+		var wantEq Logic
+		if !rax.isKnown() || !rbx.isKnown() {
+			wantEq = LX
+		} else {
+			wantEq = L1
+			for i := 0; i < w; i++ {
+				if rax[i] != rbx[i] {
+					wantEq = L0
+					break
+				}
+			}
+		}
+		if got := a.Eq(b).Bit(0); got != wantEq {
+			t.Fatalf("Eq(%v, %v) = %v, want %v", a, b, got, wantEq)
+		}
+
+		// CaseEq: exact 4-state compare, always known.
+		wantCase := L1
+		for i := 0; i < w; i++ {
+			if rax[i] != rbx[i] {
+				wantCase = L0
+				break
+			}
+		}
+		if got := a.CaseEq(b).Bit(0); got != wantCase {
+			t.Fatalf("CaseEq(%v, %v) = %v, want %v", a, b, got, wantCase)
+		}
+
+		// ToBool.
+		if got := a.ToBool(); got != refToBool(ra) {
+			t.Fatalf("ToBool(%v) = %v, want %v", a, got, refToBool(ra))
+		}
+
+		// Reductions.
+		accAnd, accOr, accXor := L1, L0, L0
+		for _, l := range ra {
+			accAnd = accAnd.And(l)
+			accOr = accOr.Or(l)
+			accXor = accXor.Xor(l)
+		}
+		if got := a.ReduceAnd().Bit(0); got != accAnd {
+			t.Fatalf("ReduceAnd(%v) = %v, want %v", a, got, accAnd)
+		}
+		if got := a.ReduceOr().Bit(0); got != accOr {
+			t.Fatalf("ReduceOr(%v) = %v, want %v", a, got, accOr)
+		}
+		if got := a.ReduceXor().Bit(0); got != accXor {
+			t.Fatalf("ReduceXor(%v) = %v, want %v", a, got, accXor)
+		}
+	}
+}
+
+func TestPropArithmeticAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 2000; iter++ {
+		a, b := randKnownVec(rng), randKnownVec(rng)
+		ra, rb := refFromVector(a), refFromVector(b)
+		w := len(ra)
+		if len(rb) > w {
+			w = len(rb)
+		}
+
+		// Reference arithmetic via big-endian binary long addition on
+		// the bit slices (mod 2^w).
+		refAdd := func(x, y refVec, sub bool) refVec {
+			xx, yy := x.resize(w), y.resize(w)
+			out := make(refVec, w)
+			carry := 0
+			for i := 0; i < w; i++ {
+				xb := int(xx[i])
+				yb := int(yy[i])
+				if sub {
+					yb = 1 - yb
+				}
+				sum := xb + yb + carry
+				out[i] = Logic(sum & 1)
+				carry = sum >> 1
+			}
+			return out
+		}
+		wantEqual(t, "add", a, b, a.Add(b), refAdd(ra, rb, false))
+		// a - b == a + ^b + 1.
+		sub := refAdd(ra, rb, true)
+		one := make(refVec, w)
+		one[0] = L1
+		wantEqual(t, "sub", a, b, a.Sub(b), refAdd(sub, one, false))
+
+		// Unknown operands poison arithmetic to all-X.
+		ax := a.Clone()
+		ax.SetBit(rng.Intn(a.Width()), LX)
+		got := ax.Add(b)
+		for i := 0; i < got.Width(); i++ {
+			if got.Bit(i) != LX {
+				t.Fatalf("Add with X operand: bit %d = %v, want x", i, got.Bit(i))
+			}
+		}
+	}
+}
+
+func TestPropShiftSliceAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 2000; iter++ {
+		a := randVec(rng)
+		ra := refFromVector(a)
+		w := len(ra)
+		n := rng.Intn(w + 4)
+		nv := FromUint(uint64(n), 32)
+
+		shl := make(refVec, w)
+		shr := make(refVec, w)
+		ashr := make(refVec, w)
+		sign := ra[w-1]
+		for i := 0; i < w; i++ {
+			if i-n >= 0 {
+				shl[i] = ra[i-n]
+			}
+			if i+n < w {
+				shr[i] = ra[i+n]
+				ashr[i] = ra[i+n]
+			} else {
+				ashr[i] = sign
+			}
+		}
+		wantEqual(t, "shl", a, nv, a.Shl(nv), shl)
+		wantEqual(t, "shr", a, nv, a.Shr(nv), shr)
+		wantEqual(t, "ashr", a, nv, a.AShr(nv), ashr)
+
+		// Slice / SetSlice round-trip at random offsets.
+		lo := rng.Intn(w+6) - 3
+		sw := 1 + rng.Intn(w+2)
+		sl := a.Slice(lo, sw)
+		for i := 0; i < sw; i++ {
+			want := LX
+			if lo+i >= 0 && lo+i < w {
+				want = ra[lo+i]
+			}
+			if sl.Bit(i) != want {
+				t.Fatalf("Slice(%v, %d, %d) bit %d = %v, want %v", a, lo, sw, i, sl.Bit(i), want)
+			}
+		}
+		src := randVec(rng)
+		set := a.SetSlice(lo, src)
+		for i := 0; i < w; i++ {
+			want := ra[i]
+			if i >= lo && i < lo+src.Width() {
+				want = src.Bit(i - lo)
+			}
+			if set.Bit(i) != want {
+				t.Fatalf("SetSlice(%v, %d, %v) bit %d = %v, want %v", a, lo, src, i, set.Bit(i), want)
+			}
+		}
+
+		// Resize and SignExtend agree with bit semantics.
+		nw := 1 + rng.Intn(2*w)
+		rz := a.Resize(nw)
+		se := a.SignExtend(nw)
+		for i := 0; i < nw; i++ {
+			wantZ, wantS := L0, sign
+			if i < w {
+				wantZ, wantS = ra[i], ra[i]
+			}
+			if rz.Bit(i) != wantZ {
+				t.Fatalf("Resize(%v, %d) bit %d = %v, want %v", a, nw, i, rz.Bit(i), wantZ)
+			}
+			if se.Bit(i) != wantS {
+				t.Fatalf("SignExtend(%v, %d) bit %d = %v, want %v", a, nw, i, se.Bit(i), wantS)
+			}
+		}
+	}
+}
+
+func TestPropUintIntAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 2000; iter++ {
+		a := randVec(rng)
+		ra := refFromVector(a)
+		wantVal, wantOK := ra.uint()
+		gotVal, gotOK := a.Uint()
+		if gotOK != wantOK || (wantOK && gotVal != wantVal) {
+			t.Fatalf("Uint(%v) = (%d, %v), want (%d, %v)", a, gotVal, gotOK, wantVal, wantOK)
+		}
+
+		// Concat agrees with bit concatenation.
+		b := randVec(rng)
+		rb := refFromVector(b)
+		cat := Concat(a, b)
+		if cat.Width() != len(ra)+len(rb) {
+			t.Fatalf("Concat width = %d", cat.Width())
+		}
+		for i := 0; i < len(rb); i++ {
+			if cat.Bit(i) != rb[i] {
+				t.Fatalf("Concat low bit %d = %v, want %v", i, cat.Bit(i), rb[i])
+			}
+		}
+		for i := 0; i < len(ra); i++ {
+			if cat.Bit(len(rb)+i) != ra[i] {
+				t.Fatalf("Concat high bit %d = %v, want %v", i, cat.Bit(len(rb)+i), ra[i])
+			}
+		}
+
+		// FromLogic/Bit round-trip is exact.
+		if rt := ra.vector(); !rt.Equal(a) {
+			t.Fatalf("round-trip %v != %v", rt, a)
+		}
+	}
+}

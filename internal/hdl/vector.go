@@ -3,36 +3,119 @@ package hdl
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"strings"
 )
 
-// Vector is an arbitrary-width 4-state bit-vector. Bits are stored
-// little-endian: Bits[0] is the LSB. A zero-length Vector is invalid as
-// an operand; constructors never produce one.
+// Vector is an arbitrary-width 4-state bit-vector stored in a packed
+// two-plane encoding (the classic simulator aval/bval scheme): for each
+// 64-bit span, one word of plane A and one word of plane B. Bit i of a
+// plane lives at word i/64, offset i%64, little-endian. The planes
+// combine per bit as Logic(a | b<<1), which the numeric Logic encoding
+// is chosen to make trivial:
+//
+//	a=0 b=0 -> L0    a=1 b=0 -> L1
+//	a=0 b=1 -> LX    a=1 b=1 -> LZ
+//
+// So plane B is exactly the "unknown" (X/Z) mask, and a vector is fully
+// known iff plane B is all zero — one word-compare per 64 bits.
+//
+// Storage is a single backing slice p of 2*words(width) words: plane A
+// first, then plane B. Invariant: bits at positions >= width in the top
+// word of each plane are always zero ("canonical"), so whole-value
+// equality, zero tests, and unsigned compares are plain word loops.
+//
+// A zero-length Vector is invalid as an operand; constructors never
+// produce one.
 type Vector struct {
-	Bits []Logic
+	width int
+	p     []uint64
+}
+
+// words returns the number of 64-bit words covering width bits.
+func words(width int) int { return (width + 63) >> 6 }
+
+// topMask returns the valid-bit mask for the top word of a plane.
+func topMask(width int) uint64 {
+	if r := uint(width) & 63; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// alloc returns an all-zero (all-L0) vector of the given width.
+func alloc(width int) Vector {
+	if width < 1 {
+		width = 1
+	}
+	return Vector{width: width, p: make([]uint64, 2*words(width))}
+}
+
+// nw returns the per-plane word count.
+func (v Vector) nw() int { return words(v.width) }
+
+// aword and uword return plane-A / plane-B word i, zero (known L0) past
+// the end — which is exactly Verilog zero-extension, so mixed-width
+// word loops need no explicit resize.
+func (v Vector) aword(i int) uint64 {
+	if i < v.nw() {
+		return v.p[i]
+	}
+	return 0
+}
+
+func (v Vector) uword(i int) uint64 {
+	if n := v.nw(); i < n {
+		return v.p[n+i]
+	}
+	return 0
+}
+
+// maskTop restores the canonical form after plane writes.
+func (v Vector) maskTop() {
+	n := v.nw()
+	m := topMask(v.width)
+	v.p[n-1] &= m
+	v.p[2*n-1] &= m
+}
+
+// known64 reports whether v is fully known and at most 64 bits wide,
+// returning its value. This is the fast-path guard: one width compare
+// and one word test.
+func (v Vector) known64() (uint64, bool) {
+	if v.width == 0 || v.width > 64 || v.p[1] != 0 {
+		return 0, false
+	}
+	return v.p[0], true
 }
 
 // NewVector returns a width-bit vector with every bit set to fill.
 func NewVector(width int, fill Logic) Vector {
-	if width < 1 {
-		width = 1
+	out := alloc(width)
+	if fill == L0 {
+		return out
 	}
-	bits := make([]Logic, width)
-	for i := range bits {
-		bits[i] = fill
+	n := out.nw()
+	var af, bf uint64
+	if fill&1 != 0 {
+		af = ^uint64(0)
 	}
-	return Vector{Bits: bits}
+	if fill&2 != 0 {
+		bf = ^uint64(0)
+	}
+	for i := 0; i < n; i++ {
+		out.p[i] = af
+		out.p[n+i] = bf
+	}
+	out.maskTop()
+	return out
 }
 
 // FromUint returns a width-bit vector holding v truncated to width bits.
 func FromUint(v uint64, width int) Vector {
-	out := NewVector(width, L0)
-	for i := 0; i < width && i < 64; i++ {
-		if v&(1<<uint(i)) != 0 {
-			out.Bits[i] = L1
-		}
-	}
+	out := alloc(width)
+	out.p[0] = v
+	out.maskTop()
 	return out
 }
 
@@ -42,36 +125,76 @@ func FromInt(v int64, width int) Vector {
 }
 
 // FromBool returns a 1-bit vector: 1 if b else 0.
-func FromBool(b bool) Vector {
-	return Vector{Bits: []Logic{boolLogic(b)}}
-}
+func FromBool(b bool) Vector { return Scalar(boolLogic(b)) }
 
 // Scalar returns a 1-bit vector holding l.
-func Scalar(l Logic) Vector { return Vector{Bits: []Logic{l}} }
+func Scalar(l Logic) Vector {
+	return Vector{width: 1, p: []uint64{uint64(l & 1), uint64(l >> 1)}}
+}
+
+// FromLogic returns a vector whose bit i is bits[i] (LSB first).
+func FromLogic(bits ...Logic) Vector {
+	if len(bits) == 0 {
+		return Scalar(LX)
+	}
+	out := alloc(len(bits))
+	for i, l := range bits {
+		out.SetBit(i, l)
+	}
+	return out
+}
 
 // Width returns the number of bits.
-func (v Vector) Width() int { return len(v.Bits) }
+func (v Vector) Width() int { return v.width }
 
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
-	bits := make([]Logic, len(v.Bits))
-	copy(bits, v.Bits)
-	return Vector{Bits: bits}
+	p := make([]uint64, len(v.p))
+	copy(p, v.p)
+	return Vector{width: v.width, p: p}
 }
 
 // Bit returns bit i, or LX when i is out of range (Verilog out-of-bounds
 // select semantics).
 func (v Vector) Bit(i int) Logic {
-	if i < 0 || i >= len(v.Bits) {
+	if i < 0 || i >= v.width {
 		return LX
 	}
-	return v.Bits[i]
+	w, off := i>>6, uint(i)&63
+	a := (v.p[w] >> off) & 1
+	b := (v.p[v.nw()+w] >> off) & 1
+	return Logic(a | b<<1)
+}
+
+// SetBit sets bit i of v in place; out-of-range indices are ignored.
+// The mutation is visible through every alias of v's storage, and
+// Resize/Slice return aliases for width-preserving calls — so SetBit
+// must only be used while building a vector that has not been published
+// yet (freshly allocated, or a fresh Clone).
+func (v Vector) SetBit(i int, l Logic) {
+	if i < 0 || i >= v.width {
+		return
+	}
+	w, off := i>>6, uint(i)&63
+	n := v.nw()
+	bit := uint64(1) << off
+	if l&1 != 0 {
+		v.p[w] |= bit
+	} else {
+		v.p[w] &^= bit
+	}
+	if l&2 != 0 {
+		v.p[n+w] |= bit
+	} else {
+		v.p[n+w] &^= bit
+	}
 }
 
 // IsKnown reports whether every bit is 0 or 1.
 func (v Vector) IsKnown() bool {
-	for _, b := range v.Bits {
-		if !b.IsKnown() {
+	n := v.nw()
+	for _, w := range v.p[n:] {
+		if w != 0 {
 			return false
 		}
 	}
@@ -80,8 +203,9 @@ func (v Vector) IsKnown() bool {
 
 // HasZ reports whether any bit is Z.
 func (v Vector) HasZ() bool {
-	for _, b := range v.Bits {
-		if b == LZ {
+	n := v.nw()
+	for i := 0; i < n; i++ {
+		if v.p[i]&v.p[n+i] != 0 {
 			return true
 		}
 	}
@@ -90,8 +214,8 @@ func (v Vector) HasZ() bool {
 
 // IsZero reports whether every bit is known zero.
 func (v Vector) IsZero() bool {
-	for _, b := range v.Bits {
-		if b != L0 {
+	for _, w := range v.p {
+		if w != 0 {
 			return false
 		}
 	}
@@ -101,18 +225,7 @@ func (v Vector) IsZero() bool {
 // Uint returns the value as a uint64, treating X/Z bits as zero and
 // truncating to 64 bits. ok is false when any bit is unknown.
 func (v Vector) Uint() (val uint64, ok bool) {
-	ok = true
-	for i, b := range v.Bits {
-		switch b {
-		case L1:
-			if i < 64 {
-				val |= 1 << uint(i)
-			}
-		case LX, LZ:
-			ok = false
-		}
-	}
-	return val, ok
+	return v.aword(0) &^ v.uword(0), v.IsKnown()
 }
 
 // Int returns the value interpreted as a signed two's-complement number
@@ -122,7 +235,7 @@ func (v Vector) Int() (val int64, ok bool) {
 	if !ok {
 		return 0, false
 	}
-	w := v.Width()
+	w := v.width
 	if w >= 64 {
 		return int64(u), true
 	}
@@ -132,82 +245,174 @@ func (v Vector) Int() (val int64, ok bool) {
 	return int64(u), true
 }
 
-// Resize returns v zero-extended or truncated to width bits.
+// Resize returns v zero-extended or truncated to width bits. When the
+// width already matches, v itself is returned without copying: Vectors
+// are immutable by convention (SetBit is construction-time only), so
+// sharing storage is safe and keeps the hot resize-to-same-width path
+// allocation-free.
 func (v Vector) Resize(width int) Vector {
-	if width < 1 {
-		width = 1
+	if width == v.width {
+		return v
 	}
-	out := NewVector(width, L0)
-	n := copy(out.Bits, v.Bits)
-	_ = n
+	out := alloc(width)
+	n, on := v.nw(), out.nw()
+	c := n
+	if on < c {
+		c = on
+	}
+	copy(out.p[:c], v.p[:c])
+	copy(out.p[on:on+c], v.p[n:n+c])
+	out.maskTop()
 	return out
 }
 
 // SignExtend returns v sign-extended (MSB-replicated) or truncated to width.
 func (v Vector) SignExtend(width int) Vector {
-	if width <= v.Width() {
+	if width <= v.width {
 		return v.Resize(width)
 	}
-	out := NewVector(width, v.Bits[v.Width()-1])
-	copy(out.Bits, v.Bits)
+	out := NewVector(width, v.Bit(v.width-1))
+	out.blit(0, v, 0, v.width)
 	return out
 }
 
 // XFill returns a width-bit vector of all X.
 func XFill(width int) Vector { return NewVector(width, LX) }
 
+// copyBits copies n bits of one plane from src starting at srcBit into
+// dst starting at dstBit, word-at-a-time where alignment allows.
+func copyBits(dst []uint64, dstBit int, src []uint64, srcBit, n int) {
+	for n > 0 {
+		sw, so := srcBit>>6, uint(srcBit)&63
+		dw, do := dstBit>>6, uint(dstBit)&63
+		chunk := 64 - so
+		if c := 64 - do; c < chunk {
+			chunk = c
+		}
+		if c := uint(n); c < chunk {
+			chunk = c
+		}
+		var mask uint64
+		if chunk == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << chunk) - 1
+		}
+		b := (src[sw] >> so) & mask
+		dst[dw] = dst[dw]&^(mask<<do) | b<<do
+		srcBit += int(chunk)
+		dstBit += int(chunk)
+		n -= int(chunk)
+	}
+}
+
+// blit copies n bits of src (from srcBit) into v (at dstBit), both
+// planes. Caller guarantees the ranges are in bounds.
+func (v Vector) blit(dstBit int, src Vector, srcBit, n int) {
+	if n <= 0 {
+		return
+	}
+	vn, sn := v.nw(), src.nw()
+	copyBits(v.p[:vn], dstBit, src.p[:sn], srcBit, n)
+	copyBits(v.p[vn:], dstBit, src.p[sn:], srcBit, n)
+}
+
 // bigInt converts a fully-known vector to a non-negative big.Int.
 func (v Vector) bigInt() *big.Int {
-	n := new(big.Int)
-	for i := len(v.Bits) - 1; i >= 0; i-- {
-		n.Lsh(n, 1)
-		if v.Bits[i] == L1 {
-			n.SetBit(n, 0, 1)
-		}
+	n := v.nw()
+	ws := make([]big.Word, n)
+	for i := 0; i < n; i++ {
+		ws[i] = big.Word(v.p[i] &^ v.p[n+i])
 	}
-	return n
+	return new(big.Int).SetBits(ws)
 }
 
 // fromBig builds a width-bit vector from the low bits of n (n >= 0).
 func fromBig(n *big.Int, width int) Vector {
-	out := NewVector(width, L0)
-	for i := 0; i < width; i++ {
-		if n.Bit(i) == 1 {
-			out.Bits[i] = L1
-		}
+	out := alloc(width)
+	ws := n.Bits()
+	on := out.nw()
+	for i := 0; i < on && i < len(ws); i++ {
+		out.p[i] = uint64(ws[i])
 	}
+	out.maskTop()
 	return out
 }
 
 // Add returns a+b at width max(len a, len b), Verilog unsigned semantics.
 // Any unknown operand bit makes the whole result X.
 func (a Vector) Add(b Vector) Vector {
-	return a.arith(b, func(x, y *big.Int) *big.Int { return x.Add(x, y) })
+	w := maxInt(a.width, b.width)
+	if x, ok := a.known64(); ok {
+		if y, ok2 := b.known64(); ok2 {
+			out := alloc(w)
+			out.p[0] = (x + y) & topMask(w)
+			return out
+		}
+	}
+	if !a.IsKnown() || !b.IsKnown() {
+		return XFill(w)
+	}
+	out := alloc(w)
+	n := out.nw()
+	var carry uint64
+	for i := 0; i < n; i++ {
+		out.p[i], carry = bits.Add64(a.aword(i), b.aword(i), carry)
+	}
+	out.maskTop()
+	return out
 }
 
 // Sub returns a-b (two's complement wraparound).
 func (a Vector) Sub(b Vector) Vector {
-	w := maxInt(a.Width(), b.Width())
+	w := maxInt(a.width, b.width)
+	if x, ok := a.known64(); ok {
+		if y, ok2 := b.known64(); ok2 {
+			out := alloc(w)
+			out.p[0] = (x - y) & topMask(w)
+			return out
+		}
+	}
 	if !a.IsKnown() || !b.IsKnown() {
 		return XFill(w)
 	}
-	x, y := a.Resize(w).bigInt(), b.Resize(w).bigInt()
-	x.Sub(x, y)
-	if x.Sign() < 0 {
-		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
-		x.Add(x, mod)
+	out := alloc(w)
+	n := out.nw()
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		out.p[i], borrow = bits.Sub64(a.aword(i), b.aword(i), borrow)
 	}
-	return fromBig(x, w)
+	out.maskTop()
+	return out
 }
 
 // Mul returns a*b truncated to max width.
 func (a Vector) Mul(b Vector) Vector {
-	return a.arith(b, func(x, y *big.Int) *big.Int { return x.Mul(x, y) })
+	w := maxInt(a.width, b.width)
+	if x, ok := a.known64(); ok {
+		if y, ok2 := b.known64(); ok2 {
+			out := alloc(w)
+			out.p[0] = (x * y) & topMask(w)
+			return out
+		}
+	}
+	if !a.IsKnown() || !b.IsKnown() {
+		return XFill(w)
+	}
+	x, y := a.bigInt(), b.bigInt()
+	return fromBig(x.Mul(x, y), w)
 }
 
 // Div returns a/b; division by zero yields all-X (Verilog semantics).
 func (a Vector) Div(b Vector) Vector {
-	w := maxInt(a.Width(), b.Width())
+	w := maxInt(a.width, b.width)
+	if x, ok := a.known64(); ok {
+		if y, ok2 := b.known64(); ok2 && y != 0 {
+			out := alloc(w)
+			out.p[0] = x / y
+			return out
+		}
+	}
 	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
 		return XFill(w)
 	}
@@ -217,7 +422,14 @@ func (a Vector) Div(b Vector) Vector {
 
 // Mod returns a%b; modulo by zero yields all-X.
 func (a Vector) Mod(b Vector) Vector {
-	w := maxInt(a.Width(), b.Width())
+	w := maxInt(a.width, b.width)
+	if x, ok := a.known64(); ok {
+		if y, ok2 := b.known64(); ok2 && y != 0 {
+			out := alloc(w)
+			out.p[0] = x % y
+			return out
+		}
+	}
 	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
 		return XFill(w)
 	}
@@ -227,7 +439,7 @@ func (a Vector) Mod(b Vector) Vector {
 
 // Pow returns a**b truncated to a's width.
 func (a Vector) Pow(b Vector) Vector {
-	w := a.Width()
+	w := a.width
 	if !a.IsKnown() || !b.IsKnown() {
 		return XFill(w)
 	}
@@ -235,71 +447,126 @@ func (a Vector) Pow(b Vector) Vector {
 	if !ok || e > 4096 {
 		return XFill(w)
 	}
+	if x, ok := a.known64(); ok {
+		// Square-and-multiply in uint64; wraparound mod 2^64 reduces
+		// correctly to mod 2^w for any w <= 64.
+		r := uint64(1)
+		for e > 0 {
+			if e&1 != 0 {
+				r *= x
+			}
+			x *= x
+			e >>= 1
+		}
+		out := alloc(w)
+		out.p[0] = r & topMask(w)
+		return out
+	}
 	x := a.bigInt()
 	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
 	return fromBig(x.Exp(x, new(big.Int).SetUint64(e), mod), w)
 }
 
-func (a Vector) arith(b Vector, op func(x, y *big.Int) *big.Int) Vector {
-	w := maxInt(a.Width(), b.Width())
-	if !a.IsKnown() || !b.IsKnown() {
-		return XFill(w)
-	}
-	return fromBig(op(a.bigInt(), b.bigInt()), w)
-}
-
 // Neg returns two's-complement negation at v's width.
 func (v Vector) Neg() Vector {
-	return NewVector(v.Width(), L0).Sub(v)
+	return NewVector(v.width, L0).Sub(v)
 }
 
-// BitwiseNot returns ~v.
+// BitwiseNot returns ~v: known bits invert, X/Z become X.
 func (v Vector) BitwiseNot() Vector {
-	out := NewVector(v.Width(), L0)
-	for i, b := range v.Bits {
-		out.Bits[i] = b.Not()
+	out := alloc(v.width)
+	n := out.nw()
+	for i := 0; i < n; i++ {
+		u := v.p[n+i]
+		out.p[i] = ^v.p[i] &^ u
+		out.p[n+i] = u
 	}
+	out.maskTop()
 	return out
 }
 
-// bitwise applies op bit-by-bit at max width, zero-extending.
-func (a Vector) bitwise(b Vector, op func(x, y Logic) Logic) Vector {
-	w := maxInt(a.Width(), b.Width())
-	ax, bx := a.Resize(w), b.Resize(w)
-	out := NewVector(w, L0)
-	for i := 0; i < w; i++ {
-		out.Bits[i] = op(ax.Bits[i], bx.Bits[i])
-	}
-	return out
-}
+// Bitwise operations work word-at-a-time on the planes regardless of
+// X/Z content. Per word, "one" is the known-1 mask (a &^ b) and "zero"
+// the known-0 mask (^a &^ b); everything else is X. Operands
+// zero-extend to the max width via aword/uword.
 
 // BitwiseAnd returns a & b.
-func (a Vector) BitwiseAnd(b Vector) Vector { return a.bitwise(b, Logic.And) }
+func (a Vector) BitwiseAnd(b Vector) Vector {
+	w := maxInt(a.width, b.width)
+	out := alloc(w)
+	n := out.nw()
+	for i := 0; i < n; i++ {
+		a1, u1 := a.aword(i), a.uword(i)
+		a2, u2 := b.aword(i), b.uword(i)
+		one := (a1 &^ u1) & (a2 &^ u2)
+		zero := (^a1 &^ u1) | (^a2 &^ u2)
+		out.p[i] = one
+		out.p[n+i] = ^(one | zero)
+	}
+	out.maskTop()
+	return out
+}
 
 // BitwiseOr returns a | b.
-func (a Vector) BitwiseOr(b Vector) Vector { return a.bitwise(b, Logic.Or) }
+func (a Vector) BitwiseOr(b Vector) Vector {
+	w := maxInt(a.width, b.width)
+	out := alloc(w)
+	n := out.nw()
+	for i := 0; i < n; i++ {
+		a1, u1 := a.aword(i), a.uword(i)
+		a2, u2 := b.aword(i), b.uword(i)
+		one := (a1 &^ u1) | (a2 &^ u2)
+		zero := (^a1 &^ u1) & (^a2 &^ u2)
+		out.p[i] = one
+		out.p[n+i] = ^(one | zero)
+	}
+	out.maskTop()
+	return out
+}
 
 // BitwiseXor returns a ^ b.
-func (a Vector) BitwiseXor(b Vector) Vector { return a.bitwise(b, Logic.Xor) }
+func (a Vector) BitwiseXor(b Vector) Vector {
+	w := maxInt(a.width, b.width)
+	out := alloc(w)
+	n := out.nw()
+	for i := 0; i < n; i++ {
+		known := ^(a.uword(i) | b.uword(i))
+		out.p[i] = (a.aword(i) ^ b.aword(i)) & known
+		out.p[n+i] = ^known
+	}
+	out.maskTop()
+	return out
+}
 
 // BitwiseXnor returns a ~^ b.
 func (a Vector) BitwiseXnor(b Vector) Vector {
-	return a.bitwise(b, func(x, y Logic) Logic { return x.Xor(y).Not() })
+	w := maxInt(a.width, b.width)
+	out := alloc(w)
+	n := out.nw()
+	for i := 0; i < n; i++ {
+		known := ^(a.uword(i) | b.uword(i))
+		out.p[i] = ^(a.aword(i) ^ b.aword(i)) & known
+		out.p[n+i] = ^known
+	}
+	out.maskTop()
+	return out
 }
 
 // ToBool reduces v for use in a condition: L1 if any bit is known 1,
 // L0 if all bits are known 0, LX otherwise.
 func (v Vector) ToBool() Logic {
-	sawX := false
-	for _, b := range v.Bits {
-		switch b {
-		case L1:
+	n := v.nw()
+	sawU := false
+	for i := 0; i < n; i++ {
+		u := v.p[n+i]
+		if v.p[i]&^u != 0 {
 			return L1
-		case LX, LZ:
-			sawX = true
+		}
+		if u != 0 {
+			sawU = true
 		}
 	}
-	if sawX {
+	if sawU {
 		return LX
 	}
 	return L0
@@ -316,13 +583,12 @@ func (a Vector) LogicalOr(b Vector) Vector { return Scalar(a.ToBool().Or(b.ToBoo
 
 // Eq returns a == b (1-bit, X if any operand bit unknown).
 func (a Vector) Eq(b Vector) Vector {
-	w := maxInt(a.Width(), b.Width())
-	ax, bx := a.Resize(w), b.Resize(w)
-	if !ax.IsKnown() || !bx.IsKnown() {
+	if !a.IsKnown() || !b.IsKnown() {
 		return Scalar(LX)
 	}
-	for i := 0; i < w; i++ {
-		if ax.Bits[i] != bx.Bits[i] {
+	n := words(maxInt(a.width, b.width))
+	for i := 0; i < n; i++ {
+		if a.aword(i) != b.aword(i) {
 			return FromBool(false)
 		}
 	}
@@ -333,11 +599,11 @@ func (a Vector) Eq(b Vector) Vector {
 func (a Vector) Neq(b Vector) Vector { return a.Eq(b).LogicalNot() }
 
 // CaseEq returns a === b: exact 4-state comparison, always 0 or 1.
+// Shorter operands zero-extend (L0 fill), matching Resize semantics.
 func (a Vector) CaseEq(b Vector) Vector {
-	w := maxInt(a.Width(), b.Width())
-	ax, bx := a.Resize(w), b.Resize(w)
-	for i := 0; i < w; i++ {
-		if ax.Bits[i] != bx.Bits[i] {
+	n := words(maxInt(a.width, b.width))
+	for i := 0; i < n; i++ {
+		if a.aword(i) != b.aword(i) || a.uword(i) != b.uword(i) {
 			return FromBool(false)
 		}
 	}
@@ -352,7 +618,16 @@ func (a Vector) cmp(b Vector) (int, bool) {
 	if !a.IsKnown() || !b.IsKnown() {
 		return 0, false
 	}
-	return a.bigInt().Cmp(b.bigInt()), true
+	for i := words(maxInt(a.width, b.width)) - 1; i >= 0; i-- {
+		x, y := a.aword(i), b.aword(i)
+		if x != y {
+			if x < y {
+				return -1, true
+			}
+			return 1, true
+		}
+	}
+	return 0, true
 }
 
 // Lt returns a < b (unsigned).
@@ -395,14 +670,11 @@ func (a Vector) Ge(b Vector) Vector {
 func (a Vector) Shl(b Vector) Vector {
 	n, ok := b.Uint()
 	if !ok {
-		return XFill(a.Width())
+		return XFill(a.width)
 	}
-	out := NewVector(a.Width(), L0)
-	for i := range out.Bits {
-		src := int64(i) - int64(n)
-		if src >= 0 && src < int64(len(a.Bits)) {
-			out.Bits[i] = a.Bits[src]
-		}
+	out := alloc(a.width)
+	if n < uint64(a.width) {
+		out.blit(int(n), a, 0, a.width-int(n))
 	}
 	return out
 }
@@ -411,14 +683,11 @@ func (a Vector) Shl(b Vector) Vector {
 func (a Vector) Shr(b Vector) Vector {
 	n, ok := b.Uint()
 	if !ok {
-		return XFill(a.Width())
+		return XFill(a.width)
 	}
-	out := NewVector(a.Width(), L0)
-	for i := range out.Bits {
-		src := int64(i) + int64(n)
-		if src < int64(len(a.Bits)) {
-			out.Bits[i] = a.Bits[src]
-		}
+	out := alloc(a.width)
+	if n < uint64(a.width) {
+		out.blit(0, a, int(n), a.width-int(n))
 	}
 	return out
 }
@@ -427,44 +696,68 @@ func (a Vector) Shr(b Vector) Vector {
 func (a Vector) AShr(b Vector) Vector {
 	n, ok := b.Uint()
 	if !ok {
-		return XFill(a.Width())
+		return XFill(a.width)
 	}
-	sign := a.Bits[a.Width()-1]
-	out := NewVector(a.Width(), sign)
-	for i := range out.Bits {
-		src := int64(i) + int64(n)
-		if src < int64(len(a.Bits)) {
-			out.Bits[i] = a.Bits[src]
-		}
+	out := NewVector(a.width, a.Bit(a.width-1))
+	if n < uint64(a.width) {
+		out.blit(0, a, int(n), a.width-int(n))
 	}
 	return out
 }
 
-// ReduceAnd returns &v.
+// ReduceAnd returns &v: L0 if any bit is known 0, else LX on any
+// unknown, else L1.
 func (v Vector) ReduceAnd() Vector {
-	acc := L1
-	for _, b := range v.Bits {
-		acc = acc.And(b)
+	n := v.nw()
+	m := topMask(v.width)
+	sawU := false
+	for i := 0; i < n; i++ {
+		valid := ^uint64(0)
+		if i == n-1 {
+			valid = m
+		}
+		if ^v.p[i]&^v.p[n+i]&valid != 0 {
+			return Scalar(L0)
+		}
+		if v.p[n+i] != 0 {
+			sawU = true
+		}
 	}
-	return Scalar(acc)
+	if sawU {
+		return Scalar(LX)
+	}
+	return Scalar(L1)
 }
 
 // ReduceOr returns |v.
 func (v Vector) ReduceOr() Vector {
-	acc := L0
-	for _, b := range v.Bits {
-		acc = acc.Or(b)
+	n := v.nw()
+	sawU := false
+	for i := 0; i < n; i++ {
+		if v.p[i]&^v.p[n+i] != 0 {
+			return Scalar(L1)
+		}
+		if v.p[n+i] != 0 {
+			sawU = true
+		}
 	}
-	return Scalar(acc)
+	if sawU {
+		return Scalar(LX)
+	}
+	return Scalar(L0)
 }
 
 // ReduceXor returns ^v.
 func (v Vector) ReduceXor() Vector {
-	acc := L0
-	for _, b := range v.Bits {
-		acc = acc.Xor(b)
+	n := v.nw()
+	parity := 0
+	for i := 0; i < n; i++ {
+		if v.p[n+i] != 0 {
+			return Scalar(LX)
+		}
+		parity ^= bits.OnesCount64(v.p[i]) & 1
 	}
-	return Scalar(acc)
+	return Scalar(Logic(parity))
 }
 
 // Concat returns {a, b}: a occupies the high bits, b the low bits,
@@ -477,11 +770,11 @@ func Concat(parts ...Vector) Vector {
 	if total == 0 {
 		return Scalar(LX)
 	}
-	out := NewVector(total, L0)
+	out := alloc(total)
 	pos := 0
 	for i := len(parts) - 1; i >= 0; i-- { // last part is least significant
-		copy(out.Bits[pos:], parts[i].Bits)
-		pos += parts[i].Width()
+		out.blit(pos, parts[i], 0, parts[i].width)
+		pos += parts[i].width
 	}
 	return out
 }
@@ -491,19 +784,33 @@ func Replicate(n int, v Vector) Vector {
 	if n < 1 {
 		return Scalar(LX)
 	}
-	out := NewVector(n*v.Width(), L0)
+	out := alloc(n * v.width)
 	for i := 0; i < n; i++ {
-		copy(out.Bits[i*v.Width():], v.Bits)
+		out.blit(i*v.width, v, 0, v.width)
 	}
 	return out
 }
 
 // Slice returns bits [lo .. lo+width-1] (LSB-relative), X-filling any
-// out-of-range positions.
+// out-of-range positions. A full-width slice returns v itself (see
+// Resize for the sharing convention).
 func (v Vector) Slice(lo, width int) Vector {
+	if width < 1 {
+		return XFill(width)
+	}
+	if lo == 0 && width == v.width {
+		return v
+	}
 	out := NewVector(width, LX)
-	for i := 0; i < width; i++ {
-		out.Bits[i] = v.Bit(lo + i)
+	start, end := lo, lo+out.width
+	if start < 0 {
+		start = 0
+	}
+	if end > v.width {
+		end = v.width
+	}
+	if end > start {
+		out.blit(start-lo, v, start, end-start)
 	}
 	return out
 }
@@ -512,21 +819,26 @@ func (v Vector) Slice(lo, width int) Vector {
 // returning a new vector; out-of-range bits of src are dropped.
 func (v Vector) SetSlice(lo int, src Vector) Vector {
 	out := v.Clone()
-	for i := 0; i < src.Width(); i++ {
-		if lo+i >= 0 && lo+i < out.Width() {
-			out.Bits[lo+i] = src.Bits[i]
-		}
+	start, end := lo, lo+src.width
+	if start < 0 {
+		start = 0
+	}
+	if end > out.width {
+		end = out.width
+	}
+	if end > start {
+		out.blit(start, src, start-lo, end-start)
 	}
 	return out
 }
 
 // Equal reports exact 4-state equality of a and b including width.
 func (a Vector) Equal(b Vector) bool {
-	if a.Width() != b.Width() {
+	if a.width != b.width {
 		return false
 	}
-	for i := range a.Bits {
-		if a.Bits[i] != b.Bits[i] {
+	for i, w := range a.p {
+		if w != b.p[i] {
 			return false
 		}
 	}
@@ -536,8 +848,8 @@ func (a Vector) Equal(b Vector) bool {
 // BinString renders MSB-first binary, e.g. "10x0".
 func (v Vector) BinString() string {
 	var sb strings.Builder
-	for i := len(v.Bits) - 1; i >= 0; i-- {
-		sb.WriteRune(v.Bits[i].Rune())
+	for i := v.width - 1; i >= 0; i-- {
+		sb.WriteRune(v.Bit(i).Rune())
 	}
 	return sb.String()
 }
@@ -545,16 +857,16 @@ func (v Vector) BinString() string {
 // HexString renders MSB-first hex; a nibble containing any X prints 'x',
 // any Z (without X) prints 'z'.
 func (v Vector) HexString() string {
-	n := (v.Width() + 3) / 4
+	n := (v.width + 3) / 4
 	var sb strings.Builder
 	for d := n - 1; d >= 0; d-- {
 		val, hasX, hasZ := 0, false, false
 		for b := 0; b < 4; b++ {
 			idx := d*4 + b
-			if idx >= v.Width() {
+			if idx >= v.width {
 				continue
 			}
-			switch v.Bits[idx] {
+			switch v.Bit(idx) {
 			case L1:
 				val |= 1 << b
 			case LX:
@@ -580,12 +892,15 @@ func (v Vector) DecString() string {
 	if !v.IsKnown() {
 		return "x"
 	}
+	if u, ok := v.known64(); ok {
+		return fmt.Sprintf("%d", u)
+	}
 	return v.bigInt().String()
 }
 
 // String implements fmt.Stringer as width'b<bits>.
 func (v Vector) String() string {
-	return fmt.Sprintf("%d'b%s", v.Width(), v.BinString())
+	return fmt.Sprintf("%d'b%s", v.width, v.BinString())
 }
 
 func maxInt(a, b int) int {

@@ -199,25 +199,25 @@ func TestToBool(t *testing.T) {
 	if FromUint(2, 4).ToBool() != L1 {
 		t.Error("2 -> L1")
 	}
-	mix := Vector{Bits: []Logic{L0, LX, L0, L0}}
+	mix := FromLogic(L0, LX, L0, L0)
 	if mix.ToBool() != LX {
 		t.Error("0x00 -> LX")
 	}
-	mixWith1 := Vector{Bits: []Logic{L1, LX}}
+	mixWith1 := FromLogic(L1, LX)
 	if mixWith1.ToBool() != L1 {
 		t.Error("any known 1 -> L1 even with X present")
 	}
 }
 
 func TestFormatting(t *testing.T) {
-	v := Vector{Bits: []Logic{L0, L1, LX, LZ}} // MSB-first: z x 1 0
+	v := FromLogic(L0, L1, LX, LZ) // MSB-first: z x 1 0
 	if v.BinString() != "zx10" {
 		t.Errorf("BinString = %q", v.BinString())
 	}
 	if FromUint(0xAB, 8).HexString() != "ab" {
 		t.Errorf("HexString = %q", FromUint(0xAB, 8).HexString())
 	}
-	withX := Vector{Bits: []Logic{LX, L0, L0, L0, L1, L0, L1, L0}}
+	withX := FromLogic(LX, L0, L0, L0, L1, L0, L1, L0)
 	if withX.HexString() != "5x" {
 		t.Errorf("HexString with X = %q", withX.HexString())
 	}

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in arbitrary units (the front-ends use 1 = 1ns).
 type Time uint64
@@ -15,23 +12,60 @@ type futureEvent struct {
 	fn  func()
 }
 
+// futureQueue is a binary min-heap ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap so pushes and pops
+// move futureEvent values directly instead of boxing them through
+// interface{} — the time wheel is hot and must not allocate per event.
 type futureQueue []futureEvent
 
 func (q futureQueue) Len() int { return len(q) }
-func (q futureQueue) Less(i, j int) bool {
+
+func (q futureQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q futureQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *futureQueue) Push(x any)   { *q = append(*q, x.(futureEvent)) }
-func (q *futureQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+
+func (q *futureQueue) push(ev futureEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *futureQueue) pop() futureEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = futureEvent{} // release the closure
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // StopReason reports why Run returned.
@@ -62,13 +96,20 @@ func (r StopReason) String() string {
 }
 
 // Kernel is the simulation scheduler.
+//
+// The active and nba regions reuse their backing arrays across delta
+// cycles: active drains through a cursor and is reset to length zero
+// once empty, and nba swaps between two buffers, so a steady-state
+// simulation schedules millions of events with no per-delta allocation.
 type Kernel struct {
-	now      Time
-	seq      uint64
-	future   futureQueue
-	active   []func()
-	nba      []func()
-	finished bool
+	now        Time
+	seq        uint64
+	future     futureQueue
+	active     []func()
+	activeHead int // next unconsumed index into active
+	nba        []func()
+	nbaSpare   []func() // drained buffer recycled into nba
+	finished   bool
 
 	// Limits guard against runaway simulations of buggy generated RTL.
 	MaxTime   Time
@@ -122,7 +163,7 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 		return
 	}
 	k.seq++
-	heap.Push(&k.future, futureEvent{at: k.now + delay, seq: k.seq, fn: fn})
+	k.future.push(futureEvent{at: k.now + delay, seq: k.seq, fn: fn})
 }
 
 // Active queues fn into the current delta's active region.
@@ -142,11 +183,12 @@ func (k *Kernel) Finished() bool { return k.finished }
 func (k *Kernel) Run() StopReason {
 	for {
 		deltas := 0
-		for len(k.active) > 0 || len(k.nba) > 0 {
+		for k.activeHead < len(k.active) || len(k.nba) > 0 {
 			// Drain the active region FIFO; events may append more.
-			for len(k.active) > 0 {
-				ev := k.active[0]
-				k.active = k.active[1:]
+			for k.activeHead < len(k.active) {
+				ev := k.active[k.activeHead]
+				k.active[k.activeHead] = nil // release the closure
+				k.activeHead++
 				k.eventCount++
 				if k.eventCount > k.MaxEvents {
 					return StopEvents
@@ -156,13 +198,22 @@ func (k *Kernel) Run() StopReason {
 					return StopFinish
 				}
 			}
+			// Fully consumed: rewind so the backing array is reused.
+			k.active = k.active[:0]
+			k.activeHead = 0
 			// Apply NBA updates; these typically reactivate processes.
+			// Swap in the spare buffer so updates scheduling new NBAs
+			// append into recycled storage.
 			if len(k.nba) > 0 {
 				updates := k.nba
-				k.nba = nil
+				k.nba = k.nbaSpare[:0]
 				for _, u := range updates {
 					u()
 				}
+				for i := range updates {
+					updates[i] = nil
+				}
+				k.nbaSpare = updates[:0]
 				if k.finished {
 					return StopFinish
 				}
@@ -175,7 +226,7 @@ func (k *Kernel) Run() StopReason {
 		if k.future.Len() == 0 {
 			return StopIdle
 		}
-		next := heap.Pop(&k.future).(futureEvent)
+		next := k.future.pop()
 		if next.at > k.MaxTime {
 			return StopTimeout
 		}
@@ -183,8 +234,7 @@ func (k *Kernel) Run() StopReason {
 		k.Active(next.fn)
 		// Pull in all events at the same timestamp.
 		for k.future.Len() > 0 && k.future[0].at == k.now {
-			ev := heap.Pop(&k.future).(futureEvent)
-			k.Active(ev.fn)
+			k.Active(k.future.pop().fn)
 		}
 	}
 }
@@ -201,6 +251,7 @@ type Proc struct {
 	yield  chan struct{}
 	dead   bool
 	killed bool
+	stepFn func() // pre-built {p.step()} closure, so Delay/Activate don't allocate
 }
 
 // SpawnProcess creates a process and schedules its first activation in
@@ -212,6 +263,7 @@ func (k *Kernel) SpawnProcess(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.stepFn = p.step
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume // wait for first activation
@@ -234,7 +286,7 @@ func (k *Kernel) SpawnProcess(name string, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	k.Active(func() { p.step() })
+	k.Active(p.stepFn)
 	return p
 }
 
@@ -263,7 +315,7 @@ func (p *Proc) suspend() {
 
 // Delay suspends the process for d time units.
 func (p *Proc) Delay(d Time) {
-	p.k.Schedule(d, func() { p.step() })
+	p.k.Schedule(d, p.stepFn)
 	if d == 0 {
 		// Zero delay still yields to the end of the active queue.
 	}
@@ -280,7 +332,7 @@ func (p *Proc) Activate() {
 	if p.dead {
 		return
 	}
-	p.k.Active(func() { p.step() })
+	p.k.Active(p.stepFn)
 }
 
 // Kernel returns the owning kernel.

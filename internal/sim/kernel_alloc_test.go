@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// TestKernelNoPerDeltaAllocs pins the hot-loop guarantee documented on
+// Kernel: once the region buffers have grown, a steady-state run of
+// active->NBA->active delta cycles performs no per-delta allocations.
+func TestKernelNoPerDeltaAllocs(t *testing.T) {
+	k := NewKernel()
+	const deltas = 1000
+	n := 0
+	var act, nbaFn func()
+	act = func() {
+		n++
+		if n < deltas {
+			k.NBA(nbaFn)
+		}
+	}
+	nbaFn = func() { k.Active(act) }
+
+	// Warm-up run grows the active/nba backing arrays to steady state.
+	k.Active(act)
+	if r := k.Run(); r != StopIdle {
+		t.Fatalf("warm-up run stopped with %v", r)
+	}
+	if n != deltas {
+		t.Fatalf("warm-up ran %d deltas, want %d", n, deltas)
+	}
+
+	avg := testing.AllocsPerRun(5, func() {
+		n = 0
+		k.Active(act)
+		if r := k.Run(); r != StopIdle {
+			t.Fatalf("run stopped with %v", r)
+		}
+	})
+	// Each measured run is `deltas` delta cycles; any per-delta
+	// allocation would show up as >= deltas allocs per run.
+	if avg > 1 {
+		t.Errorf("allocs per %d-delta run = %v, want <= 1 (per-delta allocation regression)", deltas, avg)
+	}
+}

@@ -82,7 +82,9 @@ func (s *Simulator) evalCtx(inst *Instance, en *env, e vhdl.Expr, ctx int) value
 	case *vhdl.CharLit:
 		return vecVal(hdl.Scalar(x.Value))
 	case *vhdl.BitStrLit:
-		return vecVal(x.Value.Clone())
+		// Safe to share the AST literal's storage: Vectors are
+		// immutable by convention once published (see hdl.Vector.SetBit).
+		return vecVal(x.Value)
 	case *vhdl.BoolLit:
 		return boolVal(x.Value)
 	case *vhdl.StrLit:
@@ -91,11 +93,11 @@ func (s *Simulator) evalCtx(inst *Instance, en *env, e vhdl.Expr, ctx int) value
 		sig, vs, gv, kind := s.lookupValue(inst, en, x.Ident)
 		switch kind {
 		case 1:
-			return value{v: sig.Val.Clone(), isInt: sig.Kind == KindInt}
+			return value{v: sig.Val, isInt: sig.Kind == KindInt}
 		case 2:
-			return value{v: gv.Clone(), isInt: gv.Width() == 32}
+			return value{v: gv, isInt: gv.Width() == 32}
 		case 3:
-			return value{v: vs.val.Clone(), isInt: vs.isInt}
+			return value{v: vs.val, isInt: vs.isInt}
 		default:
 			panic(faultf("reference to undeclared name %q", x.Ident))
 		}

@@ -54,7 +54,7 @@ func (s *Signal) MemWord(idx int) hdl.Vector {
 		return hdl.XFill(s.Width)
 	}
 	if w, ok := s.Mem[idx]; ok {
-		return w.Clone()
+		return w
 	}
 	return hdl.XFill(s.Width)
 }

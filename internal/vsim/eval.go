@@ -294,7 +294,9 @@ func (sim *Simulator) eval(inst *Instance, e verilog.Expr) hdl.Vector {
 func (sim *Simulator) evalCtx(inst *Instance, e verilog.Expr, ctx int) hdl.Vector {
 	switch x := e.(type) {
 	case *verilog.Number:
-		v := x.Value.Clone()
+		// Safe to share the AST literal's storage: Vectors are
+		// immutable by convention once published (see hdl.Vector.SetBit).
+		v := x.Value
 		if ctx > v.Width() {
 			v = v.Resize(ctx)
 		}
@@ -310,7 +312,7 @@ func (sim *Simulator) evalCtx(inst *Instance, e verilog.Expr, ctx int) hdl.Vecto
 			ch := x.Value[len(x.Value)-1-i]
 			for b := 0; b < 8; b++ {
 				if ch&(1<<b) != 0 {
-					v.Bits[i*8+b] = hdl.L1
+					v.SetBit(i*8+b, hdl.L1)
 				}
 			}
 		}
@@ -323,9 +325,9 @@ func (sim *Simulator) evalCtx(inst *Instance, e verilog.Expr, ctx int) hdl.Vecto
 			if sig.IsMem {
 				panic(faultf("memory %q used without an index", x.Name))
 			}
-			v = sig.Val.Clone()
+			v = sig.Val
 		case 2:
-			v = pv.Clone()
+			v = pv
 		default:
 			panic(faultf("reference to undeclared identifier %q", x.Name))
 		}
@@ -377,8 +379,8 @@ func (sim *Simulator) evalCtx(inst *Instance, e verilog.Expr, ctx int) hdl.Vecto
 			t, f = t.Resize(w), f.Resize(w)
 			out := hdl.NewVector(w, hdl.LX)
 			for i := 0; i < w; i++ {
-				if t.Bits[i] == f.Bits[i] && t.Bits[i].IsKnown() {
-					out.Bits[i] = t.Bits[i]
+				if tb := t.Bit(i); tb == f.Bit(i) && tb.IsKnown() {
+					out.SetBit(i, tb)
 				}
 			}
 			return out

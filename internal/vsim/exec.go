@@ -8,11 +8,12 @@ import (
 
 // watcher observes one signal on behalf of a wait group.
 type watcher struct {
-	dead  bool
-	edge  verilog.EdgeKind
-	eval  func() hdl.Logic // current value of the sensitivity expression
-	last  hdl.Logic
-	group *waitGroup
+	dead     bool
+	attached bool // still present in its signal's watcher list
+	edge     verilog.EdgeKind
+	eval     func() hdl.Logic // current value of the sensitivity expression
+	last     hdl.Logic
+	group    *waitGroup
 }
 
 // waitGroup is a one-shot event control: the first matching trigger on
@@ -81,11 +82,14 @@ func (s *Simulator) notifyWatchers(sig *Signal) {
 	live := sig.watchers[:0]
 	for _, w := range sig.watchers {
 		if w.dead {
+			w.attached = false
 			continue
 		}
 		w.notify()
 		if !w.dead {
 			live = append(live, w)
+		} else {
+			w.attached = false
 		}
 	}
 	sig.watchers = live
@@ -113,8 +117,25 @@ type target struct {
 }
 
 // resolveTargets flattens an lvalue into primitive targets, MSB-first
-// for concatenations, and returns the total width.
+// for concatenations, and returns the total width. The returned slice
+// is freshly allocated and safe to retain (NBA closures capture it).
 func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, int) {
+	return s.appendTargets(nil, inst, lhs)
+}
+
+// resolveTargetsScratch is resolveTargets into the simulator's reusable
+// target buffer, for assignments that are applied before the next
+// resolve (blocking assigns, continuous-assign updates). Hot loops
+// re-execute the same assignments every cycle, so this removes a
+// per-assignment allocation. The result must NOT be retained across
+// events.
+func (s *Simulator) resolveTargetsScratch(inst *Instance, lhs verilog.Expr) ([]target, int) {
+	ts, total := s.appendTargets(s.targetScratch[:0], inst, lhs)
+	s.targetScratch = ts[:0]
+	return ts, total
+}
+
+func (s *Simulator) appendTargets(buf []target, inst *Instance, lhs verilog.Expr) ([]target, int) {
 	switch x := lhs.(type) {
 	case *verilog.Ident:
 		sig, _, kind := inst.lookup(x.Name)
@@ -124,7 +145,7 @@ func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, 
 		if sig.IsMem {
 			panic(faultf("assignment to memory %q without an index", x.Name))
 		}
-		return []target{{sig: sig, lo: 0, width: sig.Width, ok: true}}, sig.Width
+		return append(buf, target{sig: sig, lo: 0, width: sig.Width, ok: true}), sig.Width
 	case *verilog.Index:
 		base, okb := x.Base.(*verilog.Ident)
 		if !okb {
@@ -137,18 +158,18 @@ func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, 
 		i64, known := s.evalIndexValue(inst, x.Idx)
 		if sig.IsMem {
 			if !known {
-				return []target{{ok: false, width: sig.Width}}, sig.Width
+				return append(buf, target{ok: false, width: sig.Width}), sig.Width
 			}
-			return []target{{sig: sig, isMem: true, memIdx: int(i64), width: sig.Width, ok: true}}, sig.Width
+			return append(buf, target{sig: sig, isMem: true, memIdx: int(i64), width: sig.Width, ok: true}), sig.Width
 		}
 		if !known {
-			return []target{{ok: false, width: 1}}, 1
+			return append(buf, target{ok: false, width: 1}), 1
 		}
 		bit, inRange := sig.declIndexToBit(int(i64))
 		if !inRange {
-			return []target{{ok: false, width: 1}}, 1
+			return append(buf, target{ok: false, width: 1}), 1
 		}
-		return []target{{sig: sig, lo: bit, width: 1, ok: true}}, 1
+		return append(buf, target{sig: sig, lo: bit, width: 1, ok: true}), 1
 	case *verilog.PartSelect:
 		base, okb := x.Base.(*verilog.Ident)
 		if !okb {
@@ -161,7 +182,7 @@ func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, 
 		m64, ok1 := s.evalIndexValue(inst, x.MSB)
 		l64, ok2 := s.evalIndexValue(inst, x.LSB)
 		if !ok1 || !ok2 {
-			return []target{{ok: false, width: 1}}, 1
+			return append(buf, target{ok: false, width: 1}), 1
 		}
 		loBit, okLo := sig.declIndexToBit(int(l64))
 		hiBit, okHi := sig.declIndexToBit(int(m64))
@@ -170,22 +191,21 @@ func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, 
 			if w < 0 {
 				w = -w
 			}
-			return []target{{ok: false, width: w + 1}}, w + 1
+			return append(buf, target{ok: false, width: w + 1}), w + 1
 		}
 		if loBit > hiBit {
 			loBit, hiBit = hiBit, loBit
 		}
 		w := hiBit - loBit + 1
-		return []target{{sig: sig, lo: loBit, width: w, ok: true}}, w
+		return append(buf, target{sig: sig, lo: loBit, width: w, ok: true}), w
 	case *verilog.ConcatExpr:
-		var all []target
 		total := 0
 		for _, part := range x.Parts { // MSB-first
-			ts, w := s.resolveTargets(inst, part)
-			all = append(all, ts...)
+			var w int
+			buf, w = s.appendTargets(buf, inst, part)
 			total += w
 		}
-		return all, total
+		return buf, total
 	default:
 		panic(faultf("unsupported assignment target at %v", lhs.ExprPos()))
 	}
@@ -220,12 +240,28 @@ func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
 // registerWait installs a one-shot wait group for the sensitivity list
 // in scope inst; resume runs when it fires.
 func (s *Simulator) registerWait(inst *Instance, sens *verilog.SensList, resume func()) {
-	g := &waitGroup{resume: resume}
-	items := sens.Items
+	s.rearmWait(s.buildWait(inst, sens, resume))
+}
+
+// waitReg is a reusable wait registration: the wait group, its
+// watchers, and the signal each watcher attaches to. A process whose
+// sensitivity list is fixed (every always block) builds one waitReg and
+// re-arms it each iteration instead of reallocating the whole structure
+// per wakeup.
+type waitReg struct {
+	g    *waitGroup
+	ws   []*watcher
+	sigs []*Signal
+}
+
+// buildWait constructs the watchers for a sensitivity list without
+// attaching them; rearmWait arms them.
+func (s *Simulator) buildWait(inst *Instance, sens *verilog.SensList, resume func()) *waitReg {
 	if sens.Star {
 		panic(faultf("internal: @* must be expanded before registerWait"))
 	}
-	for _, item := range items {
+	r := &waitReg{g: &waitGroup{resume: resume, fired: true}}
+	for _, item := range sens.Items {
 		it := item
 		sigs := s.collectSignals(inst, it.Sig)
 		if len(sigs) == 0 {
@@ -233,14 +269,31 @@ func (s *Simulator) registerWait(inst *Instance, sens *verilog.SensList, resume 
 		}
 		evalBit := func() hdl.Logic { return s.eval(inst, it.Sig).Bit(0) }
 		for _, sg := range sigs {
-			w := &watcher{edge: it.Edge, eval: evalBit, last: evalBit(), group: g}
-			g.watchers = append(g.watchers, w)
-			sg.watchers = append(sg.watchers, w)
+			w := &watcher{edge: it.Edge, eval: evalBit, dead: true, group: r.g}
+			r.g.watchers = append(r.g.watchers, w)
+			r.ws = append(r.ws, w)
+			r.sigs = append(r.sigs, sg)
 		}
 	}
-	if len(g.watchers) == 0 {
+	return r
+}
+
+// rearmWait re-arms a wait registration: watchers come back alive with
+// a freshly sampled edge baseline and re-attach to their signals unless
+// a lazily-pruned entry is still present in the signal's list.
+func (s *Simulator) rearmWait(r *waitReg) {
+	r.g.fired = false
+	for i, w := range r.ws {
+		w.dead = false
+		w.last = w.eval()
+		if !w.attached {
+			w.attached = true
+			r.sigs[i].watchers = append(r.sigs[i].watchers, w)
+		}
+	}
+	if len(r.ws) == 0 {
 		// Nothing to wait on: resume immediately to avoid deadlock.
-		s.kernel.Active(resume)
+		s.kernel.Active(r.g.resume)
 	}
 }
 
@@ -422,11 +475,14 @@ func (s *Simulator) execStmt(inst *Instance, p *sim.Proc, st verilog.Stmt) {
 			s.execStmt(inst, p, x.Body)
 		}
 	case *verilog.Assign:
-		ts, total := s.resolveTargets(inst, x.LHS)
-		val := s.evalCtx(inst, x.RHS, total)
 		if x.Blocking {
+			ts, total := s.resolveTargetsScratch(inst, x.LHS)
+			val := s.evalCtx(inst, x.RHS, total)
 			s.applyTargets(ts, total, val)
 		} else {
+			// NBA targets are applied later; they need their own storage.
+			ts, total := s.resolveTargets(inst, x.LHS)
+			val := s.evalCtx(inst, x.RHS, total)
 			s.kernel.NBA(func() { s.applyTargets(ts, total, val) })
 		}
 	case *verilog.DelayStmt:
@@ -494,7 +550,7 @@ func caseMatches(kind verilog.CaseKind, subject, pat hdl.Vector) bool {
 	}
 	sv, pv := subject.Resize(w), pat.Resize(w)
 	for i := 0; i < w; i++ {
-		sb, pb := sv.Bits[i], pv.Bits[i]
+		sb, pb := sv.Bit(i), pv.Bit(i)
 		switch kind {
 		case verilog.CaseZ:
 			if sb == hdl.LZ || pb == hdl.LZ {

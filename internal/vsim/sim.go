@@ -41,6 +41,10 @@ type Simulator struct {
 	finished bool
 	stopped  bool
 	vcd      vcdDumper
+
+	// targetScratch backs resolveTargetsScratch for assignments whose
+	// targets are consumed immediately (not captured by NBA closures).
+	targetScratch []target
 }
 
 // Simulate elaborates top from modules and runs it to completion.
@@ -114,6 +118,7 @@ type contAssignRT struct {
 	s       *Simulator
 	a       *boundAssign
 	pending bool
+	run     func() // pre-built event closure: scheduling must not allocate
 }
 
 func (c *contAssignRT) schedule() {
@@ -121,21 +126,22 @@ func (c *contAssignRT) schedule() {
 		return
 	}
 	c.pending = true
-	c.s.kernel.Active(func() {
-		c.pending = false
-		c.update()
-	})
+	c.s.kernel.Active(c.run)
 }
 
 func (c *contAssignRT) update() {
 	defer c.s.recoverFault()
-	ts, total := c.s.resolveTargets(c.a.lhsScope, c.a.lhs)
+	ts, total := c.s.resolveTargetsScratch(c.a.lhsScope, c.a.lhs)
 	val := c.s.evalCtx(c.a.rhsScope, c.a.rhs, total)
 	c.s.applyTargets(ts, total, val)
 }
 
 func (s *Simulator) bindContAssign(a *boundAssign) {
 	rt := &contAssignRT{s: s, a: a}
+	rt.run = func() {
+		rt.pending = false
+		rt.update()
+	}
 	// Persistent watchers on every RHS signal.
 	func() {
 		defer s.recoverFault()
@@ -187,13 +193,21 @@ func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock) {
 	body := alw.Body
 	s.kernel.SpawnProcess(inst.Path+".always", func(p *sim.Proc) {
 		defer s.procRecover()
+		// The sensitivity list of an always block is fixed (@* expands
+		// deterministically from the fixed body), so build the wait
+		// registration once and re-arm it every iteration: the hottest
+		// loop in the simulator must not allocate per wakeup.
+		var reg *waitReg
+		if sens != nil {
+			effective := sens
+			if sens.Star {
+				effective = s.expandStar(body)
+			}
+			reg = s.buildWait(inst, effective, func() { p.Activate() })
+		}
 		for {
-			if sens != nil {
-				effective := sens
-				if sens.Star {
-					effective = s.expandStar(body)
-				}
-				s.registerWait(inst, effective, func() { p.Activate() })
+			if reg != nil {
+				s.rearmWait(reg)
 				p.WaitActivation()
 			}
 			s.execStmt(inst, p, body)
@@ -289,15 +303,16 @@ func (s *Simulator) installMonitor(inst *Instance, args []verilog.Expr) {
 		s.logf("%s\n", s.formatArgs(inst, args))
 	}
 	pending := false
+	run := func() {
+		pending = false
+		print()
+	}
 	firePrint := func() {
 		if pending {
 			return
 		}
 		pending = true
-		s.kernel.Active(func() {
-			pending = false
-			print()
-		})
+		s.kernel.Active(run)
 	}
 	func() {
 		defer s.recoverFault()
