@@ -117,7 +117,6 @@ type Kernel struct {
 	MaxEvents uint64
 
 	eventCount uint64
-	procs      []*Proc
 	fault      string
 }
 
@@ -131,17 +130,6 @@ func (k *Kernel) SetFault(msg string) {
 		k.fault = msg
 	}
 	k.finished = true
-}
-
-// Shutdown terminates every live process goroutine. Call once after Run
-// returns; the kernel is unusable afterwards.
-func (k *Kernel) Shutdown() {
-	for _, p := range k.procs {
-		if !p.dead {
-			p.killed = true
-			p.step()
-		}
-	}
 }
 
 // NewKernel returns a kernel with generous default limits.
@@ -241,102 +229,78 @@ func (k *Kernel) Run() StopReason {
 
 // ---------------------------------------------------------------- procs
 
-// Proc is a cooperative process coroutine. The body runs on its own
-// goroutine but only while the kernel is blocked waiting for it, so at
-// most one goroutine is ever executing simulation code.
-type Proc struct {
+// Process is a simulation process in continuation-passing form. Its
+// suspended state lives in an explicit value owned by the front-end
+// interpreter (a program counter plus a frame stack), not in a blocked
+// goroutine stack: each activation is a plain call of the step function,
+// which runs the process up to its next suspension point (a delay or
+// event-control wait) and returns after arranging its own reactivation.
+// No goroutine or channel exists per process, so a kernel is fully
+// dismantled by letting it go out of scope.
+type Process struct {
 	Name   string
 	k      *Kernel
-	resume chan struct{}
-	yield  chan struct{}
 	dead   bool
-	killed bool
-	stepFn func() // pre-built {p.step()} closure, so Delay/Activate don't allocate
+	step   func(p *Process)
+	stepFn func() // pre-built dispatch closure, so Delay/Activate don't allocate
 }
 
-// SpawnProcess creates a process and schedules its first activation in
-// the current active region.
-func (k *Kernel) SpawnProcess(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		Name:   name,
-		k:      k,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
-	p.stepFn = p.step
-	k.procs = append(k.procs, p)
-	go func() {
-		<-p.resume // wait for first activation
-		if p.killed {
-			p.dead = true
-			p.yield <- struct{}{}
+// NewProcess registers a process whose continuation is step and
+// schedules its first activation in the current active region. A panic
+// inside step is recovered at the dispatch boundary: TerminateProcess
+// unwinds cleanly (the process is marked dead); any other panic is an
+// interpreter fault on malformed RTL, recorded as a simulation fatal
+// instead of crashing the harness.
+func (k *Kernel) NewProcess(name string, step func(p *Process)) *Process {
+	p := &Process{Name: name, k: k, step: step}
+	p.stepFn = func() {
+		if p.dead {
 			return
 		}
 		defer func() {
-			p.dead = true
-			// TerminateProcess is the clean unwind sentinel; any other
-			// panic is an interpreter fault on malformed RTL, recorded
-			// as a simulation fatal instead of crashing the harness.
 			if r := recover(); r != nil {
+				p.dead = true
 				if _, ok := r.(TerminateProcess); !ok {
 					k.SetFault(fmt.Sprintf("simulation fatal in process %s: %v", name, r))
 				}
 			}
-			p.yield <- struct{}{}
 		}()
-		body(p)
-	}()
+		p.step(p)
+	}
 	k.Active(p.stepFn)
 	return p
 }
 
-// TerminateProcess is the panic sentinel a process body may raise to
+// TerminateProcess is the panic sentinel a process step may raise to
 // unwind itself cleanly (e.g. after $finish).
 type TerminateProcess struct{}
 
-// step resumes the process and waits for it to yield or terminate.
-func (p *Proc) step() {
-	if p.dead {
-		return
-	}
-	p.resume <- struct{}{}
-	<-p.yield
-}
+// Delay schedules the process to step again after d time units. The
+// caller must return from its step function afterwards; the suspended
+// continuation is whatever state it left behind.
+//
+// Delay(0) is a yield, not a no-op: the process is rescheduled at the
+// tail of the current active region, so every other event already
+// queued in this delta (including processes spawned later) runs before
+// the process resumes. This is the IEEE 1364 `#0` ordering and is
+// pinned by TestZeroDelayYieldsFIFO.
+func (p *Process) Delay(d Time) { p.k.Schedule(d, p.stepFn) }
 
-// suspend blocks the process body until the scheduler resumes it again.
-// Must only be called from inside the process goroutine.
-func (p *Proc) suspend() {
-	p.yield <- struct{}{}
-	<-p.resume
-	if p.killed {
-		panic(TerminateProcess{})
-	}
-}
-
-// Delay suspends the process for d time units.
-func (p *Proc) Delay(d Time) {
-	p.k.Schedule(d, p.stepFn)
-	if d == 0 {
-		// Zero delay still yields to the end of the active queue.
-	}
-	p.suspend()
-}
-
-// WaitActivation suspends the process until someone calls Activate.
-// Used for event-control waits: the interpreter registers the process
-// with its signal sensitivity machinery and then calls WaitActivation.
-func (p *Proc) WaitActivation() { p.suspend() }
-
-// Activate schedules the process to resume in the active region.
-func (p *Proc) Activate() {
+// Activate schedules the process to step again in the active region.
+// Event-control waits use this as the resume hook: the interpreter
+// registers it with its signal sensitivity machinery and returns.
+func (p *Process) Activate() {
 	if p.dead {
 		return
 	}
 	p.k.Active(p.stepFn)
 }
 
-// Kernel returns the owning kernel.
-func (p *Proc) Kernel() *Kernel { return p.k }
+// Terminate marks the process dead; pending activations become no-ops.
+func (p *Process) Terminate() { p.dead = true }
 
-// Dead reports whether the process body has returned.
-func (p *Proc) Dead() bool { return p.dead }
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Dead reports whether the process has terminated.
+func (p *Process) Dead() bool { return p.dead }

@@ -55,14 +55,18 @@ func TestQuickProcessDelaysAccumulate(t *testing.T) {
 			want += Time(s)
 		}
 		var got Time
-		k.SpawnProcess("p", func(p *Proc) {
-			for _, s := range steps {
-				p.Delay(Time(s))
+		pc := 0
+		k.NewProcess("p", func(p *Process) {
+			if pc < len(steps) {
+				d := Time(steps[pc])
+				pc++
+				p.Delay(d)
+				return
 			}
 			got = k.Now()
+			p.Terminate()
 		})
 		k.Run()
-		k.Shutdown()
 		return got == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -41,17 +42,23 @@ func TestNBARunsAfterActive(t *testing.T) {
 func TestProcessDelay(t *testing.T) {
 	k := NewKernel()
 	var times []Time
-	k.SpawnProcess("p", func(p *Proc) {
+	pc := 0
+	k.NewProcess("p", func(p *Process) {
 		times = append(times, k.Now())
-		p.Delay(7)
-		times = append(times, k.Now())
-		p.Delay(3)
-		times = append(times, k.Now())
+		switch pc {
+		case 0:
+			pc = 1
+			p.Delay(7)
+		case 1:
+			pc = 2
+			p.Delay(3)
+		default:
+			p.Terminate()
+		}
 	})
 	if r := k.Run(); r != StopIdle {
 		t.Fatalf("stop = %v", r)
 	}
-	k.Shutdown()
 	if len(times) != 3 || times[0] != 0 || times[1] != 7 || times[2] != 10 {
 		t.Errorf("times = %v", times)
 	}
@@ -60,20 +67,34 @@ func TestProcessDelay(t *testing.T) {
 func TestTwoProcessesInterleave(t *testing.T) {
 	k := NewKernel()
 	var log []string
-	k.SpawnProcess("a", func(p *Proc) {
-		log = append(log, "a0")
-		p.Delay(5)
-		log = append(log, "a5")
-		p.Delay(10)
-		log = append(log, "a15")
+	apc, bpc := 0, 0
+	k.NewProcess("a", func(p *Process) {
+		switch apc {
+		case 0:
+			log = append(log, "a0")
+			apc = 1
+			p.Delay(5)
+		case 1:
+			log = append(log, "a5")
+			apc = 2
+			p.Delay(10)
+		default:
+			log = append(log, "a15")
+			p.Terminate()
+		}
 	})
-	k.SpawnProcess("b", func(p *Proc) {
-		log = append(log, "b0")
-		p.Delay(10)
-		log = append(log, "b10")
+	k.NewProcess("b", func(p *Process) {
+		switch bpc {
+		case 0:
+			log = append(log, "b0")
+			bpc = 1
+			p.Delay(10)
+		default:
+			log = append(log, "b10")
+			p.Terminate()
+		}
 	})
 	k.Run()
-	k.Shutdown()
 	want := []string{"a0", "b0", "a5", "b10", "a15"}
 	if len(log) != len(want) {
 		t.Fatalf("log = %v", log)
@@ -88,8 +109,13 @@ func TestTwoProcessesInterleave(t *testing.T) {
 func TestFinishStopsRun(t *testing.T) {
 	k := NewKernel()
 	ran := false
-	k.SpawnProcess("p", func(p *Proc) {
-		p.Delay(5)
+	pc := 0
+	k.NewProcess("p", func(p *Process) {
+		if pc == 0 {
+			pc = 1
+			p.Delay(5)
+			return
+		}
 		k.Finish()
 		panic(TerminateProcess{})
 	})
@@ -97,7 +123,6 @@ func TestFinishStopsRun(t *testing.T) {
 	if r := k.Run(); r != StopFinish {
 		t.Fatalf("stop = %v", r)
 	}
-	k.Shutdown()
 	if ran {
 		t.Error("event after finish should not run")
 	}
@@ -109,17 +134,28 @@ func TestFinishStopsRun(t *testing.T) {
 func TestActivationWait(t *testing.T) {
 	k := NewKernel()
 	var got Time
-	var waiter *Proc
-	waiter = k.SpawnProcess("waiter", func(p *Proc) {
-		p.WaitActivation()
+	var waiter *Process
+	waited := false
+	waiter = k.NewProcess("waiter", func(p *Process) {
+		if !waited {
+			// First activation: suspend until someone calls Activate.
+			waited = true
+			return
+		}
 		got = k.Now()
+		p.Terminate()
 	})
-	k.SpawnProcess("kicker", func(p *Proc) {
-		p.Delay(42)
+	kicked := false
+	k.NewProcess("kicker", func(p *Process) {
+		if !kicked {
+			kicked = true
+			p.Delay(42)
+			return
+		}
 		waiter.Activate()
+		p.Terminate()
 	})
 	k.Run()
-	k.Shutdown()
 	if got != 42 {
 		t.Errorf("woken at %d, want 42", got)
 	}
@@ -163,33 +199,36 @@ func TestEventLimit(t *testing.T) {
 	}
 }
 
-func TestShutdownKillsInfiniteProcess(t *testing.T) {
+func TestFinishAbandonsInfiniteProcess(t *testing.T) {
+	// A free-running clock process never terminates on its own; Finish
+	// must stop the run, and dropping the kernel must leave nothing
+	// behind (no goroutine exists per process to leak).
+	before := runtime.NumGoroutine()
 	k := NewKernel()
 	iterations := 0
-	k.SpawnProcess("clock", func(p *Proc) {
-		for {
-			p.Delay(5)
-			iterations++
-			if iterations > 3 {
-				k.Finish()
-				// keep looping: the process itself never returns
-			}
+	k.NewProcess("clock", func(p *Process) {
+		iterations++
+		if iterations > 3 {
+			k.Finish()
+			return
 		}
+		p.Delay(5)
 	})
 	if r := k.Run(); r != StopFinish {
 		t.Fatalf("stop = %v", r)
 	}
-	k.Shutdown() // must not hang
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines grew from %d to %d", before, n)
+	}
 }
 
 func TestProcessPanicBecomesFault(t *testing.T) {
 	k := NewKernel()
-	k.SpawnProcess("bad", func(p *Proc) {
+	k.NewProcess("bad", func(p *Process) {
 		var s []int
 		_ = s[3] // index out of range
 	})
 	r := k.Run()
-	k.Shutdown()
 	if r != StopFinish {
 		t.Fatalf("stop = %v", r)
 	}
@@ -198,23 +237,79 @@ func TestProcessPanicBecomesFault(t *testing.T) {
 	}
 }
 
+func TestTerminateMakesActivationsNoOps(t *testing.T) {
+	k := NewKernel()
+	runs := 0
+	p := k.NewProcess("p", func(p *Process) {
+		runs++
+		p.Terminate()
+	})
+	p.Activate() // queued before the process runs and terminates
+	k.Run()
+	if runs != 1 {
+		t.Errorf("step ran %d times, want 1 (post-Terminate activation must be a no-op)", runs)
+	}
+	if !p.Dead() {
+		t.Error("process not dead after Terminate")
+	}
+}
+
 func TestZeroDelayYieldsFIFO(t *testing.T) {
 	k := NewKernel()
 	var order []string
-	k.SpawnProcess("a", func(p *Proc) {
-		order = append(order, "a1")
-		p.Delay(0)
+	delayed := false
+	k.NewProcess("a", func(p *Process) {
+		if !delayed {
+			order = append(order, "a1")
+			delayed = true
+			p.Delay(0)
+			return
+		}
 		order = append(order, "a2")
+		p.Terminate()
 	})
-	k.SpawnProcess("b", func(p *Proc) {
+	k.NewProcess("b", func(p *Process) {
 		order = append(order, "b1")
+		p.Terminate()
 	})
 	k.Run()
-	k.Shutdown()
 	// a runs, delays 0 (goes to back of active queue), b runs, a resumes.
 	want := []string{"a1", "b1", "a2"}
 	for i := range want {
 		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v want %v", order, want)
+		}
+	}
+}
+
+func TestZeroDelayStaysInCurrentDelta(t *testing.T) {
+	// Delay(0) reschedules in the *current* active region: the process
+	// resumes at the same simulated time, before NBA updates apply and
+	// before time advances.
+	k := NewKernel()
+	var order []string
+	yielded := false
+	k.NewProcess("p", func(p *Process) {
+		if !yielded {
+			yielded = true
+			k.NBA(func() { order = append(order, "nba") })
+			p.Delay(0)
+			return
+		}
+		order = append(order, "resumed")
+		if k.Now() != 0 {
+			t.Errorf("zero delay advanced time to %d", k.Now())
+		}
+		p.Terminate()
+	})
+	k.Schedule(1, func() { order = append(order, "t1") })
+	k.Run()
+	want := []string{"resumed", "nba", "t1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
 			t.Fatalf("order = %v want %v", order, want)
 		}
 	}

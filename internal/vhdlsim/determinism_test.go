@@ -1,0 +1,63 @@
+package vhdlsim
+
+import (
+	"testing"
+
+	"repro/internal/vhdl"
+)
+
+// TestVHDLSimulateDeterministicLog is the VHDL counterpart of vsim's
+// VCD determinism test: two runs of the same design must produce
+// byte-identical logs and end times under the direct-dispatch kernel.
+func TestVHDLSimulateDeterministicLog(t *testing.T) {
+	src := `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal done : std_logic := '0';
+  signal n : integer := 0;
+begin
+  clk <= not clk after 1 ns when done = '0' else '0';
+  count: process(clk)
+  begin
+    if rising_edge(clk) then
+      n <= n + 1;
+    end if;
+  end process;
+  watch: process(n)
+  begin
+    if n = 5 then
+      report "n reached five";
+    end if;
+  end process;
+  stim: process
+  begin
+    wait for 20 ns;
+    report "n is now " & "sampled";
+    assert n > 0 report "clock never ticked" severity error;
+    done <= '1';
+    wait;
+  end process;
+end architecture;`
+	df, diags := vhdl.Parse("det.vhd", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	runOnce := func() *Result {
+		res, err := Simulate([]*vhdl.DesignFile{df}, "tb", Options{MaxTime: 100000})
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if res.AssertErrors != 0 || res.TimedOut {
+			t.Fatalf("bad run: %s", res.Log)
+		}
+		return res
+	}
+	r1, r2 := runOnce(), runOnce()
+	if r1.Log != r2.Log {
+		t.Errorf("log differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", r1.Log, r2.Log)
+	}
+	if r1.EndTime != r2.EndTime {
+		t.Errorf("end time differs: %d vs %d", r1.EndTime, r2.EndTime)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"repro/internal/vhdl"
 )
 
-// watcher observes a signal for a wait group (one-shot).
+// watcher observes a signal for a wait group (one-shot between
+// re-arms; see waitReg).
 type watcher struct {
-	dead  bool
-	group *waitGroup
+	dead     bool
+	attached bool // still present in its signal's watcher list
+	group    *waitGroup
 }
 
 type waitGroup struct {
@@ -34,6 +36,46 @@ type persistentWatcher struct {
 	fire func()
 }
 
+// waitReg is a reusable wait registration over a fixed signal set: the
+// wait group, its watchers, and the signal each watcher attaches to.
+// Every wait site in a process (the sensitivity list, each `wait on`
+// and `wait until`) observes a fixed signal set, so one registration
+// is built per site and re-armed per pass instead of reallocating the
+// whole structure every wakeup.
+type waitReg struct {
+	g    *waitGroup
+	ws   []*watcher
+	sigs []*Signal
+}
+
+// buildWaitReg constructs the watchers for a signal set without
+// attaching them; rearmWait arms them. Callers guarantee a non-empty
+// signal set (an empty one would deadlock the process).
+func (s *Simulator) buildWaitReg(sigs []*Signal, resume func()) *waitReg {
+	r := &waitReg{g: &waitGroup{resume: resume, fired: true}}
+	for _, sg := range sigs {
+		w := &watcher{dead: true, group: r.g}
+		r.g.watchers = append(r.g.watchers, w)
+		r.ws = append(r.ws, w)
+		r.sigs = append(r.sigs, sg)
+	}
+	return r
+}
+
+// rearmWait re-arms a wait registration: watchers come back alive and
+// re-attach to their signals unless a lazily-pruned entry is still
+// present in the signal's list.
+func (s *Simulator) rearmWait(r *waitReg) {
+	r.g.fired = false
+	for i, w := range r.ws {
+		w.dead = false
+		if !w.attached {
+			w.attached = true
+			r.sigs[i].watchers = append(r.sigs[i].watchers, w)
+		}
+	}
+}
+
 // applyUpdate commits a signal value change, stamping the event batch
 // and notifying watchers. Same-value writes are transactions without
 // events and are ignored.
@@ -53,11 +95,14 @@ func (s *Simulator) applyUpdate(sig *Signal, v hdl.Vector) {
 	live := sig.watchers[:0]
 	for _, w := range sig.watchers {
 		if w.dead {
+			w.attached = false
 			continue
 		}
 		w.group.fire()
 		if !w.dead {
 			live = append(live, w)
+		} else {
+			w.attached = false
 		}
 	}
 	sig.watchers = live
@@ -175,16 +220,194 @@ func (s *Simulator) tick() {
 	}
 }
 
-// loopExit is the sentinel panic for `exit`.
-type loopExit struct{}
+// frameKind discriminates procMachine continuation frames.
+type frameKind uint8
 
-func (s *Simulator) execStmts(inst *Instance, en *env, p *sim.Proc, body []vhdl.Stmt) {
-	for _, st := range body {
-		s.execStmt(inst, en, p, st)
+const (
+	fSeq       frameKind = iota // statement list; pc indexes the next stmt
+	fFor                        // for loop with live loop-variable binding
+	fWhile                      // while loop: recheck cond each visit
+	fWaitUntil                  // wait until cond: recheck on every wake
+)
+
+// frame is one entry of a process's explicit continuation stack. All
+// fields reference long-lived AST nodes or the process environment, so
+// pushing/popping never allocates once the stack has grown.
+type frame struct {
+	kind  frameKind
+	phase uint8
+	pc    int
+	stmts []vhdl.Stmt
+	st    vhdl.Stmt
+	// for-loop state
+	cur, limit int64
+	down       bool
+	slot, prev *varSlot
+	had        bool
+}
+
+// procMachine is the resumable interpreter state of one VHDL process:
+// the explicit continuation (a frame stack over the statement tree),
+// the variable environment, and cached wait registrations. step runs
+// the interpreter until the next suspension point — a `wait` in any of
+// its forms — and returns after arranging reactivation; no goroutine
+// sits behind it.
+type procMachine struct {
+	s        *Simulator
+	inst     *Instance
+	p        *sim.Process
+	ps       *vhdl.ProcessStmt
+	en       *env
+	stack    []frame
+	inited   bool // declarations evaluated, sensitivity registration built
+	armed    bool // sensitivity wait armed, body run pending
+	topReg   *waitReg
+	waits    map[*vhdl.WaitStmt]*waitReg
+	activate func() // pre-built resume hook shared by all waits
+}
+
+// step is the process continuation the kernel dispatches.
+func (m *procMachine) step(p *sim.Process) {
+	defer m.s.procRecover()
+	for {
+		for len(m.stack) > 0 {
+			if m.runTopFrame() {
+				return
+			}
+		}
+		if m.startIteration() {
+			return
+		}
 	}
 }
 
-func (s *Simulator) execStmt(inst *Instance, en *env, p *sim.Proc, st vhdl.Stmt) {
+// startIteration begins one execution of the process body once the
+// continuation stack has drained. VHDL semantics: every process runs
+// once at time zero, then (for sensitivity-list processes) waits on
+// its signals between iterations. It returns true when the process
+// suspended.
+func (m *procMachine) startIteration() bool {
+	if !m.inited {
+		m.inited = true
+		m.initDecls()
+		return m.execBody()
+	}
+	if m.topReg == nil {
+		// No sensitivity list: the body must contain waits; if it ran
+		// to completion without waiting it loops, and the statement
+		// budget catches runaway processes.
+		m.s.tick()
+		return m.execBody()
+	}
+	if m.armed {
+		m.armed = false
+		return m.execBody()
+	}
+	m.armed = true
+	m.s.rearmWait(m.topReg)
+	return true
+}
+
+// initDecls evaluates process declarations (once; variables persist
+// across activations) and builds the sensitivity-list registration.
+func (m *procMachine) initDecls() {
+	for _, d := range m.ps.Decls {
+		switch vd := d.(type) {
+		case *vhdl.VarDecl:
+			for _, nm := range vd.Names {
+				slot, err := m.s.makeVarSlot(m.inst, m.en, vd)
+				if err != nil {
+					panic(faultf("%v", err))
+				}
+				m.en.vars[nm] = slot
+			}
+		case *vhdl.ConstDecl:
+			v := m.s.eval(m.inst, m.en, vd.Value)
+			m.en.vars[vd.Name] = &varSlot{val: v.v, isInt: v.isInt}
+		}
+	}
+	var sens []*Signal
+	for _, se := range m.ps.Sens {
+		sens = append(sens, m.s.collectSignals(m.inst, se)...)
+	}
+	if len(sens) > 0 {
+		m.topReg = m.s.buildWaitReg(sens, m.activate)
+	}
+}
+
+func (m *procMachine) execBody() bool {
+	m.pushSeq(m.ps.Body)
+	return false
+}
+
+func (m *procMachine) push(f frame) { m.stack = append(m.stack, f) }
+
+func (m *procMachine) pop() { m.stack = m.stack[:len(m.stack)-1] }
+
+func (m *procMachine) pushSeq(stmts []vhdl.Stmt) {
+	if len(stmts) > 0 {
+		m.push(frame{kind: fSeq, stmts: stmts})
+	}
+}
+
+// runTopFrame advances the topmost continuation frame by one step and
+// reports whether the process suspended. exec and pushSeq may grow the
+// stack and invalidate the frame pointer, so every frame mutation
+// happens before they are called.
+func (m *procMachine) runTopFrame() bool {
+	f := &m.stack[len(m.stack)-1]
+	switch f.kind {
+	case fSeq:
+		if f.pc >= len(f.stmts) {
+			m.pop()
+			return false
+		}
+		st := f.stmts[f.pc]
+		f.pc++
+		return m.exec(st)
+	case fFor:
+		done := (f.down && f.cur < f.limit) || (!f.down && f.cur > f.limit)
+		if done {
+			m.restoreLoopVar(f)
+			m.pop()
+			return false
+		}
+		m.s.tick()
+		f.slot.val = hdl.FromInt(f.cur, 32)
+		if f.down {
+			f.cur--
+		} else {
+			f.cur++
+		}
+		m.pushSeq(f.st.(*vhdl.ForStmt).Body)
+		return false
+	case fWhile:
+		x := f.st.(*vhdl.WhileStmt)
+		if !m.s.truthy(m.s.eval(m.inst, m.en, x.Cond)) {
+			m.pop()
+			return false
+		}
+		m.s.tick()
+		m.pushSeq(x.Body)
+		return false
+	default: // fWaitUntil
+		x := f.st.(*vhdl.WaitStmt)
+		if f.phase == 1 && m.s.truthy(m.s.eval(m.inst, m.en, x.Until)) {
+			m.pop()
+			return false
+		}
+		f.phase = 1
+		m.s.tick()
+		m.s.rearmWait(m.untilRegFor(x))
+		return true
+	}
+}
+
+// exec interprets one statement, pushing continuation frames for
+// nested control flow. It returns true when the process suspended and
+// the step must unwind.
+func (m *procMachine) exec(st vhdl.Stmt) bool {
+	s, inst, en := m.s, m.inst, m.en
 	s.tick()
 	switch x := st.(type) {
 	case *vhdl.SigAssign:
@@ -194,25 +417,19 @@ func (s *Simulator) execStmt(inst *Instance, en *env, p *sim.Proc, st vhdl.Stmt)
 	case *vhdl.IfStmt:
 		for _, br := range x.Branches {
 			if s.truthy(s.eval(inst, en, br.Cond)) {
-				s.execStmts(inst, en, p, br.Body)
-				return
+				m.pushSeq(br.Body)
+				return false
 			}
 		}
-		s.execStmts(inst, en, p, x.Else)
+		m.pushSeq(x.Else)
 	case *vhdl.CaseStmt:
-		s.execCase(inst, en, p, x)
+		m.execCase(x)
 	case *vhdl.ForStmt:
-		s.execFor(inst, en, p, x)
+		m.pushFor(x)
 	case *vhdl.WhileStmt:
-		func() {
-			defer catchExit()
-			for s.truthy(s.eval(inst, en, x.Cond)) {
-				s.tick()
-				s.execStmts(inst, en, p, x.Body)
-			}
-		}()
+		m.push(frame{kind: fWhile, st: x})
 	case *vhdl.WaitStmt:
-		s.execWait(inst, en, p, x)
+		return m.execWait(x)
 	case *vhdl.AssertStmt:
 		if !s.truthy(s.eval(inst, en, x.Cond)) {
 			msg := s.messageText(inst, en, x.Report)
@@ -231,9 +448,148 @@ func (s *Simulator) execStmt(inst *Instance, en *env, p *sim.Proc, st vhdl.Stmt)
 		// nothing
 	case *vhdl.ExitStmt:
 		if x.When == nil || s.truthy(s.eval(inst, en, x.When)) {
-			panic(loopExit{})
+			m.exitLoop()
 		}
 	}
+	return false
+}
+
+// pushFor evaluates the loop bounds, binds the loop variable, and
+// pushes the loop frame.
+func (m *procMachine) pushFor(x *vhdl.ForStmt) {
+	lV := m.s.eval(m.inst, m.en, x.Left)
+	rV := m.s.eval(m.inst, m.en, x.Right)
+	l64, ok1 := lV.v.Int()
+	r64, ok2 := rV.v.Int()
+	if !ok1 || !ok2 {
+		panic(faultf("for-loop bounds are not computable"))
+	}
+	slot := &varSlot{val: hdl.FromInt(l64, 32), isInt: true}
+	prev, had := m.en.vars[x.Var]
+	m.en.vars[x.Var] = slot
+	m.push(frame{
+		kind: fFor, st: x,
+		cur: l64, limit: r64, down: x.Descending,
+		slot: slot, prev: prev, had: had,
+	})
+}
+
+// restoreLoopVar undoes the loop-variable binding of a fFor frame.
+func (m *procMachine) restoreLoopVar(f *frame) {
+	x := f.st.(*vhdl.ForStmt)
+	if f.had {
+		m.en.vars[x.Var] = f.prev
+	} else {
+		delete(m.en.vars, x.Var)
+	}
+}
+
+// exitLoop implements `exit`: unwind the continuation stack to just
+// past the innermost enclosing loop, restoring its variable binding.
+func (m *procMachine) exitLoop() {
+	for i := len(m.stack) - 1; i >= 0; i-- {
+		f := &m.stack[i]
+		if f.kind == fFor || f.kind == fWhile {
+			if f.kind == fFor {
+				m.restoreLoopVar(f)
+			}
+			m.stack = m.stack[:i]
+			return
+		}
+	}
+	panic(faultf("exit statement outside a loop"))
+}
+
+// execCase pushes the matching case arm; the arm body may suspend.
+func (m *procMachine) execCase(x *vhdl.CaseStmt) {
+	s, inst, en := m.s, m.inst, m.en
+	subject := s.eval(inst, en, x.Expr)
+	var others *vhdl.CaseArm
+	for i := range x.Arms {
+		arm := &x.Arms[i]
+		if arm.Choices == nil {
+			others = arm
+			continue
+		}
+		for _, c := range arm.Choices {
+			cv := s.evalCtx(inst, en, c, subject.v.Width())
+			lv, rv, _ := numericPair(subject, cv)
+			if lv.CaseEq(rv).Equal(hdl.FromBool(true)) {
+				m.pushSeq(arm.Body)
+				return
+			}
+		}
+	}
+	if others != nil {
+		m.pushSeq(others.Body)
+	}
+}
+
+// execWait implements wait; / wait for; / wait until; / wait on as
+// suspension points. It returns true when the process suspended.
+func (m *procMachine) execWait(x *vhdl.WaitStmt) bool {
+	switch {
+	case x.Forever:
+		// Plain `wait;`: the process is never activated again. With no
+		// goroutine behind it there is nothing to tear down; mark it
+		// dead so stray activations stay no-ops.
+		m.p.Terminate()
+		return true
+	case x.ForNs != nil && x.Until == nil:
+		dv := m.s.eval(m.inst, m.en, x.ForNs)
+		d64, ok := dv.v.Uint()
+		if !ok {
+			panic(faultf("unknown wait duration"))
+		}
+		m.p.Delay(sim.Time(d64))
+		return true
+	case x.Until != nil:
+		m.push(frame{kind: fWaitUntil, st: x})
+		return false
+	default: // wait on
+		m.s.rearmWait(m.onRegFor(x))
+		return true
+	}
+}
+
+// untilRegFor returns the cached wait registration for a `wait until`
+// statement, building it from the condition's signal set on first use.
+func (m *procMachine) untilRegFor(x *vhdl.WaitStmt) *waitReg {
+	if r, ok := m.waits[x]; ok {
+		return r
+	}
+	sigs := m.s.collectSignals(m.inst, x.Until)
+	if len(sigs) == 0 {
+		panic(faultf("wait until condition references no signals"))
+	}
+	r := m.s.buildWaitReg(sigs, m.activate)
+	m.cacheWait(x, r)
+	return r
+}
+
+// onRegFor returns the cached wait registration for a `wait on`
+// statement.
+func (m *procMachine) onRegFor(x *vhdl.WaitStmt) *waitReg {
+	if r, ok := m.waits[x]; ok {
+		return r
+	}
+	var sigs []*Signal
+	for _, nm := range x.OnSignals {
+		sigs = append(sigs, m.s.collectSignals(m.inst, nm)...)
+	}
+	if len(sigs) == 0 {
+		panic(faultf("wait on references no signals"))
+	}
+	r := m.s.buildWaitReg(sigs, m.activate)
+	m.cacheWait(x, r)
+	return r
+}
+
+func (m *procMachine) cacheWait(key *vhdl.WaitStmt, r *waitReg) {
+	if m.waits == nil {
+		m.waits = make(map[*vhdl.WaitStmt]*waitReg)
+	}
+	m.waits[key] = r
 }
 
 func sevOrNote(s string) string {
@@ -241,15 +597,6 @@ func sevOrNote(s string) string {
 		return "note"
 	}
 	return s
-}
-
-func catchExit() {
-	if r := recover(); r != nil {
-		if _, ok := r.(loopExit); ok {
-			return
-		}
-		panic(r)
-	}
 }
 
 // truthy interprets a value as a condition: boolean true or bit '1'.
@@ -297,110 +644,6 @@ func (s *Simulator) execVarAssign(inst *Instance, en *env, x *vhdl.VarAssign) {
 	default:
 		panic(faultf("unsupported variable assignment target"))
 	}
-}
-
-func (s *Simulator) execCase(inst *Instance, en *env, p *sim.Proc, x *vhdl.CaseStmt) {
-	subject := s.eval(inst, en, x.Expr)
-	var others *vhdl.CaseArm
-	for i := range x.Arms {
-		arm := &x.Arms[i]
-		if arm.Choices == nil {
-			others = arm
-			continue
-		}
-		for _, c := range arm.Choices {
-			cv := s.evalCtx(inst, en, c, subject.v.Width())
-			lv, rv, _ := numericPair(subject, cv)
-			if lv.CaseEq(rv).Equal(hdl.FromBool(true)) {
-				s.execStmts(inst, en, p, arm.Body)
-				return
-			}
-		}
-	}
-	if others != nil {
-		s.execStmts(inst, en, p, others.Body)
-	}
-}
-
-func (s *Simulator) execFor(inst *Instance, en *env, p *sim.Proc, x *vhdl.ForStmt) {
-	lV := s.eval(inst, en, x.Left)
-	rV := s.eval(inst, en, x.Right)
-	l64, ok1 := lV.v.Int()
-	r64, ok2 := rV.v.Int()
-	if !ok1 || !ok2 {
-		panic(faultf("for-loop bounds are not computable"))
-	}
-	slot := &varSlot{val: hdl.FromInt(l64, 32), isInt: true}
-	prev, had := en.vars[x.Var]
-	en.vars[x.Var] = slot
-	defer func() {
-		if had {
-			en.vars[x.Var] = prev
-		} else {
-			delete(en.vars, x.Var)
-		}
-	}()
-	defer catchExit()
-	if x.Descending {
-		for i := l64; i >= r64; i-- {
-			s.tick()
-			slot.val = hdl.FromInt(i, 32)
-			s.execStmts(inst, en, p, x.Body)
-		}
-	} else {
-		for i := l64; i <= r64; i++ {
-			s.tick()
-			slot.val = hdl.FromInt(i, 32)
-			s.execStmts(inst, en, p, x.Body)
-		}
-	}
-}
-
-// execWait implements wait; / wait for; / wait until; / wait on.
-func (s *Simulator) execWait(inst *Instance, en *env, p *sim.Proc, x *vhdl.WaitStmt) {
-	switch {
-	case x.Forever:
-		p.WaitActivation() // never activated: process sleeps forever
-	case x.ForNs != nil && x.Until == nil:
-		dv := s.eval(inst, en, x.ForNs)
-		d64, ok := dv.v.Uint()
-		if !ok {
-			panic(faultf("unknown wait duration"))
-		}
-		p.Delay(sim.Time(d64))
-	case x.Until != nil:
-		sigs := s.collectSignals(inst, x.Until)
-		if len(sigs) == 0 {
-			panic(faultf("wait until condition references no signals"))
-		}
-		for {
-			s.tick()
-			s.waitOnSignals(p, sigs)
-			if s.truthy(s.eval(inst, en, x.Until)) {
-				return
-			}
-		}
-	default: // wait on
-		var sigs []*Signal
-		for _, nm := range x.OnSignals {
-			sigs = append(sigs, s.collectSignals(inst, nm)...)
-		}
-		if len(sigs) == 0 {
-			panic(faultf("wait on references no signals"))
-		}
-		s.waitOnSignals(p, sigs)
-	}
-}
-
-// waitOnSignals registers a one-shot wait on any event of sigs.
-func (s *Simulator) waitOnSignals(p *sim.Proc, sigs []*Signal) {
-	g := &waitGroup{resume: func() { p.Activate() }}
-	for _, sg := range sigs {
-		w := &watcher{group: g}
-		g.watchers = append(g.watchers, w)
-		sg.watchers = append(sg.watchers, w)
-	}
-	p.WaitActivation()
 }
 
 // collectSignals gathers signals read by an expression.

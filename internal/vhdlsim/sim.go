@@ -66,7 +66,6 @@ func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, erro
 	s.kernel.MaxTime = opts.MaxTime
 	s.bind()
 	reason := s.kernel.Run()
-	s.kernel.Shutdown()
 
 	res := &Result{
 		Log:          s.log.String(),
@@ -182,43 +181,9 @@ func (s *Simulator) bindProcess(bp *boundProcess) {
 	if ps.Label == "" {
 		name = inst.Path + ".process"
 	}
-	s.kernel.SpawnProcess(name, func(p *sim.Proc) {
-		defer s.procRecover()
-		en := newEnv()
-		// Declare variables once; they persist across activations.
-		for _, d := range ps.Decls {
-			switch vd := d.(type) {
-			case *vhdl.VarDecl:
-				for _, nm := range vd.Names {
-					slot, err := s.makeVarSlot(inst, en, vd)
-					if err != nil {
-						panic(faultf("%v", err))
-					}
-					en.vars[nm] = slot
-				}
-			case *vhdl.ConstDecl:
-				v := s.eval(inst, en, vd.Value)
-				en.vars[vd.Name] = &varSlot{val: v.v, isInt: v.isInt}
-			}
-		}
-		var sens []*Signal
-		for _, se := range ps.Sens {
-			sens = append(sens, s.collectSignals(inst, se)...)
-		}
-		// VHDL semantics: every process executes once at time zero,
-		// then (for sensitivity-list processes) waits on its signals.
-		for {
-			s.execStmts(inst, en, p, ps.Body)
-			if len(sens) == 0 {
-				// No sensitivity list: body must contain waits; if the
-				// body ran to completion without waiting it loops, and
-				// the statement budget will catch runaway processes.
-				s.tick()
-				continue
-			}
-			s.waitOnSignals(p, sens)
-		}
-	})
+	m := &procMachine{s: s, inst: inst, ps: ps, en: newEnv()}
+	m.p = s.kernel.NewProcess(name, m.step)
+	m.activate = m.p.Activate
 }
 
 func (s *Simulator) makeVarSlot(inst *Instance, en *env, vd *vhdl.VarDecl) (*varSlot, error) {

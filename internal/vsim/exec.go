@@ -237,17 +237,11 @@ func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
 
 // ---------------------------------------------------------- sensitivity
 
-// registerWait installs a one-shot wait group for the sensitivity list
-// in scope inst; resume runs when it fires.
-func (s *Simulator) registerWait(inst *Instance, sens *verilog.SensList, resume func()) {
-	s.rearmWait(s.buildWait(inst, sens, resume))
-}
-
 // waitReg is a reusable wait registration: the wait group, its
-// watchers, and the signal each watcher attaches to. A process whose
-// sensitivity list is fixed (every always block) builds one waitReg and
-// re-arms it each iteration instead of reallocating the whole structure
-// per wakeup.
+// watchers, and the signal each watcher attaches to. A wait site whose
+// sensitivity list is fixed (every always block and every in-body
+// event control) builds one waitReg and re-arms it per pass instead of
+// reallocating the whole structure per wakeup.
 type waitReg struct {
 	g    *waitGroup
 	ws   []*watcher
@@ -431,49 +425,223 @@ func (s *Simulator) tick() {
 	}
 }
 
-// execStmt interprets one statement in scope inst on process p.
-func (s *Simulator) execStmt(inst *Instance, p *sim.Proc, st verilog.Stmt) {
+// frameKind discriminates procMachine continuation frames.
+type frameKind uint8
+
+const (
+	fSeq     frameKind = iota // statement list; pc indexes the next stmt
+	fBody                     // run st once (resume body of a delay / event wait)
+	fFor                      // for loop; phase: 0 init, 1 cond check, 2 step
+	fWhile                    // while loop: recheck cond each visit
+	fRepeat                   // n iterations remaining
+	fForever                  // loop body unconditionally
+	fWait                     // wait (cond) stmt: recheck cond on every wake
+)
+
+// frame is one entry of a process's explicit continuation stack. All
+// fields reference long-lived AST nodes, so frames carry no closures
+// and pushing/popping never allocates once the stack has grown.
+type frame struct {
+	kind  frameKind
+	phase uint8
+	pc    int
+	n     uint64
+	stmts []verilog.Stmt
+	st    verilog.Stmt
+}
+
+// procMachine is the resumable interpreter state of one behavioural
+// process: the explicit continuation (a frame stack over the statement
+// tree) plus cached wait registrations. step runs the interpreter
+// until the next suspension point — a delay or an event-control wait —
+// and returns after arranging reactivation; no goroutine sits behind
+// it. A suspension unwinds by returning true up the exec call chain,
+// leaving the frame stack as the continuation to resume from.
+type procMachine struct {
+	s        *Simulator
+	inst     *Instance
+	p        *sim.Process
+	body     verilog.Stmt
+	sens     *verilog.SensList // non-nil for always @(...) blocks
+	stack    []frame
+	always   bool     // always block: restart body when the stack drains
+	started  bool     // initial block: body has been executed
+	armed    bool     // top-level sensitivity wait armed, body run pending
+	topReg   *waitReg // cached always-block sensitivity registration
+	waits    map[verilog.Stmt]*waitReg // cached per-stmt inner wait registrations
+	activate func()   // pre-built resume hook shared by all waits
+}
+
+// step is the process continuation the kernel dispatches.
+func (m *procMachine) step(p *sim.Process) {
+	defer m.s.procRecover()
+	for {
+		for len(m.stack) > 0 {
+			if m.runTopFrame() {
+				return
+			}
+		}
+		if m.startIteration() {
+			return
+		}
+	}
+}
+
+// startIteration begins (or ends) one execution of the process body
+// once the continuation stack has drained. It returns true when the
+// process suspended or terminated.
+func (m *procMachine) startIteration() bool {
+	if !m.always {
+		if m.started {
+			m.p.Terminate()
+			return true
+		}
+		m.started = true
+		return m.exec(m.body)
+	}
+	if m.sens == nil {
+		// always without @: must contain delays; the statement budget
+		// catches zero-delay loops.
+		m.s.tick()
+		return m.exec(m.body)
+	}
+	if m.armed {
+		m.armed = false
+		return m.exec(m.body)
+	}
+	if m.topReg == nil {
+		// Built lazily on the first arm so sensitivity errors surface
+		// as process faults like every other interpreter error. The
+		// list is fixed (@* expands deterministically from the fixed
+		// body), so one registration is re-armed per wakeup: the
+		// hottest loop in the simulator must not allocate.
+		eff := m.sens
+		if eff.Star {
+			eff = m.s.expandStar(m.body)
+		}
+		m.topReg = m.s.buildWait(m.inst, eff, m.activate)
+	}
+	m.armed = true
+	m.s.rearmWait(m.topReg)
+	return true
+}
+
+func (m *procMachine) push(f frame) { m.stack = append(m.stack, f) }
+
+func (m *procMachine) pop() { m.stack = m.stack[:len(m.stack)-1] }
+
+// pushBody queues st to run once on the next machine visit (the
+// continuation of a delay or event wait). Bare delays/waits carry a
+// Null body, which needs no frame.
+func (m *procMachine) pushBody(st verilog.Stmt) {
+	if st == nil {
+		return
+	}
+	if _, isNull := st.(*verilog.Null); isNull {
+		return
+	}
+	m.push(frame{kind: fBody, st: st})
+}
+
+// runTopFrame advances the topmost continuation frame by one step and
+// reports whether the process suspended. exec may grow the stack and
+// invalidate the frame pointer, so every frame mutation happens before
+// the exec call.
+func (m *procMachine) runTopFrame() bool {
+	f := &m.stack[len(m.stack)-1]
+	switch f.kind {
+	case fSeq:
+		if f.pc >= len(f.stmts) {
+			m.pop()
+			return false
+		}
+		st := f.stmts[f.pc]
+		f.pc++
+		return m.exec(st)
+	case fBody:
+		st := f.st
+		m.pop()
+		return m.exec(st)
+	case fFor:
+		x := f.st.(*verilog.For)
+		switch f.phase {
+		case 0:
+			f.phase = 1
+			return m.exec(x.Init)
+		case 1:
+			if m.s.eval(m.inst, x.Cond).ToBool() != hdl.L1 {
+				m.pop()
+				return false
+			}
+			m.s.tick()
+			f.phase = 2
+			return m.exec(x.Body)
+		default:
+			f.phase = 1
+			return m.exec(x.Step)
+		}
+	case fWhile:
+		x := f.st.(*verilog.While)
+		if m.s.eval(m.inst, x.Cond).ToBool() != hdl.L1 {
+			m.pop()
+			return false
+		}
+		m.s.tick()
+		return m.exec(x.Body)
+	case fRepeat:
+		if f.n == 0 {
+			m.pop()
+			return false
+		}
+		f.n--
+		m.s.tick()
+		return m.exec(f.st.(*verilog.Repeat).Body)
+	case fForever:
+		m.s.tick()
+		return m.exec(f.st.(*verilog.Forever).Body)
+	default: // fWait
+		x := f.st.(*verilog.WaitStmt)
+		if m.s.eval(m.inst, x.Cond).ToBool() == hdl.L1 {
+			m.pop()
+			return m.exec(x.Body)
+		}
+		m.s.tick()
+		m.s.rearmWait(m.condRegFor(x))
+		return true
+	}
+}
+
+// exec interprets one statement, pushing continuation frames for
+// nested control flow. It returns true when the process suspended and
+// the step must unwind.
+func (m *procMachine) exec(st verilog.Stmt) bool {
+	s, inst := m.s, m.inst
 	s.tick()
 	switch x := st.(type) {
 	case *verilog.Block:
-		for _, inner := range x.Stmts {
-			s.execStmt(inst, p, inner)
+		if len(x.Stmts) > 0 {
+			m.push(frame{kind: fSeq, stmts: x.Stmts})
 		}
 	case *verilog.If:
 		if s.eval(inst, x.Cond).ToBool() == hdl.L1 {
-			s.execStmt(inst, p, x.Then)
+			return m.exec(x.Then)
 		} else if x.Else != nil {
-			s.execStmt(inst, p, x.Else)
+			return m.exec(x.Else)
 		}
 	case *verilog.Case:
-		s.execCase(inst, p, x)
+		return m.execCase(x)
 	case *verilog.For:
-		s.execStmt(inst, p, x.Init)
-		for s.eval(inst, x.Cond).ToBool() == hdl.L1 {
-			s.tick()
-			s.execStmt(inst, p, x.Body)
-			s.execStmt(inst, p, x.Step)
-		}
+		m.push(frame{kind: fFor, st: x})
 	case *verilog.While:
-		for s.eval(inst, x.Cond).ToBool() == hdl.L1 {
-			s.tick()
-			s.execStmt(inst, p, x.Body)
-		}
+		m.push(frame{kind: fWhile, st: x})
 	case *verilog.Repeat:
 		nv := s.eval(inst, x.Count)
 		n, ok := nv.Uint()
-		if !ok {
-			return
-		}
-		for i := uint64(0); i < n; i++ {
-			s.tick()
-			s.execStmt(inst, p, x.Body)
+		if ok && n > 0 {
+			m.push(frame{kind: fRepeat, st: x, n: n})
 		}
 	case *verilog.Forever:
-		for {
-			s.tick()
-			s.execStmt(inst, p, x.Body)
-		}
+		m.push(frame{kind: fForever, st: x})
 	case *verilog.Assign:
 		if x.Blocking {
 			ts, total := s.resolveTargetsScratch(inst, x.LHS)
@@ -491,36 +659,26 @@ func (s *Simulator) execStmt(inst *Instance, p *sim.Proc, st verilog.Stmt) {
 		if !ok {
 			panic(faultf("delay amount is unknown"))
 		}
-		p.Delay(sim.Time(n))
-		s.execStmt(inst, p, x.Body)
+		m.pushBody(x.Body)
+		m.p.Delay(sim.Time(n))
+		return true
 	case *verilog.EventWait:
-		sens := x.Sens
-		if sens.Star {
-			sens = s.expandStar(x.Body)
-		}
-		s.registerWait(inst, sens, func() { p.Activate() })
-		p.WaitActivation()
-		s.execStmt(inst, p, x.Body)
+		m.pushBody(x.Body)
+		s.rearmWait(m.waitRegFor(x))
+		return true
 	case *verilog.WaitStmt:
-		for s.eval(inst, x.Cond).ToBool() != hdl.L1 {
-			s.tick()
-			sigs := s.collectSignals(inst, x.Cond)
-			if len(sigs) == 0 {
-				panic(faultf("wait condition can never change"))
-			}
-			sl := &verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgeLevel, Sig: x.Cond}}}
-			s.registerWait(inst, sl, func() { p.Activate() })
-			p.WaitActivation()
-		}
-		s.execStmt(inst, p, x.Body)
+		m.push(frame{kind: fWait, st: x})
 	case *verilog.SysCall:
 		s.execSysCall(inst, x)
 	case *verilog.Null:
 		// nothing
 	}
+	return false
 }
 
-func (s *Simulator) execCase(inst *Instance, p *sim.Proc, x *verilog.Case) {
+// execCase runs the matching case arm; the arm body may suspend.
+func (m *procMachine) execCase(x *verilog.Case) bool {
+	s, inst := m.s, m.inst
 	subject := s.eval(inst, x.Expr)
 	var deflt *verilog.CaseItem
 	for i := range x.Items {
@@ -532,14 +690,53 @@ func (s *Simulator) execCase(inst *Instance, p *sim.Proc, x *verilog.Case) {
 		for _, pat := range item.Exprs {
 			pv := s.eval(inst, pat)
 			if caseMatches(x.Kind, subject, pv) {
-				s.execStmt(inst, p, item.Body)
-				return
+				return m.exec(item.Body)
 			}
 		}
 	}
 	if deflt != nil {
-		s.execStmt(inst, p, deflt.Body)
+		return m.exec(deflt.Body)
 	}
+	return false
+}
+
+// waitRegFor returns the cached wait registration for an event-control
+// statement, building it on first use. A process executes sequentially,
+// so a given wait statement is pending at most once per process and its
+// registration can be re-armed instead of rebuilt every pass.
+func (m *procMachine) waitRegFor(x *verilog.EventWait) *waitReg {
+	if r, ok := m.waits[x]; ok {
+		return r
+	}
+	sens := x.Sens
+	if sens.Star {
+		sens = m.s.expandStar(x.Body)
+	}
+	r := m.s.buildWait(m.inst, sens, m.activate)
+	m.cacheWait(x, r)
+	return r
+}
+
+// condRegFor returns the cached level-sensitive wait on a
+// wait-statement condition.
+func (m *procMachine) condRegFor(x *verilog.WaitStmt) *waitReg {
+	if r, ok := m.waits[x]; ok {
+		return r
+	}
+	sl := &verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgeLevel, Sig: x.Cond}}}
+	r := m.s.buildWait(m.inst, sl, m.activate)
+	if len(r.ws) == 0 {
+		panic(faultf("wait condition can never change"))
+	}
+	m.cacheWait(x, r)
+	return r
+}
+
+func (m *procMachine) cacheWait(key verilog.Stmt, r *waitReg) {
+	if m.waits == nil {
+		m.waits = make(map[verilog.Stmt]*waitReg)
+	}
+	m.waits[key] = r
 }
 
 // caseMatches compares subject and pattern under case/casez/casex rules.

@@ -1,0 +1,107 @@
+package vsim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/verilog"
+	"repro/internal/vhdl"
+	"repro/internal/vhdlsim"
+)
+
+// TestSimulationLeavesNoGoroutines is the regression test for the
+// continuation-passing kernel: a full vsim and vhdlsim testbench run
+// must leave the goroutine count at its baseline. The old
+// goroutine-per-process kernel leaked one goroutine per process if
+// Shutdown was forgotten (and parked dozens while running); the new
+// kernel creates none at all.
+func TestSimulationLeavesNoGoroutines(t *testing.T) {
+	vsrc := `
+module counter(input clk, input reset, output reg [7:0] count);
+  always @(posedge clk) begin
+    if (reset) count <= 0;
+    else count <= count + 1;
+  end
+endmodule
+module tb;
+  reg clk, reset;
+  wire [7:0] count;
+  counter dut(.clk(clk), .reset(reset), .count(count));
+  always #1 clk = ~clk;
+  initial begin
+    clk = 0; reset = 1;
+    #2 reset = 0;
+    #100;
+    if (count === 8'd0) $display("FAIL count stuck");
+    $finish;
+  end
+endmodule`
+	sf, diags := verilog.Parse("leak.v", vsrc)
+	if diags.HasErrors() {
+		t.Fatalf("verilog parse: %v", diags)
+	}
+	mods := map[string]*verilog.Module{}
+	for _, m := range sf.Modules {
+		mods[m.Name] = m
+	}
+
+	hsrc := `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal done : std_logic := '0';
+  signal n : integer := 0;
+begin
+  clk <= not clk after 1 ns when done = '0' else '0';
+  count: process(clk)
+  begin
+    if rising_edge(clk) then
+      n <= n + 1;
+    end if;
+  end process;
+  stim: process
+  begin
+    wait for 50 ns;
+    assert n > 0 report "clock never ticked" severity error;
+    done <= '1';
+    wait;
+  end process;
+end architecture;`
+	df, hdiags := vhdl.Parse("leak.vhd", hsrc)
+	if hdiags.HasErrors() {
+		t.Fatalf("vhdl parse: %v", hdiags)
+	}
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		res, err := Simulate(mods, "tb", Options{})
+		if err != nil {
+			t.Fatalf("vsim simulate: %v", err)
+		}
+		if !res.Finished {
+			t.Fatalf("vsim did not finish: %s", res.Log)
+		}
+		hres, err := vhdlsim.Simulate([]*vhdl.DesignFile{df}, "tb", vhdlsim.Options{MaxTime: 100000})
+		if err != nil {
+			t.Fatalf("vhdlsim simulate: %v", err)
+		}
+		if hres.AssertErrors != 0 || hres.TimedOut {
+			t.Fatalf("vhdlsim run bad: %s", hres.Log)
+		}
+	}
+
+	// Nothing above spawns goroutines, so the count must return to (or
+	// below) baseline; a short grace loop shields against unrelated
+	// runtime goroutines winding down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -72,7 +72,6 @@ func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Re
 	s.kernel.MaxTime = opts.MaxTime
 	s.bind()
 	reason := s.kernel.Run()
-	s.kernel.Shutdown()
 
 	res := &Result{
 		Log:      s.log.String(),
@@ -189,46 +188,21 @@ func (s *Simulator) recoverFault() {
 }
 
 func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock) {
-	sens := alw.Sens
-	body := alw.Body
-	s.kernel.SpawnProcess(inst.Path+".always", func(p *sim.Proc) {
-		defer s.procRecover()
-		// The sensitivity list of an always block is fixed (@* expands
-		// deterministically from the fixed body), so build the wait
-		// registration once and re-arm it every iteration: the hottest
-		// loop in the simulator must not allocate per wakeup.
-		var reg *waitReg
-		if sens != nil {
-			effective := sens
-			if sens.Star {
-				effective = s.expandStar(body)
-			}
-			reg = s.buildWait(inst, effective, func() { p.Activate() })
-		}
-		for {
-			if reg != nil {
-				s.rearmWait(reg)
-				p.WaitActivation()
-			}
-			s.execStmt(inst, p, body)
-			if sens == nil {
-				// always without @: must contain delays; execStmt's
-				// budget catches zero-delay loops.
-				s.tick()
-			}
-		}
-	})
+	m := &procMachine{s: s, inst: inst, body: alw.Body, sens: alw.Sens, always: true}
+	m.p = s.kernel.NewProcess(inst.Path+".always", m.step)
+	m.activate = m.p.Activate
 }
 
 func (s *Simulator) bindInitial(inst *Instance, ib *verilog.InitialBlock) {
-	s.kernel.SpawnProcess(inst.Path+".initial", func(p *sim.Proc) {
-		defer s.procRecover()
-		s.execStmt(inst, p, ib.Body)
-	})
+	m := &procMachine{s: s, inst: inst, body: ib.Body}
+	m.p = s.kernel.NewProcess(inst.Path+".initial", m.step)
+	m.activate = m.p.Activate
 }
 
-// procRecover converts runtimeFault panics raised inside a process into
-// kernel faults and unwinds the process cleanly.
+// procRecover converts runtimeFault panics raised inside a process step
+// into kernel faults and unwinds the process cleanly; the kernel's
+// dispatch boundary treats the TerminateProcess re-panic as a clean
+// termination and marks the process dead.
 func (s *Simulator) procRecover() {
 	if r := recover(); r != nil {
 		switch f := r.(type) {

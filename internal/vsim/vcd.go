@@ -13,6 +13,7 @@ import (
 type vcdDumper struct {
 	out      strings.Builder
 	ids      map[*Signal]string
+	order    []*Signal // header order, for the deterministic initial dump
 	enabled  bool
 	lastTime sim.Time
 	headerOK bool
@@ -66,14 +67,17 @@ func (v *vcdDumper) enable(s *Simulator) {
 			id := vcdID(n)
 			n++
 			v.ids[sig] = id
+			v.order = append(v.order, sig)
 			fmt.Fprintf(&v.out, "$var wire %d %s %s $end\n", sig.Width, id, sig.Local)
 		}
 		v.out.WriteString("$upscope $end\n")
 	}
 	v.out.WriteString("$enddefinitions $end\n")
 	v.out.WriteString("#0\n$dumpvars\n")
-	for sig, id := range v.ids {
-		v.writeValue(sig.Val, id)
+	// Header order, not map order: VCD output must be byte-for-byte
+	// reproducible across runs (see TestSimulateDeterministicVCD).
+	for _, sig := range v.order {
+		v.writeValue(sig.Val, v.ids[sig])
 	}
 	v.out.WriteString("$end\n")
 	v.lastTime = s.kernel.Now()
