@@ -51,6 +51,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "also write raw summaries as JSON to this file")
 		every      = flag.Int("every", 1, "evaluate every N-th problem (subsampling)")
 		workers    = flag.Int("workers", 0, "max parallel problems (0 = auto)")
+		simWorkers = flag.Int("sim-workers", 0, "shard each simulation across this many workers (<=1 = serial; output is byte-identical either way)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (enables resume)")
 		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
 		shardSpec  = flag.String("shard", "", "evaluate only shard \"i/n\" of each sweep (e.g. \"0/2\")")
@@ -92,7 +93,7 @@ func main() {
 	}
 	fmt.Printf("Benchmark suite: %d problems (%d categories)\n\n",
 		len(problems), len(suite.Categories()))
-	opts := exp.Options{Problems: problems, Runner: run}
+	opts := exp.Options{Problems: problems, Runner: run, SimWorkers: *simWorkers}
 
 	var matrix []*exp.Summary
 	needMatrix := *table1 || *fig3 || *table2 || *categories || *all

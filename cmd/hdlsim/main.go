@@ -27,6 +27,7 @@ func main() {
 		compileOnly = flag.Bool("compile-only", false, "stop after the syntax/semantic check")
 		maxTime     = flag.Uint64("max-time", 1_000_000, "simulated-time limit (ns)")
 		vcdPath     = flag.String("vcd", "", "write the $dumpvars waveform to this file")
+		workers     = flag.Int("workers", 1, "shard the simulation across this many workers (<=1 = serial; output is byte-identical either way)")
 	)
 	flag.Parse()
 	files := flag.Args()
@@ -67,7 +68,7 @@ func main() {
 		return
 	}
 
-	res := edatool.Simulate(lang, *top, *maxTime, sources...)
+	res := edatool.SimulateWith(lang, *top, edatool.SimOptions{MaxTime: *maxTime, Workers: *workers}, sources...)
 	fmt.Print(res.Log)
 	if *vcdPath != "" && res.VCD != "" {
 		if err := os.WriteFile(*vcdPath, []byte(res.VCD), 0o644); err != nil {

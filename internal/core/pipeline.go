@@ -28,7 +28,12 @@ type Config struct {
 	FreezeTestbench bool
 	// SkipFunctional runs only the syntax loop (RTLFixer-style ablation).
 	SkipFunctional bool
-	Trace          func(stage, detail string) // optional transcript sink
+	// SimWorkers selects the sharded parallel simulation backend for
+	// every simulation this pipeline runs (see edatool.SimOptions).
+	// Simulation output is byte-identical across worker counts, so this
+	// knob deliberately does not enter the experiment cache key.
+	SimWorkers int
+	Trace      func(stage, detail string) // optional transcript sink
 }
 
 // DefaultConfig returns the configuration used for the headline results.
@@ -184,7 +189,8 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 
 	// Functional Optimization loop: frozen testbench, iterative RTL fixes.
 	for iter := 0; iter < cfg.MaxFuncIters; iter++ {
-		sim := edatool.Simulate(lang, bench.TBName, cfg.MaxSimTime,
+		sim := edatool.SimulateWith(lang, bench.TBName,
+			edatool.SimOptions{MaxTime: cfg.MaxSimTime, Workers: cfg.SimWorkers},
 			edatool.Source{Name: designFile(lang), Text: rtl},
 			edatool.Source{Name: tbFile(lang), Text: res.Testbench},
 		)

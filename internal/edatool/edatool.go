@@ -134,9 +134,24 @@ type SimResult struct {
 	LatencyModel float64 // EDA wall-clock estimate in seconds (events-based)
 }
 
+// SimOptions configures SimulateWith beyond the required language/top.
+type SimOptions struct {
+	MaxTime uint64
+	// Workers selects the sharded parallel simulation backend in both
+	// front-ends (see vsim.Options.Workers). Output is byte-identical
+	// for every worker count, so results remain cache-coherent across
+	// settings; <= 1 runs the serial schedule.
+	Workers int
+}
+
 // Simulate compiles the sources and, when clean, elaborates `top` and
 // runs the simulation. Compile errors surface in the returned log.
 func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *SimResult {
+	return SimulateWith(lang, top, SimOptions{MaxTime: maxTime}, sources...)
+}
+
+// SimulateWith is Simulate with full option control.
+func SimulateWith(lang Language, top string, opt SimOptions, sources ...Source) *SimResult {
 	comp := Compile(lang, sources...)
 	if !comp.OK {
 		return &SimResult{Log: comp.Log, Failed: true}
@@ -149,8 +164,9 @@ func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *Sim
 	switch lang {
 	case Verilog:
 		res, err := vsim.Simulate(comp.Modules, top, vsim.Options{
-			MaxTime: sim.Time(maxTime),
+			MaxTime: sim.Time(opt.MaxTime),
 			File:    sources[len(sources)-1].Name,
+			Workers: opt.Workers,
 		})
 		if err != nil {
 			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
@@ -164,8 +180,9 @@ func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *Sim
 		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
 	case VHDL:
 		res, err := vhdlsim.Simulate(comp.Units, top, vhdlsim.Options{
-			MaxTime: sim.Time(maxTime),
+			MaxTime: sim.Time(opt.MaxTime),
 			File:    sources[len(sources)-1].Name,
+			Workers: opt.Workers,
 		})
 		if err != nil {
 			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"

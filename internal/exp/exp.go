@@ -80,6 +80,12 @@ type Options struct {
 	Problems   []*bench.Problem // defaults to the full suite
 	Configure  func(*core.Config)
 	MaxWorkers int
+	// SimWorkers selects the sharded parallel simulation backend for
+	// every simulation of the sweep. It is applied before Configure and
+	// deliberately not part of the cache key: simulation output is
+	// byte-identical across worker counts (see internal/sim), so cached
+	// cells stay valid when the setting changes.
+	SimWorkers int
 	// Runner, when set, orchestrates the sweep: its cache makes runs
 	// resumable, its shard splits the job set across invocations, and
 	// its progress reporter streams per-cell outcomes. When nil the
@@ -99,6 +105,7 @@ func configKey(cfg core.Config) string {
 // effectiveConfig applies the Configure hook on top of the defaults.
 func (o Options) effectiveConfig(model *llm.Profile, lang edatool.Language) core.Config {
 	cfg := core.DefaultConfig(model, lang)
+	cfg.SimWorkers = o.SimWorkers
 	if o.Configure != nil {
 		o.Configure(&cfg)
 	}

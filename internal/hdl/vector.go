@@ -318,25 +318,66 @@ func (v Vector) blit(dstBit int, src Vector, srcBit, n int) {
 }
 
 // bigInt converts a fully-known vector to a non-negative big.Int.
+// big.Word is uint-sized, so the 64-bit plane words are split on
+// 32-bit GOARCHes; planeToWords is parameterized over the word size so
+// both layouts are testable on any host (see vector_32bit_test.go).
 func (v Vector) bigInt() *big.Int {
 	n := v.nw()
-	ws := make([]big.Word, n)
+	known := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		ws[i] = big.Word(v.p[i] &^ v.p[n+i])
+		known[i] = v.p[i] &^ v.p[n+i]
 	}
-	return new(big.Int).SetBits(ws)
+	return new(big.Int).SetBits(planeToWords(known, bits.UintSize))
+}
+
+// planeToWords reinterprets little-endian uint64 plane words as
+// big.Words of the given bit size (64 or 32). On 64-bit hosts it is an
+// element-wise copy; on 32-bit hosts each plane word yields two.
+func planeToWords(plane []uint64, wordBits int) []big.Word {
+	if wordBits == 64 {
+		ws := make([]big.Word, len(plane))
+		for i, w := range plane {
+			ws[i] = big.Word(w)
+		}
+		return ws
+	}
+	ws := make([]big.Word, 2*len(plane))
+	for i, w := range plane {
+		ws[2*i] = big.Word(uint32(w))
+		ws[2*i+1] = big.Word(uint32(w >> 32))
+	}
+	return ws
 }
 
 // fromBig builds a width-bit vector from the low bits of n (n >= 0).
 func fromBig(n *big.Int, width int) Vector {
 	out := alloc(width)
-	ws := n.Bits()
-	on := out.nw()
-	for i := 0; i < on && i < len(ws); i++ {
-		out.p[i] = uint64(ws[i])
-	}
+	wordsToPlane(out.p[:out.nw()], n.Bits(), bits.UintSize)
 	out.maskTop()
 	return out
+}
+
+// wordsToPlane packs little-endian big.Words of the given bit size
+// into uint64 plane words, truncating excess input.
+func wordsToPlane(plane []uint64, ws []big.Word, wordBits int) {
+	if wordBits == 64 {
+		for i := 0; i < len(plane) && i < len(ws); i++ {
+			plane[i] = uint64(ws[i])
+		}
+		return
+	}
+	for i := range ws {
+		pi := i / 2
+		if pi >= len(plane) {
+			break
+		}
+		half := uint64(uint32(ws[i]))
+		if i%2 == 0 {
+			plane[pi] |= half
+		} else {
+			plane[pi] |= half << 32
+		}
+	}
 }
 
 // Add returns a+b at width max(len a, len b), Verilog unsigned semantics.

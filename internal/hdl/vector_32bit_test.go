@@ -1,0 +1,151 @@
+package hdl
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// The big.Int bridge behind the wide Mul/Div/Mod/Pow slow path must
+// not assume 64-bit big.Word: on 32-bit GOARCHes a plane word maps to
+// two big.Words. The conversions are parameterized over the word size
+// precisely so both layouts run on any host — these tests exercise the
+// 32-bit path that a 64-bit CI would otherwise never compile into a
+// truthful result.
+
+// refBytes converts a known vector to a big.Int via the byte-per-bit
+// reference representation, independent of either word layout.
+func refBytes(v Vector) *big.Int {
+	out := new(big.Int)
+	for i := v.Width() - 1; i >= 0; i-- {
+		out.Lsh(out, 1)
+		if v.Bit(i) == L1 {
+			out.Or(out, big.NewInt(1))
+		}
+	}
+	return out
+}
+
+// wordsToInt reconstructs the integer a []big.Word slice denotes under
+// an explicit word size — unlike big.Int.SetBits, which always uses the
+// host's. This is what lets the 32-bit layout be verified on a 64-bit
+// CI host.
+func wordsToInt(ws []big.Word, wordBits int) *big.Int {
+	out := new(big.Int)
+	tmp := new(big.Int)
+	for i := len(ws) - 1; i >= 0; i-- {
+		out.Lsh(out, uint(wordBits))
+		out.Or(out, tmp.SetUint64(uint64(ws[i])))
+	}
+	return out
+}
+
+// intToWords splits a non-negative integer into little-endian words of
+// the given size, the inverse of wordsToInt.
+func intToWords(n *big.Int, wordBits int) []big.Word {
+	var ws []big.Word
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(wordBits))
+	mask.Sub(mask, big.NewInt(1))
+	rest := new(big.Int).Set(n)
+	chunk := new(big.Int)
+	for rest.Sign() > 0 {
+		chunk.And(rest, mask)
+		ws = append(ws, big.Word(chunk.Uint64()))
+		rest.Rsh(rest, uint(wordBits))
+	}
+	return ws
+}
+
+func TestPlaneWordConversion32And64(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		w := 1 + rng.Intn(200)
+		v := randKnownVec(rng).Resize(w)
+		want := refBytes(v)
+
+		n := v.nw()
+		known := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			known[i] = v.p[i] &^ v.p[n+i]
+		}
+		for _, wordBits := range []int{32, 64} {
+			got := wordsToInt(planeToWords(known, wordBits), wordBits)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("planeToWords(%d bits) = %v, want %v (vector %v)", wordBits, got, want, v)
+			}
+			// Round-trip back through wordsToPlane.
+			back := alloc(w)
+			wordsToPlane(back.p[:back.nw()], intToWords(want, wordBits), wordBits)
+			back.maskTop()
+			if !back.Equal(v) {
+				t.Fatalf("wordsToPlane(%d bits) round-trip = %v, want %v", wordBits, back, v)
+			}
+		}
+	}
+}
+
+// TestPlaneWordConversionBoundary pins the exact word-boundary shapes
+// that the 32-bit layout gets wrong when treated as 64-bit: values
+// straddling bits 32 and 64, and widths just around them.
+func TestPlaneWordConversionBoundary(t *testing.T) {
+	cases := []struct {
+		width int
+		hex   string
+	}{
+		{33, "100000000"},                  // bit 32 set: second 32-bit word
+		{64, "ffffffffffffffff"},           // full first plane word
+		{65, "10000000000000000"},          // bit 64: second plane word
+		{96, "deadbeefcafebabe12345678"},   // 3 half-words
+		{128, "0123456789abcdeffedcba9876543210"},
+	}
+	for _, tc := range cases {
+		want, ok := new(big.Int).SetString(tc.hex, 16)
+		if !ok {
+			t.Fatal("bad test literal")
+		}
+		v := alloc(tc.width)
+		wordsToPlane(v.p[:v.nw()], intToWords(want, 64), 64)
+		v.maskTop()
+		for _, wordBits := range []int{32, 64} {
+			n := v.nw()
+			known := make([]uint64, n)
+			copy(known, v.p[:n])
+			got := wordsToInt(planeToWords(known, wordBits), wordBits)
+			if got.Cmp(want) != 0 {
+				t.Errorf("width %d via %d-bit words: got %x, want %s", tc.width, wordBits, got, tc.hex)
+			}
+			back := alloc(tc.width)
+			wordsToPlane(back.p[:back.nw()], intToWords(want, wordBits), wordBits)
+			back.maskTop()
+			if !back.Equal(v) {
+				t.Errorf("width %d via %d-bit words: round-trip mismatch", tc.width, wordBits)
+			}
+		}
+	}
+}
+
+// TestWideMulDivAgainstBigInt is an end-to-end guard on the slow path
+// that consumes the conversions: >64-bit multiply/divide must agree
+// with big.Int arithmetic on the same operands.
+func TestWideMulDivAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 200; trial++ {
+		w := 65 + rng.Intn(130)
+		a := randKnownVec(rng).Resize(w)
+		b := randKnownVec(rng).Resize(w)
+		ba, bb := refBytes(a), refBytes(b)
+
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		wantMul := new(big.Int).Mul(ba, bb)
+		wantMul.Mod(wantMul, mod)
+		if got := refBytes(a.Mul(b)); got.Cmp(wantMul) != 0 {
+			t.Fatalf("Mul width %d: got %x want %x", w, got, wantMul)
+		}
+		if bb.Sign() != 0 {
+			wantDiv := new(big.Int).Div(ba, bb)
+			if got := refBytes(a.Div(b)); got.Cmp(wantDiv) != 0 {
+				t.Fatalf("Div width %d: got %x want %x", w, got, wantDiv)
+			}
+		}
+	}
+}

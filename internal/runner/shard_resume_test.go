@@ -1,0 +1,189 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// These tests pin the shard/cache-resume contract the sharded sweeps
+// (and now the byte-identical sharded simulation backend feeding them)
+// rely on: splitting a sweep across shard invocations that share a
+// cache directory computes every job exactly once, a resumed
+// invocation recomputes nothing, and the merged results are complete
+// regardless of which invocation computed which cell.
+
+// execCounter counts executions per job key across runner invocations.
+type execCounter struct {
+	mu    sync.Mutex
+	count map[string]int
+}
+
+func newExecCounter() *execCounter { return &execCounter{count: map[string]int{}} }
+
+func (c *execCounter) fn(i int, job Job) (string, error) {
+	c.mu.Lock()
+	c.count[job.Key()]++
+	c.mu.Unlock()
+	return "value-" + job.Problem, nil
+}
+
+func (c *execCounter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.count {
+		n += v
+	}
+	return n
+}
+
+func makeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Problem:  fmt.Sprintf("p%03d", i),
+			Model:    "m",
+			Language: "Verilog",
+			Config:   "c",
+		}
+	}
+	return jobs
+}
+
+func TestShardedSweepComputesEachJobOnce(t *testing.T) {
+	jobs := makeJobs(40)
+	dir := t.TempDir()
+	counter := newExecCounter()
+
+	for shard := 0; shard < 2; shard++ {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Workers: 3, Cache: cache, Shard: Shard{Index: shard, Count: 2}}
+		results := Execute(r, jobs, counter.fn)
+		for i, res := range results {
+			owned := r.Shard.Owns(jobs[i])
+			switch {
+			case owned && res.Status != Executed:
+				t.Errorf("shard %d: owned job %s status %v, want run", shard, jobs[i], res.Status)
+			case !owned && res.Status == Executed:
+				t.Errorf("shard %d: executed job %s it does not own", shard, jobs[i])
+			}
+		}
+	}
+	if counter.total() != len(jobs) {
+		t.Errorf("executions across shards = %d, want exactly %d", counter.total(), len(jobs))
+	}
+	for key, n := range counter.count {
+		if n != 1 {
+			t.Errorf("job %s computed %d times across shards", key, n)
+		}
+	}
+}
+
+func TestResumedShardRecomputesNothing(t *testing.T) {
+	jobs := makeJobs(25)
+	dir := t.TempDir()
+	first := newExecCounter()
+
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard0 := Shard{Index: 0, Count: 2}
+	r := &Runner{Cache: cache, Shard: shard0}
+	Execute(r, jobs, first.fn)
+	computed := first.total()
+	if computed == 0 || computed == len(jobs) {
+		t.Fatalf("shard 0 computed %d of %d jobs; need a proper split to test resume", computed, len(jobs))
+	}
+
+	// Resume the same shard: every in-shard cell is a cache hit, the
+	// execution function must not run at all, and stats must say so.
+	resumed := newExecCounter()
+	r2 := &Runner{Cache: cache, Shard: shard0}
+	results := Execute(r2, jobs, resumed.fn)
+	if resumed.total() != 0 {
+		t.Errorf("resumed shard recomputed %d jobs, want 0", resumed.total())
+	}
+	st := r2.Stats()
+	if st.Executed != 0 || st.CacheHits != computed {
+		t.Errorf("resumed stats = %+v, want 0 executed / %d hits", st, computed)
+	}
+	for i, res := range results {
+		if shard0.Owns(jobs[i]) && res.Status != Cached {
+			t.Errorf("resumed in-shard job %s status %v, want hit", jobs[i], res.Status)
+		}
+	}
+}
+
+func TestMergedShardCacheServesFullSweep(t *testing.T) {
+	jobs := makeJobs(30)
+	dir := t.TempDir()
+	counter := newExecCounter()
+	for shard := 0; shard < 3; shard++ {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Execute(&Runner{Cache: cache, Shard: Shard{Index: shard, Count: 3}}, jobs, counter.fn)
+	}
+
+	// An unsharded re-render over the merged cache: zero recomputation,
+	// complete values for every cell no matter which shard produced it.
+	final := newExecCounter()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Cache: cache}
+	results := Execute(r, jobs, final.fn)
+	if final.total() != 0 {
+		t.Errorf("merged re-render recomputed %d jobs, want 0", final.total())
+	}
+	for i, res := range results {
+		if res.Status != Cached {
+			t.Errorf("job %s status %v, want hit", jobs[i], res.Status)
+		}
+		if want := "value-" + jobs[i].Problem; res.Value != want {
+			t.Errorf("job %s value %q, want %q", jobs[i], res.Value, want)
+		}
+	}
+	if counter.total() != len(jobs) {
+		t.Errorf("total shard executions = %d, want %d (no double-counting)", counter.total(), len(jobs))
+	}
+}
+
+func TestRefreshRecomputesOnlyOwnShard(t *testing.T) {
+	jobs := makeJobs(20)
+	dir := t.TempDir()
+	counter := newExecCounter()
+	for shard := 0; shard < 2; shard++ {
+		cache, _ := OpenCache(dir)
+		Execute(&Runner{Cache: cache, Shard: Shard{Index: shard, Count: 2}}, jobs, counter.fn)
+	}
+
+	// -resume=false on shard 0: recompute and overwrite exactly the
+	// owned cells; the other shard's cached cells still serve.
+	refresh := newExecCounter()
+	cache, _ := OpenCache(dir)
+	shard0 := Shard{Index: 0, Count: 2}
+	r := &Runner{Cache: cache, Shard: shard0, Refresh: true}
+	results := Execute(r, jobs, refresh.fn)
+	owned := 0
+	for i, res := range results {
+		if shard0.Owns(jobs[i]) {
+			owned++
+			if res.Status != Executed {
+				t.Errorf("refresh: owned job %s status %v, want run", jobs[i], res.Status)
+			}
+		} else if res.Status != Cached {
+			t.Errorf("refresh: out-of-shard job %s status %v, want hit", jobs[i], res.Status)
+		}
+	}
+	if refresh.total() != owned {
+		t.Errorf("refresh recomputed %d jobs, want %d (own shard only)", refresh.total(), owned)
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import "sync"
+
+// Engine sequences one or more kernels through the event-driven run
+// loop. With a single kernel it is the familiar serial scheduler; with
+// several it is the sharded parallel backend: each kernel owns one
+// shard of the design (a disjoint set of signals and processes, see
+// Partition) and the engine runs every shard's delta cycle concurrently
+// under a two-barrier lockstep protocol:
+//
+//	for each time step:
+//	  while any shard has active events or pending NBA updates:
+//	    barrier: every shard drains its active region   (parallel)
+//	    barrier: every shard applies its NBA updates    (parallel)
+//	  advance all shards to the global minimum next event time
+//
+// Because shards share no signals, the only cross-shard interactions
+// are the barriers themselves and the global time advance, so the
+// per-shard execution (and therefore all observable output) is
+// identical to the single-kernel schedule. Stop requests (Finish,
+// faults, limits) are honoured at delta boundaries — the same cut
+// point in every configuration — which is what makes serial and
+// sharded runs byte-identical and is verified by the differential
+// harness (differential_test.go).
+type Engine struct {
+	kernels []*Kernel
+
+	// Workers caps the number of concurrently executing shards.
+	// Values <= 1 run every shard on the calling goroutine.
+	Workers int
+
+	// Limits guard against runaway simulations; see Kernel.
+	MaxTime   Time
+	MaxDeltas int
+	MaxEvents uint64
+
+	// AfterDelta, when non-nil, runs at every delta boundary (after
+	// NBA application, and once more at a finish/limit cut) with all
+	// shards quiescent. Front-ends use it for cross-shard bookkeeping
+	// that must happen at a deterministic point, such as enabling the
+	// VCD dump.
+	AfterDelta func()
+
+	now    Time
+	serial uint64 // run-global delta counter, mirrored into every kernel
+}
+
+// NewEngine returns an engine over the given shard kernels with
+// generous default limits (the same defaults as NewKernel).
+func NewEngine(kernels []*Kernel, workers int) *Engine {
+	return &Engine{
+		kernels:   kernels,
+		Workers:   workers,
+		MaxTime:   1_000_000,
+		MaxDeltas: 10_000,
+		MaxEvents: 50_000_000,
+	}
+}
+
+// Now returns the engine's current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the total number of events executed across all shards.
+func (e *Engine) Events() uint64 {
+	var n uint64
+	for _, k := range e.kernels {
+		n += k.eventCount
+	}
+	return n
+}
+
+// Fault returns the first recorded shard fault in shard order, or "".
+// Shard order is deterministic (it does not depend on scheduling), so
+// multi-fault runs report the same fault in every configuration.
+func (e *Engine) Fault() string {
+	for _, k := range e.kernels {
+		if k.fault != "" {
+			return k.fault
+		}
+	}
+	return ""
+}
+
+func (e *Engine) anyPending() bool {
+	for _, k := range e.kernels {
+		if k.pending() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) anyFinished() bool {
+	for _, k := range e.kernels {
+		if k.finished {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) anyOverrun() bool {
+	for _, k := range e.kernels {
+		if k.overrun {
+			return true
+		}
+	}
+	return false
+}
+
+// stop runs the boundary hook once more before a mid-time-step abort
+// (finish, delta/event limit) returns. Requests made during the final
+// delta — e.g. a $dumpvars sharing its delta with $finish — must still
+// be honoured at the cut, with every shard paused.
+func (e *Engine) stop(r StopReason) StopReason {
+	if e.AfterDelta != nil {
+		e.AfterDelta()
+	}
+	return r
+}
+
+// Run executes events until quiescence, Finish, or a limit.
+func (e *Engine) Run() StopReason {
+	if e.serial == 0 {
+		// Serial 0 is reserved as the "never changed" stamp value
+		// front-ends store in fresh signals.
+		e.serial = 1
+	}
+	var pool *phasePool
+	if w := min(e.Workers, len(e.kernels)); w > 1 {
+		pool = newPhasePool(e.kernels, w, e.MaxEvents)
+		defer pool.close()
+	}
+	for {
+		deltas := 0
+		for e.anyPending() {
+			for _, k := range e.kernels {
+				k.delta = int32(deltas)
+				k.serial = e.serial
+			}
+			if pool != nil {
+				pool.run(phaseActive)
+			} else {
+				for _, k := range e.kernels {
+					k.drainActive(e.MaxEvents)
+				}
+			}
+			// The event budget is enforced on the SUM over shards at the
+			// delta boundary: per-shard totals depend on how components
+			// were grouped, but the sum is order-independent and thus
+			// identical in every worker configuration — required for
+			// budget-aborted runs to stay byte-identical too. The
+			// per-kernel count inside drainActive is only the backstop
+			// for an event loop that never reaches this boundary.
+			if e.anyOverrun() || e.Events() > e.MaxEvents {
+				return e.stop(StopEvents)
+			}
+			if e.anyFinished() {
+				return e.stop(StopFinish)
+			}
+			if pool != nil {
+				pool.run(phaseNBA)
+			} else {
+				for _, k := range e.kernels {
+					k.applyNBA()
+				}
+			}
+			if e.anyFinished() {
+				return e.stop(StopFinish)
+			}
+			if e.AfterDelta != nil {
+				e.AfterDelta()
+			}
+			deltas++
+			e.serial++
+			if deltas > e.MaxDeltas {
+				return e.stop(StopDeltas)
+			}
+		}
+		next := Time(0)
+		have := false
+		for _, k := range e.kernels {
+			if t, ok := k.nextTime(); ok && (!have || t < next) {
+				next, have = t, true
+			}
+		}
+		if !have {
+			return StopIdle
+		}
+		if next > e.MaxTime {
+			return StopTimeout
+		}
+		e.now = next
+		for _, k := range e.kernels {
+			k.advanceTo(next)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- pool
+
+const (
+	phaseActive uint8 = iota
+	phaseNBA
+)
+
+// phasePool is the persistent worker set behind a parallel engine run.
+// Worker n owns kernels n, n+W, n+2W, ...; a phase is dispatched by one
+// channel send per worker and completes at the WaitGroup barrier. The
+// channel send/receive and Wait provide the happens-before edges that
+// order the engine's bookkeeping writes (delta index, limits) against
+// the workers' kernel mutations, so lockstep runs are race-free.
+type phasePool struct {
+	kernels []*Kernel
+	budget  uint64
+	phase   []chan uint8
+	wg      sync.WaitGroup
+}
+
+func newPhasePool(kernels []*Kernel, workers int, budget uint64) *phasePool {
+	p := &phasePool{kernels: kernels, budget: budget}
+	for n := 0; n < workers; n++ {
+		ch := make(chan uint8, 1)
+		p.phase = append(p.phase, ch)
+		go func(n int) {
+			for ph := range ch {
+				for i := n; i < len(p.kernels); i += workers {
+					if ph == phaseActive {
+						p.kernels[i].drainActive(p.budget)
+					} else {
+						p.kernels[i].applyNBA()
+					}
+				}
+				p.wg.Done()
+			}
+		}(n)
+	}
+	return p
+}
+
+func (p *phasePool) run(ph uint8) {
+	p.wg.Add(len(p.phase))
+	for _, ch := range p.phase {
+		ch <- ph
+	}
+	p.wg.Wait()
+}
+
+func (p *phasePool) close() {
+	for _, ch := range p.phase {
+		close(ch)
+	}
+}

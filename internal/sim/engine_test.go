@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineLockstepTimeAdvance pins the barrier protocol's time rule:
+// every kernel advances to the global minimum next event time, even
+// when its own queue has nothing at that time.
+func TestEngineLockstepTimeAdvance(t *testing.T) {
+	ka, kb := NewKernel(), NewKernel()
+	var times []Time
+	ka.Schedule(5, func() { times = append(times, ka.Now()) })
+	kb.Schedule(7, func() { times = append(times, kb.Now()) })
+	ka.Schedule(7, func() { times = append(times, ka.Now()) })
+	e := NewEngine([]*Kernel{ka, kb}, 1)
+	if r := e.Run(); r != StopIdle {
+		t.Fatalf("stop = %v", r)
+	}
+	if len(times) != 3 || times[0] != 5 || times[1] != 7 || times[2] != 7 {
+		t.Errorf("times = %v, want [5 7 7]", times)
+	}
+	if ka.Now() != 7 || kb.Now() != 7 {
+		t.Errorf("kernels at %d/%d, want both at 7", ka.Now(), kb.Now())
+	}
+}
+
+// TestEngineFinishCutsAtDeltaBoundary pins the deterministic stop rule:
+// a Finish in one shard lets every shard complete the current delta's
+// active region, then stops the run before NBA application and before
+// any later event.
+func TestEngineFinishCutsAtDeltaBoundary(t *testing.T) {
+	ka, kb := NewKernel(), NewKernel()
+	var log []string
+	ka.Active(func() {
+		log = append(log, "a-finishes")
+		ka.Finish()
+	})
+	ka.Active(func() { log = append(log, "a-same-delta") })
+	kb.Active(func() { log = append(log, "b-same-delta") })
+	kb.NBA(func() { log = append(log, "b-nba") })
+	kb.Schedule(3, func() { log = append(log, "b-later") })
+	e := NewEngine([]*Kernel{ka, kb}, 1)
+	if r := e.Run(); r != StopFinish {
+		t.Fatalf("stop = %v", r)
+	}
+	want := map[string]bool{"a-finishes": true, "a-same-delta": true, "b-same-delta": true}
+	for _, l := range log {
+		if !want[l] {
+			t.Errorf("event %q ran after the finish boundary", l)
+		}
+		delete(want, l)
+	}
+	for l := range want {
+		t.Errorf("event %q did not run before the finish boundary", l)
+	}
+}
+
+// TestEngineParallelMatchesSerial runs the same multi-kernel program
+// through the direct path (Workers=1) and the worker pool (Workers=4)
+// and requires identical per-kernel event counts and end state.
+func TestEngineParallelMatchesSerial(t *testing.T) {
+	build := func() ([]*Kernel, *[]int64) {
+		ks := make([]*Kernel, 6)
+		counts := make([]int64, 6)
+		for i := range ks {
+			k := NewKernel()
+			ks[i] = k
+			i := i
+			steps := 0
+			k.NewProcess("p", func(p *Process) {
+				counts[i]++
+				steps++
+				if steps < 50+i*10 {
+					p.Delay(Time(1 + i%3))
+				}
+			})
+		}
+		return ks, &counts
+	}
+
+	ksSerial, serialCounts := build()
+	eS := NewEngine(ksSerial, 1)
+	rS := eS.Run()
+
+	ksPar, parCounts := build()
+	eP := NewEngine(ksPar, 4)
+	rP := eP.Run()
+
+	if rS != rP {
+		t.Fatalf("stop reasons differ: %v vs %v", rS, rP)
+	}
+	if eS.Now() != eP.Now() {
+		t.Errorf("end times differ: %d vs %d", eS.Now(), eP.Now())
+	}
+	if eS.Events() != eP.Events() {
+		t.Errorf("event totals differ: %d vs %d", eS.Events(), eP.Events())
+	}
+	for i := range *serialCounts {
+		if (*serialCounts)[i] != (*parCounts)[i] {
+			t.Errorf("kernel %d ran %d steps parallel, %d serial",
+				i, (*parCounts)[i], (*serialCounts)[i])
+		}
+	}
+}
+
+// TestEngineWorkersActuallyConcurrent sanity-checks that the pool
+// dispatches phases to more than one goroutine (the barrier protocol
+// is pointless otherwise). Each kernel records the set of goroutines
+// touching it indirectly via a shared high-water counter.
+func TestEngineWorkersActuallyConcurrent(t *testing.T) {
+	const n = 4
+	ks := make([]*Kernel, n)
+	var inPhase, highWater atomic.Int32
+	gate := make(chan struct{})
+	for i := range ks {
+		k := NewKernel()
+		ks[i] = k
+		k.Active(func() {
+			cur := inPhase.Add(1)
+			for {
+				hw := highWater.Load()
+				if cur <= hw || highWater.CompareAndSwap(hw, cur) {
+					break
+				}
+			}
+			if cur == n {
+				close(gate) // all workers inside the same phase at once
+			}
+			if cur < n {
+				select {
+				case <-gate:
+				default:
+					// Wait briefly for the others; if the pool were
+					// serial this would simply fall through one by one.
+					<-gate
+				}
+			}
+			inPhase.Add(-1)
+		})
+	}
+	e := NewEngine(ks, n)
+	if r := e.Run(); r != StopIdle {
+		t.Fatalf("stop = %v", r)
+	}
+	if hw := highWater.Load(); hw != n {
+		t.Errorf("max concurrent phase executions = %d, want %d", hw, n)
+	}
+}
+
+// TestEngineEventBudgetCutIsConfigurationInvariant pins the budget
+// rule behind excluding the worker count from experiment cache keys:
+// the StopEvents cut happens at a delta boundary against the SUM of
+// events over shards, so a budget-aborted run executes exactly the
+// same per-kernel event counts whether the kernels run on one worker
+// or several.
+func TestEngineEventBudgetCutIsConfigurationInvariant(t *testing.T) {
+	build := func() []*Kernel {
+		ks := make([]*Kernel, 3)
+		for i := range ks {
+			k := NewKernel()
+			ks[i] = k
+			var hop func()
+			hop = func() { k.Schedule(1, hop) } // one event per time step, forever
+			k.Active(hop)
+		}
+		return ks
+	}
+	run := func(workers int) (StopReason, []uint64, uint64) {
+		ks := build()
+		e := NewEngine(ks, workers)
+		e.MaxEvents = 100
+		r := e.Run()
+		counts := make([]uint64, len(ks))
+		for i, k := range ks {
+			counts[i] = k.Events()
+		}
+		return r, counts, e.Events()
+	}
+	rS, countsS, totalS := run(1)
+	rP, countsP, totalP := run(3)
+	if rS != StopEvents || rP != StopEvents {
+		t.Fatalf("stop reasons = %v/%v, want event-limit", rS, rP)
+	}
+	if totalS != totalP {
+		t.Errorf("aborted totals differ: %d serial vs %d parallel", totalS, totalP)
+	}
+	for i := range countsS {
+		if countsS[i] != countsP[i] {
+			t.Errorf("kernel %d executed %d events serial, %d parallel", i, countsS[i], countsP[i])
+		}
+	}
+}
+
+// TestEngineDeltaSerialMonotonic pins the run-global delta serial:
+// identical across kernels within a round, strictly increasing across
+// rounds and time steps, and never the reserved zero value.
+func TestEngineDeltaSerialMonotonic(t *testing.T) {
+	ka, kb := NewKernel(), NewKernel()
+	var aSerials, bSerials []uint64
+	hop := 0
+	var spin func()
+	spin = func() {
+		aSerials = append(aSerials, ka.DeltaSerial())
+		hop++
+		if hop < 3 {
+			ka.NBA(func() { ka.Active(spin) })
+		} else if hop == 3 {
+			ka.Schedule(5, spin)
+		}
+	}
+	ka.Active(spin)
+	kb.Active(func() { bSerials = append(bSerials, kb.DeltaSerial()) })
+	e := NewEngine([]*Kernel{ka, kb}, 1)
+	if r := e.Run(); r != StopIdle {
+		t.Fatalf("stop = %v", r)
+	}
+	if len(aSerials) == 0 || aSerials[0] == 0 {
+		t.Fatalf("serials start at %v; zero is reserved", aSerials)
+	}
+	if len(bSerials) != 1 || bSerials[0] != aSerials[0] {
+		t.Errorf("kernels disagree on the first round serial: %v vs %v", aSerials, bSerials)
+	}
+	for i := 1; i < len(aSerials); i++ {
+		if aSerials[i] <= aSerials[i-1] {
+			t.Errorf("serials not strictly increasing: %v", aSerials)
+		}
+	}
+}

@@ -95,7 +95,13 @@ func (r StopReason) String() string {
 	}
 }
 
-// Kernel is the simulation scheduler.
+// Kernel is the event scheduler of one simulation shard.
+//
+// A kernel no longer owns the top-level run loop: it exposes the delta
+// phases (drainActive, applyNBA) and time-wheel steps (nextTime,
+// advanceTo) that an Engine sequences — serially for one kernel, in
+// barrier-synchronized lockstep for many (see engine.go). Kernel.Run
+// remains the single-shard convenience entry point.
 //
 // The active and nba regions reuse their backing arrays across delta
 // cycles: active drains through a cursor and is reset to length zero
@@ -111,13 +117,28 @@ type Kernel struct {
 	nbaSpare   []func() // drained buffer recycled into nba
 	finished   bool
 
+	// Lockstep position, maintained by the engine: the current delta
+	// index within the time step, the region being executed, and the
+	// run-global delta serial number (identical across all shards of a
+	// run). Output recorded during execution is tagged with
+	// (now, delta, phase) so sharded runs merge deterministically (see
+	// outbuf.go); front-ends use the serial for change-observation
+	// semantics such as VHDL 'event.
+	delta   int32
+	serial  uint64
+	inNBA   bool
+	overrun bool // event budget exhausted mid-drain
+
 	// Limits guard against runaway simulations of buggy generated RTL.
+	// When the kernel is driven by an Engine, the engine's limits
+	// govern; these are used by the single-kernel Run entry point.
 	MaxTime   Time
 	MaxDeltas int
 	MaxEvents uint64
 
 	eventCount uint64
 	fault      string
+	self       *Engine // cached single-kernel engine backing Run
 }
 
 // Fault returns the message of a runtime fault raised by a process
@@ -144,6 +165,39 @@ func NewKernel() *Kernel {
 // Now returns current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
+// Delta returns the index of the delta cycle currently executing within
+// the current time step.
+func (k *Kernel) Delta() int32 { return k.delta }
+
+// Phase returns 0 during the active region and 1 during the NBA region
+// of the current delta.
+func (k *Kernel) Phase() uint8 {
+	if k.inNBA {
+		return 1
+	}
+	return 0
+}
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.eventCount }
+
+// DeltaSerial returns the run-global serial number of the delta cycle
+// currently executing. Unlike Delta it never resets, and it is
+// identical across every shard of a run, so it is safe to use for
+// cross-configuration-deterministic change stamps.
+func (k *Kernel) DeltaSerial() uint64 { return k.serial }
+
+// ObserverSerial returns the delta serial at which effects of the
+// currently executing event become observable to awakened processes:
+// the current delta during the active region (watchers fire into the
+// same drain), the next one during the NBA region.
+func (k *Kernel) ObserverSerial() uint64 {
+	if k.inNBA {
+		return k.serial + 1
+	}
+	return k.serial
+}
+
 // Schedule queues fn to run at now+delay in the active region.
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	if delay == 0 {
@@ -167,63 +221,86 @@ func (k *Kernel) Finish() { k.finished = true }
 // Finished reports whether Finish has been called.
 func (k *Kernel) Finished() bool { return k.finished }
 
-// Run executes events until quiescence, Finish, or a limit.
+// Run executes events until quiescence, Finish, or a limit. It is the
+// single-shard entry point: an Engine over one kernel, inheriting the
+// kernel's own limits. The engine is cached so repeated Run calls on a
+// warm kernel stay allocation-free (pinned by TestProcessStepZeroAllocs).
 func (k *Kernel) Run() StopReason {
-	for {
-		deltas := 0
-		for k.activeHead < len(k.active) || len(k.nba) > 0 {
-			// Drain the active region FIFO; events may append more.
-			for k.activeHead < len(k.active) {
-				ev := k.active[k.activeHead]
-				k.active[k.activeHead] = nil // release the closure
-				k.activeHead++
-				k.eventCount++
-				if k.eventCount > k.MaxEvents {
-					return StopEvents
-				}
-				ev()
-				if k.finished {
-					return StopFinish
-				}
-			}
-			// Fully consumed: rewind so the backing array is reused.
-			k.active = k.active[:0]
-			k.activeHead = 0
-			// Apply NBA updates; these typically reactivate processes.
-			// Swap in the spare buffer so updates scheduling new NBAs
-			// append into recycled storage.
-			if len(k.nba) > 0 {
-				updates := k.nba
-				k.nba = k.nbaSpare[:0]
-				for _, u := range updates {
-					u()
-				}
-				for i := range updates {
-					updates[i] = nil
-				}
-				k.nbaSpare = updates[:0]
-				if k.finished {
-					return StopFinish
-				}
-			}
-			deltas++
-			if deltas > k.MaxDeltas {
-				return StopDeltas
-			}
+	if k.self == nil {
+		k.self = &Engine{kernels: []*Kernel{k}}
+	}
+	k.self.MaxTime = k.MaxTime
+	k.self.MaxDeltas = k.MaxDeltas
+	k.self.MaxEvents = k.MaxEvents
+	return k.self.Run()
+}
+
+// pending reports whether the kernel has work left in the current time
+// step (unconsumed active events or queued NBA updates).
+func (k *Kernel) pending() bool {
+	return k.activeHead < len(k.active) || len(k.nba) > 0
+}
+
+// drainActive runs the active-region FIFO to exhaustion; events may
+// append more, which run in the same drain (same delta). A Finish or
+// fault does NOT abort the drain: stop requests take effect at the
+// delta boundary, so every shard of a lockstep run cuts its output at
+// the same, deterministic point regardless of event interleaving. Only
+// the event budget aborts mid-drain, since an event that unconditionally
+// reactivates itself would otherwise never reach the boundary.
+func (k *Kernel) drainActive(budget uint64) {
+	for k.activeHead < len(k.active) {
+		ev := k.active[k.activeHead]
+		k.active[k.activeHead] = nil // release the closure
+		k.activeHead++
+		k.eventCount++
+		if k.eventCount > budget {
+			k.overrun = true
+			return
 		}
-		if k.future.Len() == 0 {
-			return StopIdle
-		}
-		next := k.future.pop()
-		if next.at > k.MaxTime {
-			return StopTimeout
-		}
-		k.now = next.at
-		k.Active(next.fn)
-		// Pull in all events at the same timestamp.
-		for k.future.Len() > 0 && k.future[0].at == k.now {
-			k.Active(k.future.pop().fn)
-		}
+		ev()
+	}
+	// Fully consumed: rewind so the backing array is reused.
+	k.active = k.active[:0]
+	k.activeHead = 0
+}
+
+// applyNBA applies the queued nonblocking-assignment updates of the
+// current delta. Updates typically reactivate processes into the next
+// delta's active region. The spare buffer is swapped in so updates
+// scheduling new NBAs append into recycled storage.
+func (k *Kernel) applyNBA() {
+	if len(k.nba) == 0 {
+		return
+	}
+	updates := k.nba
+	k.nba = k.nbaSpare[:0]
+	k.inNBA = true
+	for _, u := range updates {
+		u()
+	}
+	k.inNBA = false
+	for i := range updates {
+		updates[i] = nil
+	}
+	k.nbaSpare = updates[:0]
+}
+
+// nextTime returns the earliest scheduled future time, if any.
+func (k *Kernel) nextTime() (Time, bool) {
+	if k.future.Len() == 0 {
+		return 0, false
+	}
+	return k.future[0].at, true
+}
+
+// advanceTo moves the kernel to time t and pulls every event scheduled
+// at exactly t into the active region, in schedule order.
+func (k *Kernel) advanceTo(t Time) {
+	k.now = t
+	k.delta = 0
+	for k.future.Len() > 0 && k.future[0].at == t {
+		k.Active(k.future.pop().fn)
 	}
 }
 

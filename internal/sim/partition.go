@@ -1,0 +1,105 @@
+package sim
+
+import "sort"
+
+// Partition groups the nodes of a design (signals, processes,
+// continuous assignments — anything the front-end registers) into
+// connected components with a union-find. Two nodes end up in the same
+// component exactly when a chain of shared signals connects them, so
+// events of different components can never read or write the same
+// signal and the components can execute on concurrent shard kernels
+// with no synchronization finer than the engine's delta barriers.
+//
+// The partition is purely structural: it is computed once from the
+// elaborated design, identically in every configuration, so component
+// indices are stable across worker counts (per-component state such as
+// the $random stream keys off them).
+type Partition struct {
+	parent []int
+	rank   []int
+}
+
+// NewPartition returns a partition over n nodes, each its own set.
+func NewPartition(n int) *Partition {
+	p := &Partition{parent: make([]int, n), rank: make([]int, n)}
+	for i := range p.parent {
+		p.parent[i] = i
+	}
+	return p
+}
+
+// Find returns the representative of node a's set.
+func (p *Partition) Find(a int) int {
+	for p.parent[a] != a {
+		p.parent[a] = p.parent[p.parent[a]] // path halving
+		a = p.parent[a]
+	}
+	return a
+}
+
+// Union merges the sets of a and b.
+func (p *Partition) Union(a, b int) {
+	ra, rb := p.Find(a), p.Find(b)
+	if ra == rb {
+		return
+	}
+	if p.rank[ra] < p.rank[rb] {
+		ra, rb = rb, ra
+	}
+	p.parent[rb] = ra
+	if p.rank[ra] == p.rank[rb] {
+		p.rank[ra]++
+	}
+}
+
+// Components returns a dense component index per node, numbered in
+// order of each component's first node so the result is deterministic.
+func (p *Partition) Components() (comp []int, n int) {
+	comp = make([]int, len(p.parent))
+	idx := make(map[int]int)
+	for i := range p.parent {
+		r := p.Find(i)
+		c, ok := idx[r]
+		if !ok {
+			c = len(idx)
+			idx[r] = c
+		}
+		comp[i] = c
+	}
+	return comp, len(idx)
+}
+
+// AssignShards distributes components onto at most maxShards shards,
+// balancing by the given per-component weights (longest-processing-time
+// first with deterministic tie-breaks). It returns the shard index per
+// component and the number of shards actually used.
+func AssignShards(weights []int, maxShards int) (shardOf []int, shards int) {
+	n := len(weights)
+	shards = min(maxShards, n)
+	if shards < 1 {
+		shards = 1
+	}
+	shardOf = make([]int, n)
+	if shards == 1 {
+		return shardOf, 1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	load := make([]int, shards)
+	for _, c := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shardOf[c] = best
+		load[best] += max(weights[c], 1) // floor 1 so zero-weight comps still spread
+	}
+	return shardOf, shards
+}

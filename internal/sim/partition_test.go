@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+func TestPartitionComponents(t *testing.T) {
+	// 0-1-2 connected, 3 alone, 4-5 connected.
+	p := NewPartition(6)
+	p.Union(0, 1)
+	p.Union(1, 2)
+	p.Union(4, 5)
+	comp, n := p.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("0,1,2 split across components: %v", comp)
+	}
+	if comp[4] != comp[5] {
+		t.Errorf("4,5 split across components: %v", comp)
+	}
+	if comp[3] == comp[0] || comp[3] == comp[4] {
+		t.Errorf("3 merged with another component: %v", comp)
+	}
+	// Numbering follows first appearance.
+	if comp[0] != 0 || comp[3] != 1 || comp[4] != 2 {
+		t.Errorf("component numbering not first-appearance order: %v", comp)
+	}
+}
+
+func TestAssignShardsBalance(t *testing.T) {
+	weights := []int{10, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	shardOf, n := AssignShards(weights, 2)
+	if n != 2 {
+		t.Fatalf("shards = %d, want 2", n)
+	}
+	load := make([]int, n)
+	for c, s := range shardOf {
+		load[s] += weights[c]
+	}
+	// LPT puts the heavy component alone-ish: the light shard carries
+	// everything else. Loads must be within the heavy weight of each
+	// other (10 vs 9 here, not 11 vs 8 or worse).
+	diff := load[0] - load[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Errorf("unbalanced shards: %v", load)
+	}
+}
+
+func TestAssignShardsDeterministicAndClamped(t *testing.T) {
+	weights := []int{3, 3, 3}
+	a, na := AssignShards(weights, 8)
+	b, nb := AssignShards(weights, 8)
+	if na != 3 || nb != 3 {
+		t.Fatalf("shards = %d/%d, want clamped to 3 components", na, nb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment not deterministic: %v vs %v", a, b)
+		}
+	}
+	one, n1 := AssignShards(weights, 1)
+	if n1 != 1 {
+		t.Fatalf("single shard count = %d", n1)
+	}
+	for _, s := range one {
+		if s != 0 {
+			t.Fatalf("single-shard assignment = %v", one)
+		}
+	}
+}

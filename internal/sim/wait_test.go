@@ -1,0 +1,146 @@
+package sim
+
+import "testing"
+
+// TestWaitRegFireDetachRearm pins the shared one-shot protocol: the
+// first notification fires the group exactly once, every member dies,
+// dead watchers are lazily pruned from their lists, and Rearm
+// re-attaches only pruned watchers (no duplicates when the entry is
+// still present).
+func TestWaitRegFireDetachRearm(t *testing.T) {
+	var la, lb WatchList
+	resumed := 0
+	r := NewWaitReg(func() { resumed++ })
+	r.Add(&la, nil, nil)
+	r.Add(&lb, nil, nil)
+	if !r.Empty() == false {
+		t.Fatal("registration with watchers reports Empty")
+	}
+	r.Rearm()
+	if len(la.watchers) != 1 || len(lb.watchers) != 1 {
+		t.Fatalf("arm attached %d/%d watchers, want 1/1", len(la.watchers), len(lb.watchers))
+	}
+
+	la.Notify() // fires the group
+	if resumed != 1 {
+		t.Fatalf("resumed %d times after first trigger, want 1", resumed)
+	}
+	lb.Notify() // group already fired: must not resume again, prunes b
+	if resumed != 1 {
+		t.Fatalf("resumed %d times after second list notify, want 1", resumed)
+	}
+	if len(lb.watchers) != 0 {
+		t.Fatalf("dead watcher not pruned from list b (len %d)", len(lb.watchers))
+	}
+	// la fired its watcher while notifying, so the watcher died during
+	// its own notification and was pruned in the same pass.
+	if len(la.watchers) != 0 {
+		t.Fatalf("dead watcher not pruned from list a (len %d)", len(la.watchers))
+	}
+
+	// Re-arm: both watchers were pruned, both re-attach exactly once.
+	r.Rearm()
+	if len(la.watchers) != 1 || len(lb.watchers) != 1 {
+		t.Fatalf("rearm attached %d/%d watchers, want 1/1", len(la.watchers), len(lb.watchers))
+	}
+	lb.Notify()
+	if resumed != 2 {
+		t.Fatalf("resumed %d times after rearmed trigger, want 2", resumed)
+	}
+}
+
+// TestWaitRegRearmWithoutPrune covers the lazy-prune interaction: when
+// the group fires but the signal is never written again before the
+// re-arm, the dead entry is still present in the list; Rearm must
+// revive it in place rather than attach a duplicate.
+func TestWaitRegRearmWithoutPrune(t *testing.T) {
+	var la, lb WatchList
+	resumed := 0
+	r := NewWaitReg(func() { resumed++ })
+	r.Add(&la, nil, nil)
+	r.Add(&lb, nil, nil)
+	r.Rearm()
+	la.Notify()
+	if resumed != 1 {
+		t.Fatalf("resumed = %d, want 1", resumed)
+	}
+	// lb was never notified: its dead watcher is still attached.
+	if len(lb.watchers) != 1 {
+		t.Fatalf("unexpected prune of unnotified list (len %d)", len(lb.watchers))
+	}
+	r.Rearm()
+	if len(lb.watchers) != 1 {
+		t.Fatalf("rearm duplicated the still-attached watcher (len %d)", len(lb.watchers))
+	}
+	lb.Notify()
+	if resumed != 2 {
+		t.Fatalf("resumed = %d after rearm, want 2", resumed)
+	}
+}
+
+// TestWaitRegEdgeTrigger models vsim's posedge detection through the
+// Trigger/Arm hooks: a 0->1 transition fires, 1->0 does not, and Rearm
+// re-baselines so a level that was already 1 at arm time does not fire
+// until the next rising edge.
+func TestWaitRegEdgeTrigger(t *testing.T) {
+	var l WatchList
+	val := 0
+	resumed := 0
+	r := NewWaitReg(func() { resumed++ })
+	var last int
+	r.Add(&l,
+		func() bool { // posedge: old==0 && new==1
+			old := last
+			last = val
+			return old == 0 && val == 1
+		},
+		func() { last = val },
+	)
+	r.Rearm() // baseline 0
+
+	val = 1
+	l.Notify()
+	if resumed != 1 {
+		t.Fatalf("posedge did not fire (resumed=%d)", resumed)
+	}
+
+	// Re-arm while the level is still high: no fire until a fresh edge.
+	r.Rearm()
+	l.Notify() // 1 -> 1: no edge
+	if resumed != 1 {
+		t.Fatalf("level notify fired without an edge (resumed=%d)", resumed)
+	}
+	val = 0
+	l.Notify() // negedge: no fire
+	if resumed != 1 {
+		t.Fatalf("negedge fired a posedge watcher (resumed=%d)", resumed)
+	}
+	val = 1
+	l.Notify() // posedge again
+	if resumed != 2 {
+		t.Fatalf("second posedge did not fire (resumed=%d)", resumed)
+	}
+}
+
+// TestWatchListPersistent pins persistent observers: they fire on every
+// notification, never detach, and run after the one-shot watchers of
+// the same notification.
+func TestWatchListPersistent(t *testing.T) {
+	var l WatchList
+	var order []string
+	l.Watch(func() { order = append(order, "persistent") })
+	r := NewWaitReg(func() { order = append(order, "oneshot") })
+	r.Add(&l, nil, nil)
+	r.Rearm()
+	l.Notify()
+	l.Notify()
+	want := []string{"oneshot", "persistent", "persistent"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/hdl"
+	"repro/internal/sim"
 	"repro/internal/vhdl"
 )
 
@@ -35,12 +36,12 @@ type Signal struct {
 
 	Val  hdl.Vector
 	Prev hdl.Vector
-	// eventStamp marks the delta batch of the most recent value change;
-	// compared against the simulator's global stamp for 'event.
+	// eventStamp is the run-global delta serial in which the most
+	// recent value change becomes observable; compared against the
+	// kernel's current serial for 'event (0 = never changed).
 	eventStamp uint64
 
-	watchers   []*watcher
-	persistent []*persistentWatcher
+	watch sim.WatchList
 }
 
 func (s *Signal) declIndexToBit(idx int) (int, bool) {

@@ -414,6 +414,10 @@ func (s *Simulator) evalAttr(inst *Instance, en *env, x *vhdl.AttrExpr) value {
 	panic(faultf("unsupported attribute %q'%s", x.Base, x.Attr))
 }
 
-// eventFlagNow reports whether the signal changed in the delta batch
-// whose wakeups are currently executing.
-func (sig *Signal) eventFlagNow(s *Simulator) bool { return sig.eventStamp == s.stamp && s.stamp > 0 }
+// eventFlagNow reports whether the signal changed in the delta cycle
+// currently executing (the one its wakeups run in). The stamp is the
+// engine's run-global delta serial, identical across shard
+// configurations; zero means "never changed".
+func (sig *Signal) eventFlagNow(s *Simulator) bool {
+	return sig.eventStamp == s.kernel.DeltaSerial()
+}

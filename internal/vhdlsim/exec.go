@@ -6,58 +6,19 @@ import (
 	"repro/internal/vhdl"
 )
 
-// watcher observes a signal for a wait group (one-shot between
-// re-arms; see waitReg).
-type watcher struct {
-	dead     bool
-	attached bool // still present in its signal's watcher list
-	group    *waitGroup
-}
-
-type waitGroup struct {
-	fired    bool
-	watchers []*watcher
-	resume   func()
-}
-
-func (g *waitGroup) fire() {
-	if g.fired {
-		return
-	}
-	g.fired = true
-	for _, w := range g.watchers {
-		w.dead = true
-	}
-	g.resume()
-}
-
-// persistent watchers (for concurrent assignments) never detach.
-type persistentWatcher struct {
-	fire func()
-}
-
-// waitReg is a reusable wait registration over a fixed signal set: the
-// wait group, its watchers, and the signal each watcher attaches to.
-// Every wait site in a process (the sensitivity list, each `wait on`
-// and `wait until`) observes a fixed signal set, so one registration
-// is built per site and re-armed per pass instead of reallocating the
-// whole structure every wakeup.
-type waitReg struct {
-	g    *waitGroup
-	ws   []*watcher
-	sigs []*Signal
-}
+// The watcher/wait-group/re-arm protocol lives in internal/sim
+// (WatchList, WaitGroup, WaitReg), shared with vsim. VHDL waits are
+// all level-sensitive (the edge predicates — rising_edge, 'event —
+// are evaluated by the awakened process), so registrations carry no
+// Trigger hooks.
 
 // buildWaitReg constructs the watchers for a signal set without
 // attaching them; rearmWait arms them. Callers guarantee a non-empty
 // signal set (an empty one would deadlock the process).
-func (s *Simulator) buildWaitReg(sigs []*Signal, resume func()) *waitReg {
-	r := &waitReg{g: &waitGroup{resume: resume, fired: true}}
+func (s *Simulator) buildWaitReg(sigs []*Signal, resume func()) *sim.WaitReg {
+	r := sim.NewWaitReg(resume)
 	for _, sg := range sigs {
-		w := &watcher{dead: true, group: r.g}
-		r.g.watchers = append(r.g.watchers, w)
-		r.ws = append(r.ws, w)
-		r.sigs = append(r.sigs, sg)
+		r.Add(&sg.watch, nil, nil)
 	}
 	return r
 }
@@ -65,60 +26,45 @@ func (s *Simulator) buildWaitReg(sigs []*Signal, resume func()) *waitReg {
 // rearmWait re-arms a wait registration: watchers come back alive and
 // re-attach to their signals unless a lazily-pruned entry is still
 // present in the signal's list.
-func (s *Simulator) rearmWait(r *waitReg) {
-	r.g.fired = false
-	for i, w := range r.ws {
-		w.dead = false
-		if !w.attached {
-			w.attached = true
-			r.sigs[i].watchers = append(r.sigs[i].watchers, w)
-		}
-	}
+func (s *Simulator) rearmWait(r *sim.WaitReg) {
+	r.Rearm()
 }
 
-// applyUpdate commits a signal value change, stamping the event batch
-// and notifying watchers. Same-value writes are transactions without
-// events and are ignored.
+// applyUpdate commits a signal value change, stamping the observation
+// delta and notifying watchers. Same-value writes are transactions
+// without events and are ignored.
+//
+// The stamp is the engine's run-global delta serial of the cycle in
+// which awakened processes run, so 'event evaluates identically no
+// matter how components are grouped onto shards (a per-shard batch
+// counter would advance at different rates in different
+// configurations).
 func (s *Simulator) applyUpdate(sig *Signal, v hdl.Vector) {
 	v = v.Resize(sig.Width)
 	if sig.Val.Equal(v) {
 		return
 	}
-	if !s.inBatch {
-		s.stamp++
-		s.inBatch = true
-		s.kernel.Active(func() { s.inBatch = false })
-	}
 	sig.Prev = sig.Val
 	sig.Val = v
-	sig.eventStamp = s.stamp
-	live := sig.watchers[:0]
-	for _, w := range sig.watchers {
-		if w.dead {
-			w.attached = false
-			continue
-		}
-		w.group.fire()
-		if !w.dead {
-			live = append(live, w)
-		} else {
-			w.attached = false
-		}
-	}
-	sig.watchers = live
-	for _, pw := range sig.persistent {
-		pw.fire()
-	}
+	sig.eventStamp = s.kernel.ObserverSerial()
+	sig.watch.Notify()
 }
 
 // scheduleUpdate queues a signal assignment: zero delay lands in the
-// next delta (NBA region); positive delays are scheduled in time.
+// next delta (NBA region); positive delays are scheduled in time. The
+// update closure restores the component context, since it runs from
+// the kernel regions rather than through a process step.
 func (s *Simulator) scheduleUpdate(sig *Signal, v hdl.Vector, delay sim.Time) {
+	comp := s.curComp
+	fn := func() {
+		s.curComp = comp
+		s.applyUpdate(sig, v)
+	}
 	if delay == 0 {
-		s.kernel.NBA(func() { s.applyUpdate(sig, v) })
+		s.kernel.NBA(fn)
 		return
 	}
-	s.kernel.Schedule(delay, func() { s.applyUpdate(sig, v) })
+	s.kernel.Schedule(delay, fn)
 }
 
 // sigTarget is a resolved signal assignment destination.
@@ -201,7 +147,11 @@ func (s *Simulator) assignSignal(inst *Instance, en *env, target vhdl.Expr, valE
 	// value captured at apply time.
 	part := val.v.Resize(t.width)
 	sg, lo := t.sig, t.lo
-	apply := func() { s.applyUpdate(sg, sg.Val.SetSlice(lo, part)) }
+	comp := s.curComp
+	apply := func() {
+		s.curComp = comp
+		s.applyUpdate(sg, sg.Val.SetSlice(lo, part))
+	}
 	if delay == 0 {
 		s.kernel.NBA(apply)
 	} else {
@@ -213,9 +163,12 @@ func (s *Simulator) assignSignal(inst *Instance, en *env, target vhdl.Expr, valE
 
 const stmtBudget = 20_000_000
 
+// tick charges one interpreter step against the current component's
+// budget. Budgets are per component (not per shard), so they exhaust
+// at the same point in every worker configuration.
 func (s *Simulator) tick() {
-	s.steps++
-	if s.steps > stmtBudget {
+	s.curComp.steps++
+	if s.curComp.steps > stmtBudget {
 		panic(faultf("statement budget exceeded (possible infinite loop)"))
 	}
 }
@@ -256,18 +209,20 @@ type procMachine struct {
 	s        *Simulator
 	inst     *Instance
 	p        *sim.Process
+	comp     *compCtx // connectivity component this process belongs to
 	ps       *vhdl.ProcessStmt
 	en       *env
 	stack    []frame
 	inited   bool // declarations evaluated, sensitivity registration built
 	armed    bool // sensitivity wait armed, body run pending
-	topReg   *waitReg
-	waits    map[*vhdl.WaitStmt]*waitReg
+	topReg   *sim.WaitReg
+	waits    map[*vhdl.WaitStmt]*sim.WaitReg
 	activate func() // pre-built resume hook shared by all waits
 }
 
 // step is the process continuation the kernel dispatches.
 func (m *procMachine) step(p *sim.Process) {
+	m.s.curComp = m.comp
 	defer m.s.procRecover()
 	for {
 		for len(m.stack) > 0 {
@@ -328,7 +283,7 @@ func (m *procMachine) initDecls() {
 	}
 	var sens []*Signal
 	for _, se := range m.ps.Sens {
-		sens = append(sens, m.s.collectSignals(m.inst, se)...)
+		sens = append(sens, collectSignals(m.inst, se)...)
 	}
 	if len(sens) > 0 {
 		m.topReg = m.s.buildWaitReg(sens, m.activate)
@@ -554,11 +509,11 @@ func (m *procMachine) execWait(x *vhdl.WaitStmt) bool {
 
 // untilRegFor returns the cached wait registration for a `wait until`
 // statement, building it from the condition's signal set on first use.
-func (m *procMachine) untilRegFor(x *vhdl.WaitStmt) *waitReg {
+func (m *procMachine) untilRegFor(x *vhdl.WaitStmt) *sim.WaitReg {
 	if r, ok := m.waits[x]; ok {
 		return r
 	}
-	sigs := m.s.collectSignals(m.inst, x.Until)
+	sigs := collectSignals(m.inst, x.Until)
 	if len(sigs) == 0 {
 		panic(faultf("wait until condition references no signals"))
 	}
@@ -569,13 +524,13 @@ func (m *procMachine) untilRegFor(x *vhdl.WaitStmt) *waitReg {
 
 // onRegFor returns the cached wait registration for a `wait on`
 // statement.
-func (m *procMachine) onRegFor(x *vhdl.WaitStmt) *waitReg {
+func (m *procMachine) onRegFor(x *vhdl.WaitStmt) *sim.WaitReg {
 	if r, ok := m.waits[x]; ok {
 		return r
 	}
 	var sigs []*Signal
 	for _, nm := range x.OnSignals {
-		sigs = append(sigs, m.s.collectSignals(m.inst, nm)...)
+		sigs = append(sigs, collectSignals(m.inst, nm)...)
 	}
 	if len(sigs) == 0 {
 		panic(faultf("wait on references no signals"))
@@ -585,9 +540,9 @@ func (m *procMachine) onRegFor(x *vhdl.WaitStmt) *waitReg {
 	return r
 }
 
-func (m *procMachine) cacheWait(key *vhdl.WaitStmt, r *waitReg) {
+func (m *procMachine) cacheWait(key *vhdl.WaitStmt, r *sim.WaitReg) {
 	if m.waits == nil {
-		m.waits = make(map[*vhdl.WaitStmt]*waitReg)
+		m.waits = make(map[*vhdl.WaitStmt]*sim.WaitReg)
 	}
 	m.waits[key] = r
 }
@@ -647,7 +602,7 @@ func (s *Simulator) execVarAssign(inst *Instance, en *env, x *vhdl.VarAssign) {
 }
 
 // collectSignals gathers signals read by an expression.
-func (s *Simulator) collectSignals(inst *Instance, e vhdl.Expr) []*Signal {
+func collectSignals(inst *Instance, e vhdl.Expr) []*Signal {
 	var out []*Signal
 	seen := map[*Signal]bool{}
 	add := func(sig *Signal) {

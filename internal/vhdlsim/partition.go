@@ -1,0 +1,175 @@
+package vhdlsim
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vhdl"
+)
+
+// partitionDesign groups the elaborated design into connectivity
+// components (see the vsim partitioner and internal/sim.Partition for
+// the architecture notes): port bindings, concurrent assignments, and
+// processes land in the same component exactly when a chain of shared
+// signals connects them. The collection is conservative — every
+// expression through which an item can reach a signal is included.
+type partPlan struct {
+	ncomps   int
+	portComp []int // component of d.portBinds[i]
+	concComp []int // component of d.concAssigns[i]
+	procComp []int // component of d.processes[i]
+	weights  []int // per-component load estimate for shard balancing
+}
+
+func partitionDesign(d *Design) *partPlan {
+	// Collect all signals of the hierarchy in deterministic order.
+	var sigs []*Signal
+	sigIdx := map[*Signal]int{}
+	var walk func(inst *Instance)
+	walk = func(inst *Instance) {
+		// Instance.Signals is a map; recover declaration order from the
+		// architecture is overkill — indices only need to be stable
+		// within one elaboration, and component numbering is derived
+		// from entity order below, not signal order.
+		for _, sg := range inst.Signals {
+			if _, ok := sigIdx[sg]; !ok {
+				sigIdx[sg] = len(sigs)
+				sigs = append(sigs, sg)
+			}
+		}
+		for _, c := range inst.Children {
+			walk(c)
+		}
+	}
+	walk(d.Top)
+
+	nEnt := len(d.portBinds) + len(d.concAssigns) + len(d.processes)
+	p := sim.NewPartition(len(sigs) + nEnt)
+	node := len(sigs)
+	entNode := make([]int, 0, nEnt)
+	unionExpr := func(me int, inst *Instance, e vhdl.Expr) {
+		for _, sg := range collectSignals(inst, e) {
+			p.Union(me, sigIdx[sg])
+		}
+	}
+
+	for i := range d.portBinds {
+		pb := &d.portBinds[i]
+		unionExpr(node, pb.parentScope, pb.actual)
+		if sg, ok := pb.childScope.Signals[pb.portName]; ok {
+			p.Union(node, sigIdx[sg])
+		}
+		entNode = append(entNode, node)
+		node++
+	}
+	for i := range d.concAssigns {
+		bc := &d.concAssigns[i]
+		unionExpr(node, bc.scope, bc.ca.Target)
+		for _, w := range bc.ca.Waves {
+			unionExpr(node, bc.scope, w.Value)
+			unionExpr(node, bc.scope, w.Cond)
+			unionExpr(node, bc.scope, w.AfterNs)
+		}
+		entNode = append(entNode, node)
+		node++
+	}
+	for i := range d.processes {
+		bp := &d.processes[i]
+		var exprs []vhdl.Expr
+		exprs = append(exprs, bp.ps.Sens...)
+		for _, decl := range bp.ps.Decls {
+			switch vd := decl.(type) {
+			case *vhdl.VarDecl:
+				exprs = append(exprs, vd.Init)
+			case *vhdl.ConstDecl:
+				exprs = append(exprs, vd.Value)
+			}
+		}
+		collectVHDLStmtExprs(bp.ps.Body, &exprs)
+		for _, e := range exprs {
+			unionExpr(node, bp.scope, e)
+		}
+		entNode = append(entNode, node)
+		node++
+	}
+
+	// Component numbering: in order of first appearance across the
+	// entity list (deterministic; independent of map iteration above,
+	// since only entity nodes are enumerated).
+	plan := &partPlan{
+		portComp: make([]int, len(d.portBinds)),
+		concComp: make([]int, len(d.concAssigns)),
+		procComp: make([]int, len(d.processes)),
+	}
+	compOf := map[int]int{}
+	compIdx := func(n int) int {
+		r := p.Find(n)
+		c, ok := compOf[r]
+		if !ok {
+			c = len(compOf)
+			compOf[r] = c
+			plan.weights = append(plan.weights, 0)
+		}
+		return c
+	}
+	e := 0
+	for i := range d.portBinds {
+		c := compIdx(entNode[e])
+		plan.portComp[i] = c
+		plan.weights[c]++
+		e++
+	}
+	for i := range d.concAssigns {
+		c := compIdx(entNode[e])
+		plan.concComp[i] = c
+		plan.weights[c]++
+		e++
+	}
+	for i := range d.processes {
+		c := compIdx(entNode[e])
+		plan.procComp[i] = c
+		plan.weights[c] += 4
+		e++
+	}
+	plan.ncomps = len(compOf)
+	return plan
+}
+
+// collectVHDLStmtExprs gathers every expression through which a
+// statement can reach a signal: reads, assignment targets (their index
+// expressions), delays, wait conditions and signal lists.
+func collectVHDLStmtExprs(stmts []vhdl.Stmt, out *[]vhdl.Expr) {
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *vhdl.SigAssign:
+			*out = append(*out, x.Target, x.Value, x.AfterNs)
+		case *vhdl.VarAssign:
+			*out = append(*out, x.Target, x.Value)
+		case *vhdl.IfStmt:
+			for _, br := range x.Branches {
+				*out = append(*out, br.Cond)
+				collectVHDLStmtExprs(br.Body, out)
+			}
+			collectVHDLStmtExprs(x.Else, out)
+		case *vhdl.CaseStmt:
+			*out = append(*out, x.Expr)
+			for _, arm := range x.Arms {
+				*out = append(*out, arm.Choices...)
+				collectVHDLStmtExprs(arm.Body, out)
+			}
+		case *vhdl.ForStmt:
+			*out = append(*out, x.Left, x.Right)
+			collectVHDLStmtExprs(x.Body, out)
+		case *vhdl.WhileStmt:
+			*out = append(*out, x.Cond)
+			collectVHDLStmtExprs(x.Body, out)
+		case *vhdl.WaitStmt:
+			*out = append(*out, x.OnSignals...)
+			*out = append(*out, x.Until, x.ForNs)
+		case *vhdl.AssertStmt:
+			*out = append(*out, x.Cond, x.Report)
+		case *vhdl.ReportStmt:
+			*out = append(*out, x.Message)
+		case *vhdl.ExitStmt:
+			*out = append(*out, x.When)
+		}
+	}
+}

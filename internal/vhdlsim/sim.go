@@ -13,6 +13,17 @@ type Options struct {
 	MaxTime   sim.Time
 	File      string
 	MaxOutput int
+
+	// Workers selects the sharded parallel backend (see vsim.Options
+	// and internal/sim): the design partitions into connectivity
+	// components executed on up to Workers concurrent shard kernels in
+	// delta lockstep, with byte-identical observable output for every
+	// worker count. Values <= 1 run the serial schedule.
+	Workers int
+
+	// CaptureFinal populates Result.Final with the post-run value of
+	// every signal (used by the differential harness).
+	CaptureFinal bool
 }
 
 // Result is the outcome of a simulation.
@@ -23,20 +34,38 @@ type Result struct {
 	TimedOut     bool
 	Fault        string
 	EndTime      sim.Time
+	Events       uint64 // kernel events executed, summed over shards
+	Shards       int    // shard kernels the run executed on
+	Final        map[string]string // hierarchical name -> final value
 }
 
-// Simulator interprets an elaborated VHDL design.
-type Simulator struct {
-	kernel *sim.Kernel
+// shared is the cross-shard state of one run.
+type shared struct {
 	design *Design
-	log    strings.Builder
-	logCap int
+	comps  []*compCtx
 	file   string
-	steps  uint64
+	logCap int
+}
 
-	// Event-batch stamping for 'event / rising_edge.
-	stamp   uint64
-	inBatch bool
+// compCtx is the per-connectivity-component state, keyed by the stable
+// component index so budgets, caps, and fault attribution are
+// identical in every worker configuration.
+type compCtx struct {
+	idx    int32
+	steps  uint64
+	logLen int
+	fault  string
+}
+
+// Simulator interprets one shard of an elaborated VHDL design on its
+// own event kernel; a serial run is a one-shard simulation. See
+// vsim.Simulator for the sharding architecture notes.
+type Simulator struct {
+	sh     *shared
+	kernel *sim.Kernel
+
+	logBuf  sim.OutBuf
+	curComp *compCtx
 
 	assertErrors int
 	failed       bool
@@ -57,52 +86,97 @@ func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, erro
 	if opts.File == "" {
 		opts.File = "tb.vhd"
 	}
-	s := &Simulator{
-		kernel: sim.NewKernel(),
-		design: d,
-		file:   opts.File,
-		logCap: opts.MaxOutput,
-	}
-	s.kernel.MaxTime = opts.MaxTime
-	s.bind()
-	reason := s.kernel.Run()
 
+	plan := partitionDesign(d)
+	maxShards := 1
+	if opts.Workers > 1 {
+		maxShards = opts.Workers
+	}
+	shardOf, nshards := sim.AssignShards(plan.weights, maxShards)
+
+	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput}
+	for i := 0; i < plan.ncomps; i++ {
+		sh.comps = append(sh.comps, &compCtx{idx: int32(i)})
+	}
+	sims := make([]*Simulator, nshards)
+	kernels := make([]*sim.Kernel, nshards)
+	for i := range sims {
+		sims[i] = &Simulator{sh: sh, kernel: sim.NewKernel()}
+		kernels[i] = sims[i].kernel
+	}
+
+	// Bind runtime machinery in global elaboration order, each item
+	// onto the shard that owns its component.
+	for i := range d.portBinds {
+		c := plan.portComp[i]
+		sims[shardOf[c]].bindPort(&d.portBinds[i], sh.comps[c])
+	}
+	for i := range d.concAssigns {
+		c := plan.concComp[i]
+		sims[shardOf[c]].bindConcAssign(&d.concAssigns[i], sh.comps[c])
+	}
+	for i := range d.processes {
+		c := plan.procComp[i]
+		sims[shardOf[c]].bindProcess(&d.processes[i], sh.comps[c])
+	}
+
+	eng := sim.NewEngine(kernels, opts.Workers)
+	eng.MaxTime = opts.MaxTime
+	reason := eng.Run()
+
+	logs := make([]*sim.OutBuf, len(sims))
 	res := &Result{
-		Log:          s.log.String(),
-		AssertErrors: s.assertErrors,
-		Failed:       s.failed,
-		Fault:        s.kernel.Fault(),
-		EndTime:      s.kernel.Now(),
+		EndTime: eng.Now(),
+		Events:  eng.Events(),
+		Shards:  nshards,
+	}
+	for i, ss := range sims {
+		logs[i] = &ss.logBuf
+		res.AssertErrors += ss.assertErrors
+		res.Failed = res.Failed || ss.failed
+	}
+	// Per-component caps bound buffering during the run; truncating the
+	// deterministic merged stream restores the global MaxOutput bound.
+	res.Log = sim.RenderChunks(sim.MergeChunks(logs...))
+	if len(res.Log) > sh.logCap {
+		res.Log = res.Log[:sh.logCap]
+	}
+	for _, c := range sh.comps {
+		if c.fault != "" {
+			res.Fault = c.fault
+			break
+		}
 	}
 	switch reason {
 	case sim.StopTimeout, sim.StopDeltas, sim.StopEvents:
 		res.TimedOut = true
-		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, s.kernel.Now())
+		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, eng.Now())
 	}
 	if res.Fault != "" && !strings.Contains(res.Log, res.Fault) {
 		res.Log += "SIMULATOR: " + res.Fault + "\n"
 	}
+	if opts.CaptureFinal {
+		res.Final = map[string]string{}
+		var walk func(inst *Instance)
+		walk = func(inst *Instance) {
+			for name, sg := range inst.Signals {
+				res.Final[inst.Path+"."+name] = sg.Val.BinString()
+			}
+			for _, c := range inst.Children {
+				walk(c)
+			}
+		}
+		walk(d.Top)
+	}
 	return res, nil
-}
-
-func (s *Simulator) bind() {
-	// Port bindings behave like concurrent assignments.
-	for i := range s.design.portBinds {
-		s.bindPort(&s.design.portBinds[i])
-	}
-	for i := range s.design.concAssigns {
-		s.bindConcAssign(&s.design.concAssigns[i])
-	}
-	for i := range s.design.processes {
-		s.bindProcess(&s.design.processes[i])
-	}
 }
 
 // bindPort wires one port association: in-ports copy parent actual to
 // the child port signal; out-ports copy the child port to the parent
 // actual (which must be an assignable name).
-func (s *Simulator) bindPort(pb *portBind) {
+func (s *Simulator) bindPort(pb *portBind, comp *compCtx) {
 	update := func() {
+		s.curComp = comp
 		defer s.recoverFault()
 		if pb.dir == vhdl.DirIn {
 			val := s.eval(pb.parentScope, nil, pb.actual)
@@ -122,26 +196,27 @@ func (s *Simulator) bindPort(pb *portBind) {
 			s.applyUpdate(t.sig, t.sig.Val.SetSlice(t.lo, src.Val.Resize(t.width)))
 		}
 	}
-	pw := &persistentWatcher{fire: func() { s.kernel.Active(update) }}
+	fire := func() { s.kernel.Active(update) }
+	s.curComp = comp
 	func() {
 		defer s.recoverFault()
 		if pb.dir == vhdl.DirIn {
-			for _, sg := range s.collectSignals(pb.parentScope, pb.actual) {
-				sg.persistent = append(sg.persistent, pw)
+			for _, sg := range collectSignals(pb.parentScope, pb.actual) {
+				sg.watch.Watch(fire)
 			}
 		} else {
 			src := pb.childScope.Signals[pb.portName]
-			src.persistent = append(src.persistent, pw)
+			src.watch.Watch(fire)
 		}
 	}()
 	s.kernel.Active(update)
 }
 
-func (s *Simulator) bindConcAssign(bc *boundConc) {
+func (s *Simulator) bindConcAssign(bc *boundConc, comp *compCtx) {
 	inst, ca := bc.scope, bc.ca
 	update := func() {
+		s.curComp = comp
 		defer s.recoverFault()
-		t := s.resolveSigTarget(inst, nil, ca.Target)
 		for _, w := range ca.Waves {
 			if w.Cond != nil && !s.truthy(s.eval(inst, nil, w.Cond)) {
 				continue
@@ -149,24 +224,24 @@ func (s *Simulator) bindConcAssign(bc *boundConc) {
 			s.assignSignal(inst, nil, ca.Target, w.Value, w.AfterNs)
 			return
 		}
-		_ = t
 	}
-	pw := &persistentWatcher{fire: func() { s.kernel.Active(update) }}
+	fire := func() { s.kernel.Active(update) }
+	s.curComp = comp
 	func() {
 		defer s.recoverFault()
 		seen := map[*Signal]bool{}
 		for _, w := range ca.Waves {
-			for _, sg := range s.collectSignals(inst, w.Value) {
+			for _, sg := range collectSignals(inst, w.Value) {
 				if !seen[sg] {
 					seen[sg] = true
-					sg.persistent = append(sg.persistent, pw)
+					sg.watch.Watch(fire)
 				}
 			}
 			if w.Cond != nil {
-				for _, sg := range s.collectSignals(inst, w.Cond) {
+				for _, sg := range collectSignals(inst, w.Cond) {
 					if !seen[sg] {
 						seen[sg] = true
-						sg.persistent = append(sg.persistent, pw)
+						sg.watch.Watch(fire)
 					}
 				}
 			}
@@ -175,13 +250,13 @@ func (s *Simulator) bindConcAssign(bc *boundConc) {
 	s.kernel.Active(update)
 }
 
-func (s *Simulator) bindProcess(bp *boundProcess) {
+func (s *Simulator) bindProcess(bp *boundProcess, comp *compCtx) {
 	inst, ps := bp.scope, bp.ps
 	name := inst.Path + "." + ps.Label
 	if ps.Label == "" {
 		name = inst.Path + ".process"
 	}
-	m := &procMachine{s: s, inst: inst, ps: ps, en: newEnv()}
+	m := &procMachine{s: s, inst: inst, ps: ps, en: newEnv(), comp: comp}
 	m.p = s.kernel.NewProcess(name, m.step)
 	m.activate = m.p.Activate
 }
@@ -200,10 +275,19 @@ func (s *Simulator) makeVarSlot(inst *Instance, en *env, vd *vhdl.VarDecl) (*var
 	return slot, nil
 }
 
+// setFault records a runtime fault against the current component (the
+// stable attribution the merged Result reports) and stops the shard.
+func (s *Simulator) setFault(msg string) {
+	if c := s.curComp; c != nil && c.fault == "" {
+		c.fault = msg
+	}
+	s.kernel.SetFault(msg)
+}
+
 func (s *Simulator) recoverFault() {
 	if r := recover(); r != nil {
 		if f, ok := r.(runtimeFault); ok {
-			s.kernel.SetFault(f.msg)
+			s.setFault(f.msg)
 			return
 		}
 		panic(r)
@@ -214,7 +298,7 @@ func (s *Simulator) procRecover() {
 	if r := recover(); r != nil {
 		switch f := r.(type) {
 		case runtimeFault:
-			s.kernel.SetFault(f.msg)
+			s.setFault(f.msg)
 			panic(sim.TerminateProcess{})
 		default:
 			panic(r)
@@ -223,10 +307,11 @@ func (s *Simulator) procRecover() {
 }
 
 func (s *Simulator) logf(format string, args ...any) {
-	if s.log.Len() > s.logCap {
+	c := s.curComp
+	if c.logLen > s.sh.logCap {
 		return
 	}
-	fmt.Fprintf(&s.log, format, args...)
+	c.logLen += s.logBuf.Appendf(s.kernel, c.idx, format, args...)
 }
 
 // reportSeverity renders an assert/report message in xsim style and
@@ -245,7 +330,7 @@ func (s *Simulator) reportSeverity(severity, msg string, pos vhdl.Pos) {
 		s.assertErrors++
 		s.failed = true
 		s.logf("Failure: %s\n", msg)
-		s.logf("%s:%d: severity FAILURE at %d ns\n", s.file, pos.Line, s.kernel.Now())
+		s.logf("%s:%d: severity FAILURE at %d ns\n", s.sh.file, pos.Line, s.kernel.Now())
 		s.kernel.Finish()
 		panic(sim.TerminateProcess{})
 	default:

@@ -1,6 +1,8 @@
 package vsim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/verilog"
@@ -52,3 +54,111 @@ endmodule`
 		}
 	}
 }
+
+// BenchmarkSimCounterParallel runs the counter bench through the
+// sharded backend at 4 workers. The design is one connectivity
+// component, so this measures the lockstep engine's overhead over the
+// serial schedule — the floor the parallel backend pays when a design
+// cannot shard.
+func BenchmarkSimCounterParallel(b *testing.B) {
+	mods := parseBenchDesign(b, counterSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(mods, "tb", Options{Workers: 4})
+		if err != nil {
+			b.Fatalf("simulate: %v", err)
+		}
+		if !res.Finished {
+			b.Fatalf("did not finish: %s", res.Log)
+		}
+	}
+}
+
+const counterSrc = `
+module counter(input clk, input reset, output reg [15:0] count);
+  always @(posedge clk) begin
+    if (reset) count <= 0;
+    else count <= count + 1;
+  end
+endmodule
+module tb;
+  reg clk, reset;
+  wire [15:0] count;
+  counter dut(.clk(clk), .reset(reset), .count(count));
+  initial begin
+    clk = 0; reset = 1;
+    #2 reset = 0;
+    #4000;
+    if (count < 16'd1000) $display("FAIL count=%d", count);
+    $finish;
+  end
+  always #1 clk = ~clk;
+endmodule`
+
+// wideSrc is a wide multi-module design: 16 self-contained clusters,
+// each with its own clock and a compute-heavy clocked process, plus a
+// finisher. The clusters are independent connectivity components, so
+// the partitioner spreads them across shards and the parallel backend
+// can actually win (see BENCH_hdl.json for the recorded speedup).
+func wideSrc() string {
+	var sb strings.Builder
+	const clusters = 16
+	for c := 0; c < clusters; c++ {
+		fmt.Fprintf(&sb, `
+module wcluster%d;
+  reg clk;
+  reg [31:0] acc, lfsr;
+  integer i;
+  initial begin clk = 0; acc = %d; lfsr = 32'hDEADBEEF ^ %d; end
+  always #5 clk = ~clk;
+  always @(posedge clk) begin
+    for (i = 0; i < 48; i = i + 1)
+      acc = (acc << 1) ^ (acc >> 3) ^ lfsr ^ i;
+    lfsr <= lfsr ^ (acc + 7);
+  end
+endmodule
+`, c, c+1, c*977)
+	}
+	sb.WriteString("module tb;\n")
+	for c := 0; c < clusters; c++ {
+		fmt.Fprintf(&sb, "  wcluster%d u%d();\n", c, c)
+	}
+	sb.WriteString("  initial #2000 $finish;\nendmodule\n")
+	return sb.String()
+}
+
+func parseBenchDesign(b *testing.B, src string) map[string]*verilog.Module {
+	b.Helper()
+	sf, diags := verilog.Parse("bench.v", src)
+	if diags.HasErrors() {
+		b.Fatalf("parse: %v", diags)
+	}
+	mods := map[string]*verilog.Module{}
+	for _, m := range sf.Modules {
+		mods[m.Name] = m
+	}
+	return mods
+}
+
+func benchWide(b *testing.B, workers int) {
+	mods := parseBenchDesign(b, wideSrc())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(mods, "tb", Options{Workers: workers})
+		if err != nil {
+			b.Fatalf("simulate: %v", err)
+		}
+		if !res.Finished {
+			b.Fatalf("did not finish: %s", res.Log)
+		}
+	}
+}
+
+// BenchmarkSimWide is the serial baseline for the wide design.
+func BenchmarkSimWide(b *testing.B) { benchWide(b, 1) }
+
+// BenchmarkSimWideParallel runs the wide design on the sharded backend
+// at 4 workers; the acceptance bar is >= 1.5x over BenchmarkSimWide.
+func BenchmarkSimWideParallel(b *testing.B) { benchWide(b, 4) }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/hdl"
+	"repro/internal/sim"
 	"repro/internal/verilog"
 )
 
@@ -29,7 +30,7 @@ type Signal struct {
 	MemHi int
 	Mem   map[int]hdl.Vector
 
-	watchers []*watcher
+	watch sim.WatchList
 }
 
 // declIndexToBit maps a declared index (e.g. 5 in x[5]) to a storage bit

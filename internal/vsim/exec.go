@@ -6,51 +6,10 @@ import (
 	"repro/internal/verilog"
 )
 
-// watcher observes one signal on behalf of a wait group.
-type watcher struct {
-	dead     bool
-	attached bool // still present in its signal's watcher list
-	edge     verilog.EdgeKind
-	eval     func() hdl.Logic // current value of the sensitivity expression
-	last     hdl.Logic
-	group    *waitGroup
-}
-
-// waitGroup is a one-shot event control: the first matching trigger on
-// any member watcher fires the group, detaches all members, and resumes
-// the waiting activity.
-type waitGroup struct {
-	fired    bool
-	watchers []*watcher
-	resume   func()
-}
-
-func (g *waitGroup) fire() {
-	if g.fired {
-		return
-	}
-	g.fired = true
-	for _, w := range g.watchers {
-		w.dead = true
-	}
-	g.resume()
-}
-
-func (w *watcher) notify() {
-	if w.dead {
-		return
-	}
-	if w.edge == verilog.EdgeLevel {
-		w.group.fire()
-		return
-	}
-	nv := w.eval()
-	old := w.last
-	w.last = nv
-	if edgeMatch(old, nv, w.edge) {
-		w.group.fire()
-	}
-}
+// The watcher/wait-group/re-arm protocol lives in internal/sim
+// (WatchList, WaitGroup, WaitReg), shared with vhdlsim; this front-end
+// contributes only the Verilog specifics — the IEEE 1364 edge table as
+// Trigger/Arm hooks, and @* expansion.
 
 // edgeMatch implements the IEEE 1364 edge table.
 func edgeMatch(old, nv hdl.Logic, edge verilog.EdgeKind) bool {
@@ -74,25 +33,8 @@ func (s *Simulator) setSignal(sig *Signal, v hdl.Vector) {
 		return
 	}
 	sig.Val = v
-	s.vcd.change(s, sig)
-	s.notifyWatchers(sig)
-}
-
-func (s *Simulator) notifyWatchers(sig *Signal) {
-	live := sig.watchers[:0]
-	for _, w := range sig.watchers {
-		if w.dead {
-			w.attached = false
-			continue
-		}
-		w.notify()
-		if !w.dead {
-			live = append(live, w)
-		} else {
-			w.attached = false
-		}
-	}
-	sig.watchers = live
+	s.vcdChange(sig)
+	sig.watch.Notify()
 }
 
 // setMemWord writes one memory word and notifies watchers.
@@ -101,7 +43,7 @@ func (s *Simulator) setMemWord(sig *Signal, idx int, v hdl.Vector) {
 		return // out-of-range memory write is discarded
 	}
 	sig.Mem[idx] = v.Resize(sig.Width)
-	s.notifyWatchers(sig)
+	sig.watch.Notify()
 }
 
 // ------------------------------------------------------------- targets
@@ -237,36 +179,41 @@ func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
 
 // ---------------------------------------------------------- sensitivity
 
-// waitReg is a reusable wait registration: the wait group, its
-// watchers, and the signal each watcher attaches to. A wait site whose
-// sensitivity list is fixed (every always block and every in-body
-// event control) builds one waitReg and re-arms it per pass instead of
-// reallocating the whole structure per wakeup.
-type waitReg struct {
-	g    *waitGroup
-	ws   []*watcher
-	sigs []*Signal
-}
-
-// buildWait constructs the watchers for a sensitivity list without
-// attaching them; rearmWait arms them.
-func (s *Simulator) buildWait(inst *Instance, sens *verilog.SensList, resume func()) *waitReg {
+// buildWait constructs a wait registration (sim.WaitReg) for a
+// sensitivity list without arming it; rearmWait arms it. A wait site
+// whose sensitivity list is fixed (every always block and every
+// in-body event control) builds one registration and re-arms it per
+// pass instead of reallocating the whole structure per wakeup. Edge
+// items carry the IEEE 1364 edge table as Trigger/Arm hooks over a
+// per-watcher baseline.
+func (s *Simulator) buildWait(inst *Instance, sens *verilog.SensList, resume func()) *sim.WaitReg {
 	if sens.Star {
 		panic(faultf("internal: @* must be expanded before registerWait"))
 	}
-	r := &waitReg{g: &waitGroup{resume: resume, fired: true}}
+	r := sim.NewWaitReg(resume)
 	for _, item := range sens.Items {
 		it := item
-		sigs := s.collectSignals(inst, it.Sig)
+		sigs := collectSignals(inst, it.Sig)
 		if len(sigs) == 0 {
+			continue
+		}
+		if it.Edge == verilog.EdgeLevel {
+			for _, sg := range sigs {
+				r.Add(&sg.watch, nil, nil)
+			}
 			continue
 		}
 		evalBit := func() hdl.Logic { return s.eval(inst, it.Sig).Bit(0) }
 		for _, sg := range sigs {
-			w := &watcher{edge: it.Edge, eval: evalBit, dead: true, group: r.g}
-			r.g.watchers = append(r.g.watchers, w)
-			r.ws = append(r.ws, w)
-			r.sigs = append(r.sigs, sg)
+			var last hdl.Logic
+			trigger := func() bool {
+				nv := evalBit()
+				old := last
+				last = nv
+				return edgeMatch(old, nv, it.Edge)
+			}
+			arm := func() { last = evalBit() }
+			r.Add(&sg.watch, trigger, arm)
 		}
 	}
 	return r
@@ -275,24 +222,16 @@ func (s *Simulator) buildWait(inst *Instance, sens *verilog.SensList, resume fun
 // rearmWait re-arms a wait registration: watchers come back alive with
 // a freshly sampled edge baseline and re-attach to their signals unless
 // a lazily-pruned entry is still present in the signal's list.
-func (s *Simulator) rearmWait(r *waitReg) {
-	r.g.fired = false
-	for i, w := range r.ws {
-		w.dead = false
-		w.last = w.eval()
-		if !w.attached {
-			w.attached = true
-			r.sigs[i].watchers = append(r.sigs[i].watchers, w)
-		}
-	}
-	if len(r.ws) == 0 {
+func (s *Simulator) rearmWait(r *sim.WaitReg) {
+	r.Rearm()
+	if r.Empty() {
 		// Nothing to wait on: resume immediately to avoid deadlock.
-		s.kernel.Active(r.g.resume)
+		s.kernel.Active(r.Resume())
 	}
 }
 
 // collectSignals gathers the signals an expression reads in scope inst.
-func (s *Simulator) collectSignals(inst *Instance, e verilog.Expr) []*Signal {
+func collectSignals(inst *Instance, e verilog.Expr) []*Signal {
 	var out []*Signal
 	seen := map[*Signal]bool{}
 	var walk func(verilog.Expr)
@@ -418,9 +357,12 @@ func (s *Simulator) expandStar(body verilog.Stmt) *verilog.SensList {
 
 const stmtBudget = 20_000_000
 
+// tick charges one interpreter step against the current component's
+// budget. Budgets are per component (not per shard), so they exhaust
+// at the same point in every worker configuration.
 func (s *Simulator) tick() {
-	s.steps++
-	if s.steps > stmtBudget {
+	s.curComp.steps++
+	if s.curComp.steps > stmtBudget {
 		panic(faultf("statement budget exceeded (possible infinite loop in RTL)"))
 	}
 }
@@ -461,19 +403,21 @@ type procMachine struct {
 	s        *Simulator
 	inst     *Instance
 	p        *sim.Process
+	comp     *compCtx // connectivity component this process belongs to
 	body     verilog.Stmt
 	sens     *verilog.SensList // non-nil for always @(...) blocks
 	stack    []frame
-	always   bool     // always block: restart body when the stack drains
-	started  bool     // initial block: body has been executed
-	armed    bool     // top-level sensitivity wait armed, body run pending
-	topReg   *waitReg // cached always-block sensitivity registration
-	waits    map[verilog.Stmt]*waitReg // cached per-stmt inner wait registrations
-	activate func()   // pre-built resume hook shared by all waits
+	always   bool         // always block: restart body when the stack drains
+	started  bool         // initial block: body has been executed
+	armed    bool         // top-level sensitivity wait armed, body run pending
+	topReg   *sim.WaitReg // cached always-block sensitivity registration
+	waits    map[verilog.Stmt]*sim.WaitReg // cached per-stmt inner wait registrations
+	activate func()       // pre-built resume hook shared by all waits
 }
 
 // step is the process continuation the kernel dispatches.
 func (m *procMachine) step(p *sim.Process) {
+	m.s.curComp = m.comp
 	defer m.s.procRecover()
 	for {
 		for len(m.stack) > 0 {
@@ -649,9 +593,17 @@ func (m *procMachine) exec(st verilog.Stmt) bool {
 			s.applyTargets(ts, total, val)
 		} else {
 			// NBA targets are applied later; they need their own storage.
+			// The closure restores the component context: it runs from the
+			// kernel's NBA region, not through a process step, and its
+			// observable effects (VCD changes, watcher-driven output) must
+			// be attributed to this component.
 			ts, total := s.resolveTargets(inst, x.LHS)
 			val := s.evalCtx(inst, x.RHS, total)
-			s.kernel.NBA(func() { s.applyTargets(ts, total, val) })
+			comp := m.comp
+			s.kernel.NBA(func() {
+				s.curComp = comp
+				s.applyTargets(ts, total, val)
+			})
 		}
 	case *verilog.DelayStmt:
 		av := s.eval(inst, x.Amount)
@@ -704,7 +656,7 @@ func (m *procMachine) execCase(x *verilog.Case) bool {
 // statement, building it on first use. A process executes sequentially,
 // so a given wait statement is pending at most once per process and its
 // registration can be re-armed instead of rebuilt every pass.
-func (m *procMachine) waitRegFor(x *verilog.EventWait) *waitReg {
+func (m *procMachine) waitRegFor(x *verilog.EventWait) *sim.WaitReg {
 	if r, ok := m.waits[x]; ok {
 		return r
 	}
@@ -719,22 +671,22 @@ func (m *procMachine) waitRegFor(x *verilog.EventWait) *waitReg {
 
 // condRegFor returns the cached level-sensitive wait on a
 // wait-statement condition.
-func (m *procMachine) condRegFor(x *verilog.WaitStmt) *waitReg {
+func (m *procMachine) condRegFor(x *verilog.WaitStmt) *sim.WaitReg {
 	if r, ok := m.waits[x]; ok {
 		return r
 	}
 	sl := &verilog.SensList{Items: []verilog.SensItem{{Edge: verilog.EdgeLevel, Sig: x.Cond}}}
 	r := m.s.buildWait(m.inst, sl, m.activate)
-	if len(r.ws) == 0 {
+	if r.Empty() {
 		panic(faultf("wait condition can never change"))
 	}
 	m.cacheWait(x, r)
 	return r
 }
 
-func (m *procMachine) cacheWait(key verilog.Stmt, r *waitReg) {
+func (m *procMachine) cacheWait(key verilog.Stmt, r *sim.WaitReg) {
 	if m.waits == nil {
-		m.waits = make(map[verilog.Stmt]*waitReg)
+		m.waits = make(map[verilog.Stmt]*sim.WaitReg)
 	}
 	m.waits[key] = r
 }

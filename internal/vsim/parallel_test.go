@@ -1,0 +1,96 @@
+package vsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verilog"
+)
+
+func parseTestDesign(t *testing.T, src string) map[string]*verilog.Module {
+	t.Helper()
+	sf, diags := verilog.Parse("t.v", src)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	mods := map[string]*verilog.Module{}
+	for _, m := range sf.Modules {
+		mods[m.Name] = m
+	}
+	return mods
+}
+
+// TestVCDDumpSameDeltaAsFinish pins the stop-cut boundary hook: a
+// $dumpvars that shares its delta with $finish must still produce a
+// waveform (the header and initial value dump, taken at the cut).
+func TestVCDDumpSameDeltaAsFinish(t *testing.T) {
+	mods := parseTestDesign(t, `
+module tb;
+  reg [3:0] n;
+  initial begin
+    n = 9;
+    $dumpfile("x.vcd");
+    $dumpvars;
+    $finish;
+  end
+endmodule`)
+	for _, w := range []int{1, 4} {
+		res, err := Simulate(mods, "tb", Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatalf("workers=%d: did not finish: %s", w, res.Log)
+		}
+		if res.VCD == "" {
+			t.Fatalf("workers=%d: no VCD despite $dumpvars", w)
+		}
+		for _, want := range []string{"$enddefinitions $end", "$dumpvars", "b1001 "} {
+			if !strings.Contains(res.VCD, want) {
+				t.Errorf("workers=%d: VCD missing %q:\n%s", w, want, res.VCD)
+			}
+		}
+	}
+}
+
+// TestMaxOutputBoundsMergedLog pins the global log cap: a design that
+// floods $display from several independent components must produce a
+// Result.Log bounded by MaxOutput (plus the abort summary), and the
+// truncated output must be identical for every worker count.
+func TestMaxOutputBoundsMergedLog(t *testing.T) {
+	src := `
+module noisy1; reg clk;
+  initial clk = 0;
+  always #1 clk = ~clk;
+  always @(posedge clk) $display("one crying into the void at %0t", $time);
+endmodule
+module noisy2; reg clk;
+  initial clk = 0;
+  always #1 clk = ~clk;
+  always @(posedge clk) $display("two crying into the void at %0t", $time);
+endmodule
+module tb;
+  noisy1 a();
+  noisy2 b();
+  initial #4000 $finish;
+endmodule`
+	mods := parseTestDesign(t, src)
+	const capBytes = 4096
+	var ref string
+	for _, w := range []int{1, 2, 4} {
+		res, err := Simulate(mods, "tb", Options{Workers: w, MaxOutput: capBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The cap bounds the merged simulation log; the $finish/abort
+		// summary appended afterwards adds at most one short line.
+		if len(res.Log) > capBytes+256 {
+			t.Fatalf("workers=%d: log %d bytes exceeds cap %d", w, len(res.Log), capBytes)
+		}
+		if ref == "" {
+			ref = res.Log
+		} else if res.Log != ref {
+			t.Errorf("workers=%d: truncated log differs from serial", w)
+		}
+	}
+}

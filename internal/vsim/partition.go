@@ -1,0 +1,154 @@
+package vsim
+
+import (
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+// partitionDesign groups the elaborated design into connectivity
+// components: two behavioural items (processes, continuous
+// assignments, port bindings) land in the same component exactly when
+// a chain of shared signals connects them. The collection is
+// conservative — every signal an item could possibly read, write, or
+// wait on is included, so components are truly independent and can
+// execute on concurrent shard kernels.
+//
+// The result is purely structural and deterministic: component indices
+// depend only on the elaborated design, never on worker count or
+// scheduling, which is what lets per-component state (RNG streams,
+// budgets, output merge keys) stay identical across configurations.
+type partPlan struct {
+	ncomps     int
+	assignComp []int // component of d.contAssigns[i]
+	procComp   []int // component of d.procs[i]
+	weights    []int // per-component load estimate for shard balancing
+}
+
+func partitionDesign(d *Design) *partPlan {
+	nsig := len(d.All)
+	sigIdx := make(map[*Signal]int, nsig)
+	for i, sg := range d.All {
+		sigIdx[sg] = i
+	}
+	// Nodes: signals first, then one node per behavioural item, so an
+	// item referencing no signals still forms its own component.
+	nEnt := len(d.contAssigns) + len(d.procs)
+	p := sim.NewPartition(nsig + nEnt)
+	node := nsig
+
+	plan := &partPlan{
+		assignComp: make([]int, len(d.contAssigns)),
+		procComp:   make([]int, len(d.procs)),
+	}
+	entNode := make([]int, 0, nEnt)
+	for i := range d.contAssigns {
+		a := &d.contAssigns[i]
+		for _, sg := range collectSignals(a.lhsScope, a.lhs) {
+			p.Union(node, sigIdx[sg])
+		}
+		for _, sg := range collectSignals(a.rhsScope, a.rhs) {
+			p.Union(node, sigIdx[sg])
+		}
+		entNode = append(entNode, node)
+		node++
+	}
+	for i := range d.procs {
+		bp := d.procs[i]
+		var exprs []verilog.Expr
+		switch {
+		case bp.always != nil:
+			if bp.always.Sens != nil {
+				for _, it := range bp.always.Sens.Items {
+					exprs = append(exprs, it.Sig)
+				}
+			}
+			collectStmtSignalExprs(bp.always.Body, &exprs)
+		case bp.initial != nil:
+			collectStmtSignalExprs(bp.initial.Body, &exprs)
+		}
+		for _, e := range exprs {
+			for _, sg := range collectSignals(bp.scope, e) {
+				p.Union(node, sigIdx[sg])
+			}
+		}
+		entNode = append(entNode, node)
+		node++
+	}
+
+	comp, ncomps := p.Components()
+	plan.ncomps = ncomps
+	plan.weights = make([]int, ncomps)
+	for i := range d.contAssigns {
+		c := comp[entNode[i]]
+		plan.assignComp[i] = c
+		plan.weights[c]++
+	}
+	for i := range d.procs {
+		c := comp[entNode[len(d.contAssigns)+i]]
+		plan.procComp[i] = c
+		// Processes re-execute every wakeup; weigh them above the
+		// one-shot re-evaluation of a continuous assignment.
+		plan.weights[c] += 4
+	}
+	return plan
+}
+
+// collectStmtSignalExprs gathers every expression through which a
+// statement can reach a signal: reads, assignment targets (their base
+// identifiers and index expressions), delay amounts, wait conditions,
+// and event-control sensitivity items. Unlike collectStmtReads (used
+// for @* expansion, which wants reads only), this walker is the
+// partitioner's conservative closure.
+func collectStmtSignalExprs(st verilog.Stmt, out *[]verilog.Expr) {
+	switch x := st.(type) {
+	case *verilog.Block:
+		for _, s := range x.Stmts {
+			collectStmtSignalExprs(s, out)
+		}
+	case *verilog.If:
+		*out = append(*out, x.Cond)
+		collectStmtSignalExprs(x.Then, out)
+		if x.Else != nil {
+			collectStmtSignalExprs(x.Else, out)
+		}
+	case *verilog.Case:
+		*out = append(*out, x.Expr)
+		for _, item := range x.Items {
+			*out = append(*out, item.Exprs...)
+			collectStmtSignalExprs(item.Body, out)
+		}
+	case *verilog.For:
+		collectStmtSignalExprs(x.Init, out)
+		*out = append(*out, x.Cond)
+		collectStmtSignalExprs(x.Step, out)
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.While:
+		*out = append(*out, x.Cond)
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.Repeat:
+		*out = append(*out, x.Count)
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.Forever:
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.Assign:
+		// The LHS expression tree covers the written signals: the
+		// collectSignals walker descends into Index/PartSelect bases
+		// and concat parts, so targets and their index reads register.
+		*out = append(*out, x.LHS, x.RHS)
+	case *verilog.DelayStmt:
+		*out = append(*out, x.Amount)
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.EventWait:
+		if x.Sens != nil {
+			for _, it := range x.Sens.Items {
+				*out = append(*out, it.Sig)
+			}
+		}
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.WaitStmt:
+		*out = append(*out, x.Cond)
+		collectStmtSignalExprs(x.Body, out)
+	case *verilog.SysCall:
+		*out = append(*out, x.Args...)
+	}
+}

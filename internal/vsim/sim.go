@@ -14,7 +14,20 @@ type Options struct {
 	MaxTime   sim.Time // simulated-time limit (default 1,000,000)
 	Seed      uint64   // $random seed
 	File      string   // logical source file name used in $finish/$stop lines
-	MaxOutput int      // cap on captured log bytes (default 1 MiB)
+	MaxOutput int      // cap on captured log bytes per component (default 1 MiB)
+
+	// Workers selects the sharded parallel backend: the design is
+	// partitioned into connectivity components (see partition.go) and
+	// executed on up to Workers concurrent shard kernels in delta
+	// lockstep. Observable output — log, VCD, final signal values —
+	// is byte-identical for every worker count (pinned by the
+	// differential harness in internal/sim). Values <= 1 run the
+	// single-kernel serial schedule.
+	Workers int
+
+	// CaptureFinal populates Result.Final with the post-run value of
+	// every non-memory signal (used by the differential harness).
+	CaptureFinal bool
 }
 
 // Result is the outcome of a simulation run.
@@ -26,21 +39,54 @@ type Result struct {
 	Fault    string
 	EndTime  sim.Time
 	VCD      string // waveform dump when the bench ran $dumpvars
+	Events   uint64 // kernel events executed, summed over shards
+	Shards   int    // shard kernels the run executed on
+	Final    map[string]string // hierarchical name -> final value (CaptureFinal)
 }
 
-// Simulator interprets an elaborated design on the event kernel.
-type Simulator struct {
-	kernel *sim.Kernel
+// shared is the cross-shard state of one run: the elaborated design,
+// the per-component contexts, and the VCD dump. Everything here is
+// either immutable during the run or mutated only at delta barriers.
+type shared struct {
 	design *Design
-	log    strings.Builder
-	logCap int
-	rng    uint64
+	comps  []*compCtx
 	file   string
+	logCap int
+	vcd    vcdShared
+}
+
+// compCtx is the per-connectivity-component state. A component runs on
+// exactly one shard, but this state is keyed by the component index —
+// stable across worker counts — so $random streams, statement budgets,
+// output caps, and fault attribution are identical in every
+// configuration.
+type compCtx struct {
+	idx    int32
+	rng    uint64
 	steps  uint64
+	logLen int
+	vcdLen int
+	fault  string
+}
+
+// Simulator interprets one shard of an elaborated design on its own
+// event kernel. A serial run is simply a one-shard simulation; the
+// interpreter code is identical. Within a shard exactly one activity
+// executes at a time (the engine's phases are the only concurrency),
+// so per-shard state needs no locks, and shards share no signals by
+// construction of the partition.
+type Simulator struct {
+	sh     *shared
+	kernel *sim.Kernel
+
+	logBuf  sim.OutBuf
+	vcdBuf  sim.OutBuf
+	curComp *compCtx // component of the activity currently executing
 
 	finished bool
 	stopped  bool
-	vcd      vcdDumper
+	dumpReq  bool   // $dumpvars executed; honoured at the delta barrier
+	vcdFile  string // $dumpfile argument (informational)
 
 	// targetScratch backs resolveTargetsScratch for assignments whose
 	// targets are consumed immediately (not captured by NBA closures).
@@ -62,60 +108,129 @@ func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Re
 	if opts.File == "" {
 		opts.File = "tb.v"
 	}
-	s := &Simulator{
-		kernel: sim.NewKernel(),
-		design: d,
-		rng:    opts.Seed ^ 0x9E3779B97F4A7C15,
-		file:   opts.File,
-		logCap: opts.MaxOutput,
-	}
-	s.kernel.MaxTime = opts.MaxTime
-	s.bind()
-	reason := s.kernel.Run()
 
-	res := &Result{
-		Log:      s.log.String(),
-		Finished: s.finished,
-		Stopped:  s.stopped,
-		Fault:    s.kernel.Fault(),
-		EndTime:  s.kernel.Now(),
+	plan := partitionDesign(d)
+	maxShards := 1
+	if opts.Workers > 1 {
+		maxShards = opts.Workers
 	}
-	if s.vcd.enabled {
-		res.VCD = s.vcd.out.String()
+	shardOf, nshards := sim.AssignShards(plan.weights, maxShards)
+
+	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput}
+	seedBase := opts.Seed ^ 0x9E3779B97F4A7C15
+	for i := 0; i < plan.ncomps; i++ {
+		// Component 0 keeps the historical single-stream seed; the
+		// others derive theirs from the stable component index.
+		sh.comps = append(sh.comps, &compCtx{
+			idx: int32(i),
+			rng: seedBase ^ (uint64(i) * 0xA24BAED4963EE407),
+		})
+	}
+
+	sims := make([]*Simulator, nshards)
+	kernels := make([]*sim.Kernel, nshards)
+	for i := range sims {
+		sims[i] = &Simulator{sh: sh, kernel: sim.NewKernel()}
+		kernels[i] = sims[i].kernel
+	}
+
+	// Bind runtime machinery in global elaboration order, each entity
+	// onto the shard that owns its component, so every component's
+	// initial activations keep their serial relative order.
+	for i := range d.contAssigns {
+		c := plan.assignComp[i]
+		sims[shardOf[c]].bindContAssign(&d.contAssigns[i], sh.comps[c])
+	}
+	for i := range d.procs {
+		c := plan.procComp[i]
+		bp := d.procs[i]
+		ss := sims[shardOf[c]]
+		switch {
+		case bp.always != nil:
+			ss.bindAlways(bp.scope, bp.always, sh.comps[c])
+		case bp.initial != nil:
+			ss.bindInitial(bp.scope, bp.initial, sh.comps[c])
+		}
+	}
+
+	eng := sim.NewEngine(kernels, opts.Workers)
+	eng.MaxTime = opts.MaxTime
+	eng.AfterDelta = func() {
+		// $dumpvars takes effect at the delta boundary: a deterministic
+		// point in every configuration, with all shards paused so the
+		// whole design can be sampled for the initial dump.
+		if sh.vcd.enabled {
+			return
+		}
+		for _, ss := range sims {
+			if ss.dumpReq {
+				sh.vcd.enable(d, eng.Now())
+				return
+			}
+		}
+	}
+	reason := eng.Run()
+
+	logs := make([]*sim.OutBuf, len(sims))
+	vcds := make([]*sim.OutBuf, len(sims))
+	res := &Result{
+		EndTime: eng.Now(),
+		Events:  eng.Events(),
+		Shards:  nshards,
+	}
+	for i, ss := range sims {
+		logs[i] = &ss.logBuf
+		vcds[i] = &ss.vcdBuf
+		res.Finished = res.Finished || ss.finished
+		res.Stopped = res.Stopped || ss.stopped
+	}
+	// Per-component caps bound each component's buffered output (a
+	// deterministic, configuration-independent cut); truncating the
+	// merged stream restores the old global MaxOutput bound on the
+	// rendered log, equally deterministically.
+	res.Log = truncateTo(sim.RenderChunks(sim.MergeChunks(logs...)), sh.logCap)
+	for _, c := range sh.comps {
+		if c.fault != "" {
+			res.Fault = c.fault
+			break
+		}
+	}
+	if sh.vcd.enabled {
+		res.VCD = sh.vcd.render(vcds)
 	}
 	switch reason {
 	case sim.StopTimeout, sim.StopDeltas, sim.StopEvents:
 		res.TimedOut = true
-		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, s.kernel.Now())
+		res.Log += fmt.Sprintf("SIMULATOR: run aborted (%v) at time %d\n", reason, eng.Now())
 	}
 	if res.Fault != "" && !strings.Contains(res.Log, res.Fault) {
 		res.Log += "SIMULATOR: " + res.Fault + "\n"
 	}
+	if opts.CaptureFinal {
+		res.Final = map[string]string{}
+		for _, sg := range d.All {
+			if !sg.IsMem {
+				res.Final[sg.Name] = sg.Val.BinString()
+			}
+		}
+	}
 	return res, nil
 }
 
-// bind creates runtime machinery for every behavioural item.
-func (s *Simulator) bind() {
-	// Continuous assignments: persistent re-evaluation on RHS changes.
-	for i := range s.design.contAssigns {
-		s.bindContAssign(&s.design.contAssigns[i])
+// truncateTo bounds s to limit bytes (the abort/fault summary lines
+// callers append afterwards stay visible, as they always did).
+func truncateTo(s string, limit int) string {
+	if len(s) <= limit {
+		return s
 	}
-	// Processes.
-	for i := range s.design.procs {
-		bp := s.design.procs[i]
-		switch {
-		case bp.always != nil:
-			s.bindAlways(bp.scope, bp.always)
-		case bp.initial != nil:
-			s.bindInitial(bp.scope, bp.initial)
-		}
-	}
+	return s[:limit]
 }
 
 // contAssignRT is the runtime state of one continuous assignment.
 type contAssignRT struct {
 	s       *Simulator
 	a       *boundAssign
+	comp    *compCtx
 	pending bool
 	run     func() // pre-built event closure: scheduling must not allocate
 }
@@ -129,72 +244,59 @@ func (c *contAssignRT) schedule() {
 }
 
 func (c *contAssignRT) update() {
+	c.s.curComp = c.comp
 	defer c.s.recoverFault()
 	ts, total := c.s.resolveTargetsScratch(c.a.lhsScope, c.a.lhs)
 	val := c.s.evalCtx(c.a.rhsScope, c.a.rhs, total)
 	c.s.applyTargets(ts, total, val)
 }
 
-func (s *Simulator) bindContAssign(a *boundAssign) {
-	rt := &contAssignRT{s: s, a: a}
+func (s *Simulator) bindContAssign(a *boundAssign, comp *compCtx) {
+	rt := &contAssignRT{s: s, a: a, comp: comp}
 	rt.run = func() {
 		rt.pending = false
 		rt.update()
 	}
 	// Persistent watchers on every RHS signal.
+	s.curComp = comp
 	func() {
 		defer s.recoverFault()
-		for _, sig := range s.collectSignals(a.rhsScope, a.rhs) {
-			g := &persistentWatch{fire: rt.schedule}
-			w := &watcher{edge: verilog.EdgeLevel, group: g.asGroup()}
-			sig.watchers = append(sig.watchers, w)
+		for _, sig := range collectSignals(a.rhsScope, a.rhs) {
+			sig.watch.Watch(rt.schedule)
 		}
 	}()
 	// Initial evaluation at time zero.
 	rt.schedule()
 }
 
-// persistentWatch adapts the one-shot waitGroup protocol to a
-// persistent callback: fire never detaches and always reschedules.
-type persistentWatch struct {
-	fire func()
-}
-
-func (p *persistentWatch) asGroup() *waitGroup {
-	g := &waitGroup{}
-	g.resume = p.fire
-	// Monkey-patch firing semantics: reset fired immediately so the
-	// group stays armed; watchers stay alive.
-	origResume := g.resume
-	g.resume = func() {
-		g.fired = false
-		for _, w := range g.watchers {
-			w.dead = false
-		}
-		origResume()
+// setFault records a runtime fault against the current component (the
+// stable attribution the merged Result reports) and stops the shard.
+func (s *Simulator) setFault(msg string) {
+	if c := s.curComp; c != nil && c.fault == "" {
+		c.fault = msg
 	}
-	return g
+	s.kernel.SetFault(msg)
 }
 
 // recoverFault converts a runtimeFault panic into a kernel fault.
 func (s *Simulator) recoverFault() {
 	if r := recover(); r != nil {
 		if f, ok := r.(runtimeFault); ok {
-			s.kernel.SetFault(f.msg)
+			s.setFault(f.msg)
 			return
 		}
 		panic(r)
 	}
 }
 
-func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock) {
-	m := &procMachine{s: s, inst: inst, body: alw.Body, sens: alw.Sens, always: true}
+func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock, comp *compCtx) {
+	m := &procMachine{s: s, inst: inst, body: alw.Body, sens: alw.Sens, always: true, comp: comp}
 	m.p = s.kernel.NewProcess(inst.Path+".always", m.step)
 	m.activate = m.p.Activate
 }
 
-func (s *Simulator) bindInitial(inst *Instance, ib *verilog.InitialBlock) {
-	m := &procMachine{s: s, inst: inst, body: ib.Body}
+func (s *Simulator) bindInitial(inst *Instance, ib *verilog.InitialBlock, comp *compCtx) {
+	m := &procMachine{s: s, inst: inst, body: ib.Body, comp: comp}
 	m.p = s.kernel.NewProcess(inst.Path+".initial", m.step)
 	m.activate = m.p.Activate
 }
@@ -207,7 +309,7 @@ func (s *Simulator) procRecover() {
 	if r := recover(); r != nil {
 		switch f := r.(type) {
 		case runtimeFault:
-			s.kernel.SetFault(f.msg)
+			s.setFault(f.msg)
 			panic(sim.TerminateProcess{})
 		default:
 			panic(r)
@@ -218,10 +320,11 @@ func (s *Simulator) procRecover() {
 // ---------------------------------------------------------------- tasks
 
 func (s *Simulator) logf(format string, args ...any) {
-	if s.log.Len() > s.logCap {
+	c := s.curComp
+	if c.logLen > s.sh.logCap {
 		return
 	}
-	fmt.Fprintf(&s.log, format, args...)
+	c.logLen += s.logBuf.Appendf(s.kernel, c.idx, format, args...)
 }
 
 func (s *Simulator) execSysCall(inst *Instance, x *verilog.SysCall) {
@@ -239,12 +342,12 @@ func (s *Simulator) execSysCall(inst *Instance, x *verilog.SysCall) {
 		s.installMonitor(inst, x.Args)
 	case "$finish":
 		s.finished = true
-		s.logf("%s:%d: $finish called at %d (1ns)\n", s.file, x.Pos.Line, s.kernel.Now())
+		s.logf("%s:%d: $finish called at %d (1ns)\n", s.sh.file, x.Pos.Line, s.kernel.Now())
 		s.kernel.Finish()
 		panic(sim.TerminateProcess{})
 	case "$stop":
 		s.stopped = true
-		s.logf("%s:%d: $stop called at %d (1ns)\n", s.file, x.Pos.Line, s.kernel.Now())
+		s.logf("%s:%d: $stop called at %d (1ns)\n", s.sh.file, x.Pos.Line, s.kernel.Now())
 		s.kernel.Finish()
 		panic(sim.TerminateProcess{})
 	case "$fatal":
@@ -255,11 +358,11 @@ func (s *Simulator) execSysCall(inst *Instance, x *verilog.SysCall) {
 	case "$dumpfile":
 		if len(x.Args) == 1 {
 			if lit, ok := x.Args[0].(*verilog.StringLit); ok {
-				s.vcd.fileName = lit.Value
+				s.vcdFile = lit.Value
 			}
 		}
 	case "$dumpvars":
-		s.vcd.enable(s)
+		s.dumpReq = true
 	case "$timeformat", "$dumpon", "$dumpoff":
 		// Accepted and ignored.
 	case "$readmemh", "$readmemb":
@@ -272,7 +375,9 @@ func (s *Simulator) execSysCall(inst *Instance, x *verilog.SysCall) {
 // installMonitor implements $monitor: print now, then re-print whenever
 // any referenced signal changes (at most one line per delta batch).
 func (s *Simulator) installMonitor(inst *Instance, args []verilog.Expr) {
+	comp := s.curComp
 	print := func() {
+		s.curComp = comp
 		defer s.recoverFault()
 		s.logf("%s\n", s.formatArgs(inst, args))
 	}
@@ -291,10 +396,8 @@ func (s *Simulator) installMonitor(inst *Instance, args []verilog.Expr) {
 	func() {
 		defer s.recoverFault()
 		for _, a := range args {
-			for _, sig := range s.collectSignals(inst, a) {
-				g := &persistentWatch{fire: firePrint}
-				w := &watcher{edge: verilog.EdgeLevel, group: g.asGroup()}
-				sig.watchers = append(sig.watchers, w)
+			for _, sig := range collectSignals(inst, a) {
+				sig.watch.Watch(firePrint)
 			}
 		}
 	}()

@@ -8,17 +8,21 @@ import (
 	"repro/internal/sim"
 )
 
-// vcdDumper records value changes in IEEE 1364 VCD format once the
-// testbench executes $dumpvars. The dump is returned in Result.VCD.
-type vcdDumper struct {
-	out      strings.Builder
-	ids      map[*Signal]string
-	order    []*Signal // header order, for the deterministic initial dump
-	enabled  bool
-	lastTime sim.Time
-	headerOK bool
-	fileName string
-	cap      int
+// vcdShared records value changes in IEEE 1364 VCD format once the
+// testbench executes $dumpvars. The dump is cross-shard state: the
+// header and identifier table are built exactly once, at the delta
+// boundary following the $dumpvars call (a deterministic point with
+// every shard paused, so the whole design can be sampled for the
+// initial dump). Subsequent changes are recorded per shard into
+// lockstep-tagged chunk buffers and merged after the run, so the final
+// document is byte-identical for every worker count.
+type vcdShared struct {
+	enabled   bool
+	ids       map[*Signal]string
+	order     []*Signal // header order, for the deterministic initial dump
+	header    strings.Builder
+	startTime sim.Time
+	cap       int // per-component cap on recorded change bytes
 }
 
 // vcdID generates the printable short identifier for the n-th signal.
@@ -36,8 +40,8 @@ func vcdID(n int) string {
 }
 
 // enable emits the header covering every signal of the design and
-// starts change recording.
-func (v *vcdDumper) enable(s *Simulator) {
+// starts change recording. It runs at a delta boundary.
+func (v *vcdShared) enable(d *Design, now sim.Time) {
 	if v.enabled {
 		return
 	}
@@ -46,11 +50,12 @@ func (v *vcdDumper) enable(s *Simulator) {
 	if v.cap == 0 {
 		v.cap = 1 << 20
 	}
-	v.out.WriteString("$timescale 1ns $end\n")
+	v.startTime = now
+	v.header.WriteString("$timescale 1ns $end\n")
 	// Group signals by instance path for $scope sections.
 	byScope := map[string][]*Signal{}
 	var scopes []string
-	for _, sig := range s.design.All {
+	for _, sig := range d.All {
 		if sig.IsMem {
 			continue // memories are not dumped
 		}
@@ -62,48 +67,77 @@ func (v *vcdDumper) enable(s *Simulator) {
 	}
 	n := 0
 	for _, scope := range scopes {
-		fmt.Fprintf(&v.out, "$scope module %s $end\n", strings.ReplaceAll(scope, ".", "_"))
+		fmt.Fprintf(&v.header, "$scope module %s $end\n", strings.ReplaceAll(scope, ".", "_"))
 		for _, sig := range byScope[scope] {
 			id := vcdID(n)
 			n++
 			v.ids[sig] = id
 			v.order = append(v.order, sig)
-			fmt.Fprintf(&v.out, "$var wire %d %s %s $end\n", sig.Width, id, sig.Local)
+			fmt.Fprintf(&v.header, "$var wire %d %s %s $end\n", sig.Width, id, sig.Local)
 		}
-		v.out.WriteString("$upscope $end\n")
+		v.header.WriteString("$upscope $end\n")
 	}
-	v.out.WriteString("$enddefinitions $end\n")
-	v.out.WriteString("#0\n$dumpvars\n")
+	v.header.WriteString("$enddefinitions $end\n")
+	fmt.Fprintf(&v.header, "#%d\n$dumpvars\n", now)
 	// Header order, not map order: VCD output must be byte-for-byte
 	// reproducible across runs (see TestSimulateDeterministicVCD).
 	for _, sig := range v.order {
-		v.writeValue(sig.Val, v.ids[sig])
+		writeVCDValue(&v.header, sig.Val, v.ids[sig])
 	}
-	v.out.WriteString("$end\n")
-	v.lastTime = s.kernel.Now()
-	v.headerOK = true
+	v.header.WriteString("$end\n")
 }
 
-// change records one signal transition.
-func (v *vcdDumper) change(s *Simulator, sig *Signal) {
-	if !v.enabled || v.out.Len() > v.cap {
+// vcdChange records one signal transition into the shard's chunk
+// buffer, charged against the owning component's cap.
+func (s *Simulator) vcdChange(sig *Signal) {
+	v := &s.sh.vcd
+	if !v.enabled {
 		return
 	}
 	id, ok := v.ids[sig]
 	if !ok {
 		return
 	}
-	if now := s.kernel.Now(); now != v.lastTime {
-		fmt.Fprintf(&v.out, "#%d\n", now)
-		v.lastTime = now
-	}
-	v.writeValue(sig.Val, id)
-}
-
-func (v *vcdDumper) writeValue(val hdl.Vector, id string) {
-	if val.Width() == 1 {
-		fmt.Fprintf(&v.out, "%c%s\n", val.Bit(0).Rune(), id)
+	c := s.curComp
+	if c.vcdLen > v.cap {
 		return
 	}
-	fmt.Fprintf(&v.out, "b%s %s\n", val.BinString(), id)
+	if sig.Width == 1 {
+		c.vcdLen += s.vcdBuf.Appendf(s.kernel, c.idx, "%c%s\n", sig.Val.Bit(0).Rune(), id)
+	} else {
+		c.vcdLen += s.vcdBuf.Appendf(s.kernel, c.idx, "b%s %s\n", sig.Val.BinString(), id)
+	}
+}
+
+// render merges the shards' change chunks under the header, emitting a
+// #time line whenever the merged stream crosses a time step. The body
+// is bounded by the global cap (per-component caps bound buffering
+// during the run; this restores the old total-document bound, applied
+// to the deterministic merged stream so every configuration truncates
+// at the same byte).
+func (v *vcdShared) render(bufs []*sim.OutBuf) string {
+	chunks := sim.MergeChunks(bufs...)
+	var sb strings.Builder
+	sb.WriteString(v.header.String())
+	limit := sb.Len() + v.cap
+	last := v.startTime
+	for i := range chunks {
+		if sb.Len() > limit {
+			break
+		}
+		if chunks[i].Time != last {
+			fmt.Fprintf(&sb, "#%d\n", chunks[i].Time)
+			last = chunks[i].Time
+		}
+		sb.Write(chunks[i].Buf)
+	}
+	return sb.String()
+}
+
+func writeVCDValue(sb *strings.Builder, val hdl.Vector, id string) {
+	if val.Width() == 1 {
+		fmt.Fprintf(sb, "%c%s\n", val.Bit(0).Rune(), id)
+		return
+	}
+	fmt.Fprintf(sb, "b%s %s\n", val.BinString(), id)
 }
