@@ -3,13 +3,25 @@
 // diffed (see BENCH_hdl.json and docs/PERFORMANCE.md):
 //
 //	go test -run '^$' -bench . -benchmem ./internal/hdl ./internal/vsim | go run ./cmd/benchjson
+//
+// With -compare it is also the CI regression gate: the parsed run is
+// checked against a committed baseline and the command exits nonzero
+// when allocs/op regress beyond -max-allocs-regress. Allocation counts
+// are deterministic enough to gate on; wall-clock times on shared
+// runners are not, so time deltas are reported but never fail the run:
+//
+//	go test -run '^$' -bench . -benchtime=20x -benchmem ./internal/... |
+//	    go run ./cmd/benchjson -compare BENCH_hdl.json -max-allocs-regress 10%
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,9 +45,57 @@ type Doc struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON document to gate against (exit 1 on allocs/op regression)")
+	maxAllocs := flag.String("max-allocs-regress", "10%", "allocs/op tolerance over the baseline: a percentage like 10%, or a ratio like 0.1")
+	flag.Parse()
+
+	doc, err := parseBenchText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *compare == "" {
+		return
+	}
+	tol, err := parseTolerance(*maxAllocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -max-allocs-regress: %v\n", err)
+		os.Exit(1)
+	}
+	raw, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	report := compareDocs(&base, doc, tol)
+	for _, line := range report.lines {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(report.regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d allocs/op regression(s) beyond %s vs %s\n",
+			len(report.regressions), *maxAllocs, *compare)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %s of %s (%d benchmarks compared)\n",
+		*maxAllocs, *compare, report.compared)
+}
+
+func parseBenchText(r io.Reader) (*Doc, error) {
 	var doc Doc
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -56,15 +116,83 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
-		os.Exit(1)
+	return &doc, nil
+}
+
+// parseTolerance accepts "10%" or a plain ratio like "0.1".
+func parseTolerance(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed tolerance %q", s)
 	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative tolerance %q", s)
+	}
+	return v, nil
+}
+
+// compareReport is the outcome of one baseline comparison.
+type compareReport struct {
+	lines       []string // human-readable findings, regressions first
+	regressions []string // benchmark keys that failed the allocs gate
+	compared    int
+}
+
+// compareDocs gates cur against base: allocs/op may exceed the baseline
+// by at most tol (relative). Time deltas are advisory only — shared CI
+// runners make wall-clock noise far larger than any tolerance worth
+// alerting on. Benchmarks missing from either side are reported but do
+// not fail the gate (renames and additions are legitimate; the
+// committed baseline review catches silent deletions).
+func compareDocs(base, cur *Doc, tol float64) compareReport {
+	var rep compareReport
+	var advisory []string
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Pkg+"."+b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, c := range cur.Benchmarks {
+		key := c.Pkg + "." + c.Name
+		seen[key] = true
+		b, ok := baseBy[key]
+		if !ok {
+			advisory = append(advisory, fmt.Sprintf("  new: %s (%d allocs/op) — not in baseline", key, c.AllocsPerOp))
+			continue
+		}
+		rep.compared++
+		limit := float64(b.AllocsPerOp) * (1 + tol)
+		if float64(c.AllocsPerOp) > limit {
+			rep.regressions = append(rep.regressions, key)
+			rep.lines = append(rep.lines, fmt.Sprintf("REGRESSION: %s allocs/op %d -> %d (limit %.1f)",
+				key, b.AllocsPerOp, c.AllocsPerOp, limit))
+		}
+		if b.NsPerOp > 0 {
+			delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			if delta > 25 || delta < -25 {
+				advisory = append(advisory, fmt.Sprintf("  time (advisory): %s %.0fns -> %.0fns (%+.0f%%)",
+					key, b.NsPerOp, c.NsPerOp, delta))
+			}
+		}
+	}
+	missing := make([]string, 0, len(baseBy))
+	for key := range baseBy {
+		if !seen[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing) // map order is random; the report must not churn
+	for _, key := range missing {
+		advisory = append(advisory, fmt.Sprintf("  missing: %s — in baseline but not in this run", key))
+	}
+	rep.lines = append(rep.lines, advisory...)
+	return rep
 }
 
 // parseBenchLine parses lines like

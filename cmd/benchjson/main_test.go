@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/hdl
+cpu: Intel(R) Xeon(R)
+BenchmarkAdd64-8   	92440941	        28.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAddWide-8 	22948483	        58.02 ns/op	      64 B/op	       1 allocs/op
+pkg: repro/internal/vsim
+BenchmarkSimCounter-8	     386	   2940605 ns/op	    9016 B/op	     176 allocs/op
+`
+
+func parseSample(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc, err := parseBenchText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func TestParseBenchText(t *testing.T) {
+	doc := parseSample(t, sampleBench)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	sc := doc.Benchmarks[2]
+	if sc.Name != "BenchmarkSimCounter" || sc.Pkg != "repro/internal/vsim" || sc.AllocsPerOp != 176 {
+		t.Fatalf("bad parse: %+v", sc)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"10%", 0.10, false},
+		{"0.1", 0.1, false},
+		{"0%", 0, false},
+		{"-5%", 0, true},
+		{"abc", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseTolerance(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("parseTolerance(%q) err = %v, want err=%v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseTolerance(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCompareDocsGate(t *testing.T) {
+	base := parseSample(t, sampleBench)
+
+	// Within tolerance: 176 -> 190 is under 10%.
+	ok := parseSample(t, strings.Replace(sampleBench, "176 allocs/op", "190 allocs/op", 1))
+	rep := compareDocs(base, ok, 0.10)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", rep.lines)
+	}
+	if rep.compared != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", rep.compared)
+	}
+
+	// Beyond tolerance: 176 -> 2000 must fail.
+	bad := parseSample(t, strings.Replace(sampleBench, "176 allocs/op", "2000 allocs/op", 1))
+	rep = compareDocs(base, bad, 0.10)
+	if len(rep.regressions) != 1 || !strings.Contains(rep.regressions[0], "BenchmarkSimCounter") {
+		t.Fatalf("regression not flagged: %+v", rep)
+	}
+
+	// A zero-alloc baseline admits no allocations at all.
+	leak := parseSample(t, strings.Replace(sampleBench, "28.31 ns/op	       0 B/op	       0 allocs/op",
+		"28.31 ns/op	      16 B/op	       1 allocs/op", 1))
+	rep = compareDocs(base, leak, 0.10)
+	if len(rep.regressions) != 1 || !strings.Contains(rep.regressions[0], "BenchmarkAdd64") {
+		t.Fatalf("zero-baseline regression not flagged: %+v", rep)
+	}
+
+	// Missing and new benchmarks are reported but do not fail the gate.
+	subset := parseSample(t, sampleBench[:strings.Index(sampleBench, "pkg: repro/internal/vsim")]+
+		"pkg: repro/internal/vsim\nBenchmarkSimNew-8\t10\t100 ns/op\t0 B/op\t0 allocs/op\n")
+	rep = compareDocs(base, subset, 0.10)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("membership changes must not fail the gate: %+v", rep)
+	}
+	joined := strings.Join(rep.lines, "\n")
+	if !strings.Contains(joined, "missing: repro/internal/vsim.BenchmarkSimCounter") ||
+		!strings.Contains(joined, "new: repro/internal/vsim.BenchmarkSimNew") {
+		t.Fatalf("membership changes not reported:\n%s", joined)
+	}
+}

@@ -20,16 +20,31 @@ import (
 // So plane B is exactly the "unknown" (X/Z) mask, and a vector is fully
 // known iff plane B is all zero — one word-compare per 64 bits.
 //
-// Storage is a single backing slice p of 2*words(width) words: plane A
-// first, then plane B. Invariant: bits at positions >= width in the top
-// word of each plane are always zero ("canonical"), so whole-value
-// equality, zero tests, and unsigned compares are plain word loops.
+// Storage comes in two layouts, discriminated by p:
+//
+//   - width <= 64: the planes live INLINE in the ia/ib fields and p is
+//     nil. A small vector is a plain value — copying it copies the
+//     bits, there is no shared storage and no aliasing, and building
+//     one never touches the heap. This is the representation of nearly
+//     every vector a simulation touches (RTL signals are rarely wider
+//     than 64 bits), which is what makes the interpreter hot loop
+//     allocation-free.
+//
+//   - width > 64: a single backing slice p of 2*words(width) words,
+//     plane A first, then plane B. Wide vectors are immutable by
+//     convention once published (see SetBit), so width-preserving
+//     Resize/Slice may return storage-sharing aliases.
+//
+// Invariant (both layouts): bits at positions >= width in the top word
+// of each plane are always zero ("canonical"), so whole-value equality,
+// zero tests, and unsigned compares are plain word loops.
 //
 // A zero-length Vector is invalid as an operand; constructors never
 // produce one.
 type Vector struct {
-	width int
-	p     []uint64
+	width  int
+	ia, ib uint64 // inline planes A/B when width <= 64 (p == nil)
+	p      []uint64
 }
 
 // words returns the number of 64-bit words covering width bits.
@@ -43,10 +58,28 @@ func topMask(width int) uint64 {
 	return ^uint64(0)
 }
 
+// lowMask returns a mask of the low n bits (n clamped to [0, 64]).
+func lowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// small returns an inline vector of 1 <= width <= 64 bits with the
+// given plane words, masking away non-canonical high bits.
+func small(width int, a, b uint64) Vector {
+	m := topMask(width)
+	return Vector{width: width, ia: a & m, ib: b & m}
+}
+
 // alloc returns an all-zero (all-L0) vector of the given width.
 func alloc(width int) Vector {
 	if width < 1 {
 		width = 1
+	}
+	if width <= 64 {
+		return Vector{width: width}
 	}
 	return Vector{width: width, p: make([]uint64, 2*words(width))}
 }
@@ -56,8 +89,14 @@ func (v Vector) nw() int { return words(v.width) }
 
 // aword and uword return plane-A / plane-B word i, zero (known L0) past
 // the end — which is exactly Verilog zero-extension, so mixed-width
-// word loops need no explicit resize.
+// word loops need no explicit resize. Both handle either layout.
 func (v Vector) aword(i int) uint64 {
+	if v.p == nil {
+		if i == 0 {
+			return v.ia
+		}
+		return 0
+	}
 	if i < v.nw() {
 		return v.p[i]
 	}
@@ -65,13 +104,41 @@ func (v Vector) aword(i int) uint64 {
 }
 
 func (v Vector) uword(i int) uint64 {
+	if v.p == nil {
+		if i == 0 {
+			return v.ib
+		}
+		return 0
+	}
 	if n := v.nw(); i < n {
 		return v.p[n+i]
 	}
 	return 0
 }
 
-// maskTop restores the canonical form after plane writes.
+// atA / atB return the 64 bits of plane A / B starting at bit position
+// bit (bit >= 0), zero-filled past the end. They are the word-at-a-time
+// readers behind cross-word bit copies, and work on either layout.
+func (v Vector) atA(bit int) uint64 {
+	w, off := bit>>6, uint(bit)&63
+	x := v.aword(w) >> off
+	if off != 0 {
+		x |= v.aword(w+1) << (64 - off)
+	}
+	return x
+}
+
+func (v Vector) atB(bit int) uint64 {
+	w, off := bit>>6, uint(bit)&63
+	x := v.uword(w) >> off
+	if off != 0 {
+		x |= v.uword(w+1) << (64 - off)
+	}
+	return x
+}
+
+// maskTop restores the canonical form of a wide vector after plane
+// writes (small vectors are masked by their constructors).
 func (v Vector) maskTop() {
 	n := v.nw()
 	m := topMask(v.width)
@@ -80,22 +147,17 @@ func (v Vector) maskTop() {
 }
 
 // known64 reports whether v is fully known and at most 64 bits wide,
-// returning its value. This is the fast-path guard: one width compare
-// and one word test.
+// returning its value. This is the fast-path guard: small vectors keep
+// their planes in registers, so it is a nil check and a word test.
 func (v Vector) known64() (uint64, bool) {
-	if v.width == 0 || v.width > 64 || v.p[1] != 0 {
+	if v.p != nil || v.width == 0 || v.ib != 0 {
 		return 0, false
 	}
-	return v.p[0], true
+	return v.ia, true
 }
 
 // NewVector returns a width-bit vector with every bit set to fill.
 func NewVector(width int, fill Logic) Vector {
-	out := alloc(width)
-	if fill == L0 {
-		return out
-	}
-	n := out.nw()
 	var af, bf uint64
 	if fill&1 != 0 {
 		af = ^uint64(0)
@@ -103,6 +165,14 @@ func NewVector(width int, fill Logic) Vector {
 	if fill&2 != 0 {
 		bf = ^uint64(0)
 	}
+	if width <= 64 {
+		if width < 1 {
+			width = 1
+		}
+		return small(width, af, bf)
+	}
+	out := alloc(width)
+	n := out.nw()
 	for i := 0; i < n; i++ {
 		out.p[i] = af
 		out.p[n+i] = bf
@@ -113,13 +183,19 @@ func NewVector(width int, fill Logic) Vector {
 
 // FromUint returns a width-bit vector holding v truncated to width bits.
 func FromUint(v uint64, width int) Vector {
+	if width <= 64 {
+		if width < 1 {
+			width = 1
+		}
+		return small(width, v, 0)
+	}
 	out := alloc(width)
 	out.p[0] = v
-	out.maskTop()
 	return out
 }
 
-// FromInt returns a width-bit two's-complement vector holding v.
+// FromInt returns a width-bit two's-complement vector holding v
+// truncated to 64 bits (wider vectors zero-fill above bit 63).
 func FromInt(v int64, width int) Vector {
 	return FromUint(uint64(v), width)
 }
@@ -129,7 +205,7 @@ func FromBool(b bool) Vector { return Scalar(boolLogic(b)) }
 
 // Scalar returns a 1-bit vector holding l.
 func Scalar(l Logic) Vector {
-	return Vector{width: 1, p: []uint64{uint64(l & 1), uint64(l >> 1)}}
+	return Vector{width: 1, ia: uint64(l & 1), ib: uint64(l >> 1)}
 }
 
 // FromLogic returns a vector whose bit i is bits[i] (LSB first).
@@ -147,8 +223,12 @@ func FromLogic(bits ...Logic) Vector {
 // Width returns the number of bits.
 func (v Vector) Width() int { return v.width }
 
-// Clone returns a deep copy of v.
+// Clone returns a deep copy of v. For small vectors the value itself is
+// already a deep copy.
 func (v Vector) Clone() Vector {
+	if v.p == nil {
+		return v
+	}
 	p := make([]uint64, len(v.p))
 	copy(p, v.p)
 	return Vector{width: v.width, p: p}
@@ -160,6 +240,10 @@ func (v Vector) Bit(i int) Logic {
 	if i < 0 || i >= v.width {
 		return LX
 	}
+	if v.p == nil {
+		off := uint(i)
+		return Logic((v.ia>>off)&1 | ((v.ib>>off)&1)<<1)
+	}
 	w, off := i>>6, uint(i)&63
 	a := (v.p[w] >> off) & 1
 	b := (v.p[v.nw()+w] >> off) & 1
@@ -167,12 +251,28 @@ func (v Vector) Bit(i int) Logic {
 }
 
 // SetBit sets bit i of v in place; out-of-range indices are ignored.
-// The mutation is visible through every alias of v's storage, and
-// Resize/Slice return aliases for width-preserving calls — so SetBit
-// must only be used while building a vector that has not been published
-// yet (freshly allocated, or a fresh Clone).
-func (v Vector) SetBit(i int, l Logic) {
+// For wide vectors the mutation is visible through every alias of v's
+// storage, and Resize/Slice return aliases for width-preserving calls —
+// so SetBit must only be used while building a vector that has not been
+// published yet (freshly allocated, or a fresh Clone). Small vectors
+// are plain values: the receiver must be addressable and only that
+// value changes.
+func (v *Vector) SetBit(i int, l Logic) {
 	if i < 0 || i >= v.width {
+		return
+	}
+	if v.p == nil {
+		bit := uint64(1) << uint(i)
+		if l&1 != 0 {
+			v.ia |= bit
+		} else {
+			v.ia &^= bit
+		}
+		if l&2 != 0 {
+			v.ib |= bit
+		} else {
+			v.ib &^= bit
+		}
 		return
 	}
 	w, off := i>>6, uint(i)&63
@@ -192,6 +292,9 @@ func (v Vector) SetBit(i int, l Logic) {
 
 // IsKnown reports whether every bit is 0 or 1.
 func (v Vector) IsKnown() bool {
+	if v.p == nil {
+		return v.ib == 0
+	}
 	n := v.nw()
 	for _, w := range v.p[n:] {
 		if w != 0 {
@@ -203,6 +306,9 @@ func (v Vector) IsKnown() bool {
 
 // HasZ reports whether any bit is Z.
 func (v Vector) HasZ() bool {
+	if v.p == nil {
+		return v.ia&v.ib != 0
+	}
 	n := v.nw()
 	for i := 0; i < n; i++ {
 		if v.p[i]&v.p[n+i] != 0 {
@@ -214,6 +320,9 @@ func (v Vector) HasZ() bool {
 
 // IsZero reports whether every bit is known zero.
 func (v Vector) IsZero() bool {
+	if v.p == nil {
+		return v.ia|v.ib == 0
+	}
 	for _, w := range v.p {
 		if w != 0 {
 			return false
@@ -246,16 +355,24 @@ func (v Vector) Int() (val int64, ok bool) {
 }
 
 // Resize returns v zero-extended or truncated to width bits. When the
-// width already matches, v itself is returned without copying: Vectors
-// are immutable by convention (SetBit is construction-time only), so
-// sharing storage is safe and keeps the hot resize-to-same-width path
-// allocation-free.
+// width already matches, v itself is returned without copying — a free
+// value copy for small vectors, a storage-sharing alias for wide ones
+// (safe because wide Vectors are immutable by convention; see SetBit).
 func (v Vector) Resize(width int) Vector {
 	if width == v.width {
 		return v
 	}
+	if width <= 64 {
+		return small(width, v.aword(0), v.uword(0))
+	}
 	out := alloc(width)
-	n, on := v.nw(), out.nw()
+	on := out.nw()
+	if v.p == nil {
+		out.p[0] = v.ia
+		out.p[on] = v.ib
+		return out
+	}
+	n := v.nw()
 	c := n
 	if on < c {
 		c = on
@@ -271,7 +388,20 @@ func (v Vector) SignExtend(width int) Vector {
 	if width <= v.width {
 		return v.Resize(width)
 	}
-	out := NewVector(width, v.Bit(v.width-1))
+	fill := v.Bit(v.width - 1)
+	if width <= 64 {
+		// v.width < width <= 64, so v is small.
+		ext := ^uint64(0) << uint(v.width)
+		a, b := v.ia, v.ib
+		if fill&1 != 0 {
+			a |= ext
+		}
+		if fill&2 != 0 {
+			b |= ext
+		}
+		return small(width, a, b)
+	}
+	out := NewVector(width, fill)
 	out.blit(0, v, 0, v.width)
 	return out
 }
@@ -279,42 +409,44 @@ func (v Vector) SignExtend(width int) Vector {
 // XFill returns a width-bit vector of all X.
 func XFill(width int) Vector { return NewVector(width, LX) }
 
-// copyBits copies n bits of one plane from src starting at srcBit into
-// dst starting at dstBit, word-at-a-time where alignment allows.
-func copyBits(dst []uint64, dstBit int, src []uint64, srcBit, n int) {
+// writeBits writes the low n (1 <= n <= 64) bits of val into the plane
+// words dst starting at bit dstBit.
+func writeBits(dst []uint64, dstBit int, val uint64, n int) {
 	for n > 0 {
-		sw, so := srcBit>>6, uint(srcBit)&63
-		dw, do := dstBit>>6, uint(dstBit)&63
-		chunk := 64 - so
-		if c := 64 - do; c < chunk {
-			chunk = c
-		}
+		w, off := dstBit>>6, uint(dstBit)&63
+		chunk := 64 - off
 		if c := uint(n); c < chunk {
 			chunk = c
 		}
-		var mask uint64
-		if chunk == 64 {
-			mask = ^uint64(0)
-		} else {
-			mask = (uint64(1) << chunk) - 1
-		}
-		b := (src[sw] >> so) & mask
-		dst[dw] = dst[dw]&^(mask<<do) | b<<do
-		srcBit += int(chunk)
+		mask := lowMask(int(chunk))
+		dst[w] = dst[w]&^(mask<<off) | (val&mask)<<off
+		val >>= chunk
 		dstBit += int(chunk)
 		n -= int(chunk)
 	}
 }
 
-// blit copies n bits of src (from srcBit) into v (at dstBit), both
-// planes. Caller guarantees the ranges are in bounds.
+// blit copies n bits of src (from srcBit, srcBit >= 0) into v (at
+// dstBit), both planes. v must be a wide (slice-backed) vector — small
+// results are assembled inline by their operations — while src may use
+// either layout. Caller guarantees the destination range is in bounds;
+// source reads past src's width yield zero.
 func (v Vector) blit(dstBit int, src Vector, srcBit, n int) {
 	if n <= 0 {
 		return
 	}
-	vn, sn := v.nw(), src.nw()
-	copyBits(v.p[:vn], dstBit, src.p[:sn], srcBit, n)
-	copyBits(v.p[vn:], dstBit, src.p[sn:], srcBit, n)
+	vn := v.nw()
+	for n > 0 {
+		chunk := 64
+		if n < chunk {
+			chunk = n
+		}
+		writeBits(v.p[:vn], dstBit, src.atA(srcBit), chunk)
+		writeBits(v.p[vn:], dstBit, src.atB(srcBit), chunk)
+		srcBit += chunk
+		dstBit += chunk
+		n -= chunk
+	}
 }
 
 // bigInt converts a fully-known vector to a non-negative big.Int.
@@ -325,7 +457,7 @@ func (v Vector) bigInt() *big.Int {
 	n := v.nw()
 	known := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		known[i] = v.p[i] &^ v.p[n+i]
+		known[i] = v.aword(i) &^ v.uword(i)
 	}
 	return new(big.Int).SetBits(planeToWords(known, bits.UintSize))
 }
@@ -351,6 +483,14 @@ func planeToWords(plane []uint64, wordBits int) []big.Word {
 
 // fromBig builds a width-bit vector from the low bits of n (n >= 0).
 func fromBig(n *big.Int, width int) Vector {
+	if width <= 64 {
+		var plane [1]uint64
+		wordsToPlane(plane[:], n.Bits(), bits.UintSize)
+		if width < 1 {
+			width = 1
+		}
+		return small(width, plane[0], 0)
+	}
 	out := alloc(width)
 	wordsToPlane(out.p[:out.nw()], n.Bits(), bits.UintSize)
 	out.maskTop()
@@ -386,9 +526,7 @@ func (a Vector) Add(b Vector) Vector {
 	w := maxInt(a.width, b.width)
 	if x, ok := a.known64(); ok {
 		if y, ok2 := b.known64(); ok2 {
-			out := alloc(w)
-			out.p[0] = (x + y) & topMask(w)
-			return out
+			return small(w, x+y, 0)
 		}
 	}
 	if !a.IsKnown() || !b.IsKnown() {
@@ -409,9 +547,7 @@ func (a Vector) Sub(b Vector) Vector {
 	w := maxInt(a.width, b.width)
 	if x, ok := a.known64(); ok {
 		if y, ok2 := b.known64(); ok2 {
-			out := alloc(w)
-			out.p[0] = (x - y) & topMask(w)
-			return out
+			return small(w, x-y, 0)
 		}
 	}
 	if !a.IsKnown() || !b.IsKnown() {
@@ -432,9 +568,7 @@ func (a Vector) Mul(b Vector) Vector {
 	w := maxInt(a.width, b.width)
 	if x, ok := a.known64(); ok {
 		if y, ok2 := b.known64(); ok2 {
-			out := alloc(w)
-			out.p[0] = (x * y) & topMask(w)
-			return out
+			return small(w, x*y, 0)
 		}
 	}
 	if !a.IsKnown() || !b.IsKnown() {
@@ -449,9 +583,7 @@ func (a Vector) Div(b Vector) Vector {
 	w := maxInt(a.width, b.width)
 	if x, ok := a.known64(); ok {
 		if y, ok2 := b.known64(); ok2 && y != 0 {
-			out := alloc(w)
-			out.p[0] = x / y
-			return out
+			return small(w, x/y, 0)
 		}
 	}
 	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
@@ -466,9 +598,7 @@ func (a Vector) Mod(b Vector) Vector {
 	w := maxInt(a.width, b.width)
 	if x, ok := a.known64(); ok {
 		if y, ok2 := b.known64(); ok2 && y != 0 {
-			out := alloc(w)
-			out.p[0] = x % y
-			return out
+			return small(w, x%y, 0)
 		}
 	}
 	if !a.IsKnown() || !b.IsKnown() || b.IsZero() {
@@ -499,9 +629,7 @@ func (a Vector) Pow(b Vector) Vector {
 			x *= x
 			e >>= 1
 		}
-		out := alloc(w)
-		out.p[0] = r & topMask(w)
-		return out
+		return small(w, r, 0)
 	}
 	x := a.bigInt()
 	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
@@ -515,6 +643,9 @@ func (v Vector) Neg() Vector {
 
 // BitwiseNot returns ~v: known bits invert, X/Z become X.
 func (v Vector) BitwiseNot() Vector {
+	if v.p == nil {
+		return small(v.width, ^v.ia&^v.ib, v.ib)
+	}
 	out := alloc(v.width)
 	n := out.nw()
 	for i := 0; i < n; i++ {
@@ -529,11 +660,18 @@ func (v Vector) BitwiseNot() Vector {
 // Bitwise operations work word-at-a-time on the planes regardless of
 // X/Z content. Per word, "one" is the known-1 mask (a &^ b) and "zero"
 // the known-0 mask (^a &^ b); everything else is X. Operands
-// zero-extend to the max width via aword/uword.
+// zero-extend to the max width via aword/uword. A max width <= 64
+// implies both operands are small, so the single-word case runs
+// entirely in registers.
 
 // BitwiseAnd returns a & b.
 func (a Vector) BitwiseAnd(b Vector) Vector {
 	w := maxInt(a.width, b.width)
+	if w <= 64 {
+		one := (a.ia &^ a.ib) & (b.ia &^ b.ib)
+		zero := (^a.ia &^ a.ib) | (^b.ia &^ b.ib)
+		return small(w, one, ^(one | zero))
+	}
 	out := alloc(w)
 	n := out.nw()
 	for i := 0; i < n; i++ {
@@ -551,6 +689,11 @@ func (a Vector) BitwiseAnd(b Vector) Vector {
 // BitwiseOr returns a | b.
 func (a Vector) BitwiseOr(b Vector) Vector {
 	w := maxInt(a.width, b.width)
+	if w <= 64 {
+		one := (a.ia &^ a.ib) | (b.ia &^ b.ib)
+		zero := (^a.ia &^ a.ib) & (^b.ia &^ b.ib)
+		return small(w, one, ^(one | zero))
+	}
 	out := alloc(w)
 	n := out.nw()
 	for i := 0; i < n; i++ {
@@ -568,6 +711,10 @@ func (a Vector) BitwiseOr(b Vector) Vector {
 // BitwiseXor returns a ^ b.
 func (a Vector) BitwiseXor(b Vector) Vector {
 	w := maxInt(a.width, b.width)
+	if w <= 64 {
+		known := ^(a.ib | b.ib)
+		return small(w, (a.ia^b.ia)&known, ^known)
+	}
 	out := alloc(w)
 	n := out.nw()
 	for i := 0; i < n; i++ {
@@ -582,6 +729,10 @@ func (a Vector) BitwiseXor(b Vector) Vector {
 // BitwiseXnor returns a ~^ b.
 func (a Vector) BitwiseXnor(b Vector) Vector {
 	w := maxInt(a.width, b.width)
+	if w <= 64 {
+		known := ^(a.ib | b.ib)
+		return small(w, ^(a.ia^b.ia)&known, ^known)
+	}
 	out := alloc(w)
 	n := out.nw()
 	for i := 0; i < n; i++ {
@@ -596,6 +747,15 @@ func (a Vector) BitwiseXnor(b Vector) Vector {
 // ToBool reduces v for use in a condition: L1 if any bit is known 1,
 // L0 if all bits are known 0, LX otherwise.
 func (v Vector) ToBool() Logic {
+	if v.p == nil {
+		if v.ia&^v.ib != 0 {
+			return L1
+		}
+		if v.ib != 0 {
+			return LX
+		}
+		return L0
+	}
 	n := v.nw()
 	sawU := false
 	for i := 0; i < n; i++ {
@@ -713,6 +873,12 @@ func (a Vector) Shl(b Vector) Vector {
 	if !ok {
 		return XFill(a.width)
 	}
+	if a.p == nil {
+		if n >= 64 {
+			return small(a.width, 0, 0)
+		}
+		return small(a.width, a.ia<<n, a.ib<<n)
+	}
 	out := alloc(a.width)
 	if n < uint64(a.width) {
 		out.blit(int(n), a, 0, a.width-int(n))
@@ -725,6 +891,12 @@ func (a Vector) Shr(b Vector) Vector {
 	n, ok := b.Uint()
 	if !ok {
 		return XFill(a.width)
+	}
+	if a.p == nil {
+		if n >= 64 {
+			return small(a.width, 0, 0)
+		}
+		return small(a.width, a.ia>>n, a.ib>>n)
 	}
 	out := alloc(a.width)
 	if n < uint64(a.width) {
@@ -739,7 +911,28 @@ func (a Vector) AShr(b Vector) Vector {
 	if !ok {
 		return XFill(a.width)
 	}
-	out := NewVector(a.width, a.Bit(a.width-1))
+	fill := a.Bit(a.width - 1)
+	if a.p == nil {
+		sh := n
+		if sh > uint64(a.width) {
+			sh = uint64(a.width)
+		}
+		va, vb := a.ia>>sh, a.ib>>sh
+		if sh > 0 {
+			var fa, fb uint64
+			if fill&1 != 0 {
+				fa = ^uint64(0)
+			}
+			if fill&2 != 0 {
+				fb = ^uint64(0)
+			}
+			fm := ^uint64(0) << uint(uint64(a.width)-sh)
+			va = va&^fm | fa&fm
+			vb = vb&^fm | fb&fm
+		}
+		return small(a.width, va, vb)
+	}
+	out := NewVector(a.width, fill)
 	if n < uint64(a.width) {
 		out.blit(0, a, int(n), a.width-int(n))
 	}
@@ -749,6 +942,15 @@ func (a Vector) AShr(b Vector) Vector {
 // ReduceAnd returns &v: L0 if any bit is known 0, else LX on any
 // unknown, else L1.
 func (v Vector) ReduceAnd() Vector {
+	if v.p == nil {
+		if ^v.ia&^v.ib&topMask(v.width) != 0 {
+			return Scalar(L0)
+		}
+		if v.ib != 0 {
+			return Scalar(LX)
+		}
+		return Scalar(L1)
+	}
 	n := v.nw()
 	m := topMask(v.width)
 	sawU := false
@@ -772,6 +974,15 @@ func (v Vector) ReduceAnd() Vector {
 
 // ReduceOr returns |v.
 func (v Vector) ReduceOr() Vector {
+	if v.p == nil {
+		if v.ia&^v.ib != 0 {
+			return Scalar(L1)
+		}
+		if v.ib != 0 {
+			return Scalar(LX)
+		}
+		return Scalar(L0)
+	}
 	n := v.nw()
 	sawU := false
 	for i := 0; i < n; i++ {
@@ -790,6 +1001,12 @@ func (v Vector) ReduceOr() Vector {
 
 // ReduceXor returns ^v.
 func (v Vector) ReduceXor() Vector {
+	if v.p == nil {
+		if v.ib != 0 {
+			return Scalar(LX)
+		}
+		return Scalar(Logic(bits.OnesCount64(v.ia) & 1))
+	}
 	n := v.nw()
 	parity := 0
 	for i := 0; i < n; i++ {
@@ -811,9 +1028,20 @@ func Concat(parts ...Vector) Vector {
 	if total == 0 {
 		return Scalar(LX)
 	}
+	if total <= 64 {
+		// Every part is at most total bits wide, hence small.
+		var a, b uint64
+		pos := uint(0)
+		for i := len(parts) - 1; i >= 0; i-- { // last part is least significant
+			a |= parts[i].ia << pos
+			b |= parts[i].ib << pos
+			pos += uint(parts[i].width)
+		}
+		return small(total, a, b)
+	}
 	out := alloc(total)
 	pos := 0
-	for i := len(parts) - 1; i >= 0; i-- { // last part is least significant
+	for i := len(parts) - 1; i >= 0; i-- {
 		out.blit(pos, parts[i], 0, parts[i].width)
 		pos += parts[i].width
 	}
@@ -825,7 +1053,18 @@ func Replicate(n int, v Vector) Vector {
 	if n < 1 {
 		return Scalar(LX)
 	}
-	out := alloc(n * v.width)
+	total := n * v.width
+	if total <= 64 {
+		var a, b uint64
+		pos := uint(0)
+		for i := 0; i < n; i++ {
+			a |= v.ia << pos
+			b |= v.ib << pos
+			pos += uint(v.width)
+		}
+		return small(total, a, b)
+	}
+	out := alloc(total)
 	for i := 0; i < n; i++ {
 		out.blit(i*v.width, v, 0, v.width)
 	}
@@ -842,14 +1081,24 @@ func (v Vector) Slice(lo, width int) Vector {
 	if lo == 0 && width == v.width {
 		return v
 	}
-	out := NewVector(width, LX)
-	start, end := lo, lo+out.width
+	start, end := lo, lo+width
 	if start < 0 {
 		start = 0
 	}
 	if end > v.width {
 		end = v.width
 	}
+	if width <= 64 {
+		a, b := uint64(0), topMask(width) // all X
+		if end > start {
+			sh := uint(start - lo)
+			m := lowMask(end-start) << sh
+			a = a&^m | (v.atA(start)<<sh)&m
+			b = b&^m | (v.atB(start)<<sh)&m
+		}
+		return small(width, a, b)
+	}
+	out := NewVector(width, LX)
 	if end > start {
 		out.blit(start-lo, v, start, end-start)
 	}
@@ -859,14 +1108,24 @@ func (v Vector) Slice(lo, width int) Vector {
 // SetSlice writes src into v starting at LSB-relative offset lo,
 // returning a new vector; out-of-range bits of src are dropped.
 func (v Vector) SetSlice(lo int, src Vector) Vector {
-	out := v.Clone()
 	start, end := lo, lo+src.width
 	if start < 0 {
 		start = 0
 	}
-	if end > out.width {
-		end = out.width
+	if end > v.width {
+		end = v.width
 	}
+	if v.p == nil {
+		if end <= start {
+			return v
+		}
+		sh := uint(start)
+		m := lowMask(end-start) << sh
+		a := v.ia&^m | (src.atA(start-lo)<<sh)&m
+		b := v.ib&^m | (src.atB(start-lo)<<sh)&m
+		return small(v.width, a, b)
+	}
+	out := v.Clone()
 	if end > start {
 		out.blit(start, src, start-lo, end-start)
 	}
@@ -874,9 +1133,14 @@ func (v Vector) SetSlice(lo int, src Vector) Vector {
 }
 
 // Equal reports exact 4-state equality of a and b including width.
+// Equal widths imply the same storage layout, so each arm compares
+// like with like.
 func (a Vector) Equal(b Vector) bool {
 	if a.width != b.width {
 		return false
+	}
+	if a.p == nil {
+		return a.ia == b.ia && a.ib == b.ib
 	}
 	for i, w := range a.p {
 		if w != b.p[i] {

@@ -2,9 +2,22 @@ package hdl
 
 import (
 	"math/big"
+	"math/bits"
 	"math/rand"
 	"testing"
 )
+
+// hostWordSizes returns the plane word sizes testable on this host: a
+// big.Word can only hold bits.UintSize bits, so a 32-bit host cannot
+// build the 64-bit layout's words (big.Word(w) would truncate). A
+// 64-bit host tests both layouts; a 32-bit host tests its native
+// layout — which the 32-bit CI job runs for real.
+func hostWordSizes() []int {
+	if bits.UintSize >= 64 {
+		return []int{32, 64}
+	}
+	return []int{32}
+}
 
 // The big.Int bridge behind the wide Mul/Div/Mod/Pow slow path must
 // not assume 64-bit big.Word: on 32-bit GOARCHes a plane word maps to
@@ -40,6 +53,18 @@ func wordsToInt(ws []big.Word, wordBits int) *big.Int {
 	return out
 }
 
+// vecFromKnownPlane builds a fully-known vector from plane-A words,
+// picking the layout (inline vs slice-backed) the width dictates.
+func vecFromKnownPlane(plane []uint64, width int) Vector {
+	if width <= 64 {
+		return small(width, plane[0], 0)
+	}
+	out := alloc(width)
+	copy(out.p[:out.nw()], plane)
+	out.maskTop()
+	return out
+}
+
 // intToWords splits a non-negative integer into little-endian words of
 // the given size, the inverse of wordsToInt.
 func intToWords(n *big.Int, wordBits int) []big.Word {
@@ -66,17 +91,17 @@ func TestPlaneWordConversion32And64(t *testing.T) {
 		n := v.nw()
 		known := make([]uint64, n)
 		for i := 0; i < n; i++ {
-			known[i] = v.p[i] &^ v.p[n+i]
+			known[i] = v.aword(i) &^ v.uword(i)
 		}
-		for _, wordBits := range []int{32, 64} {
+		for _, wordBits := range hostWordSizes() {
 			got := wordsToInt(planeToWords(known, wordBits), wordBits)
 			if got.Cmp(want) != 0 {
 				t.Fatalf("planeToWords(%d bits) = %v, want %v (vector %v)", wordBits, got, want, v)
 			}
 			// Round-trip back through wordsToPlane.
-			back := alloc(w)
-			wordsToPlane(back.p[:back.nw()], intToWords(want, wordBits), wordBits)
-			back.maskTop()
+			plane := make([]uint64, words(w))
+			wordsToPlane(plane, intToWords(want, wordBits), wordBits)
+			back := vecFromKnownPlane(plane, w)
 			if !back.Equal(v) {
 				t.Fatalf("wordsToPlane(%d bits) round-trip = %v, want %v", wordBits, back, v)
 			}
@@ -92,10 +117,10 @@ func TestPlaneWordConversionBoundary(t *testing.T) {
 		width int
 		hex   string
 	}{
-		{33, "100000000"},                  // bit 32 set: second 32-bit word
-		{64, "ffffffffffffffff"},           // full first plane word
-		{65, "10000000000000000"},          // bit 64: second plane word
-		{96, "deadbeefcafebabe12345678"},   // 3 half-words
+		{33, "100000000"},                // bit 32 set: second 32-bit word
+		{64, "ffffffffffffffff"},         // full first plane word
+		{65, "10000000000000000"},        // bit 64: second plane word
+		{96, "deadbeefcafebabe12345678"}, // 3 half-words
 		{128, "0123456789abcdeffedcba9876543210"},
 	}
 	for _, tc := range cases {
@@ -103,20 +128,24 @@ func TestPlaneWordConversionBoundary(t *testing.T) {
 		if !ok {
 			t.Fatal("bad test literal")
 		}
-		v := alloc(tc.width)
-		wordsToPlane(v.p[:v.nw()], intToWords(want, 64), 64)
-		v.maskTop()
-		for _, wordBits := range []int{32, 64} {
+		seed := make([]uint64, words(tc.width))
+		// Seed through the host's native word size: intToWords cannot
+		// build words wider than big.Word holds.
+		wordsToPlane(seed, intToWords(want, bits.UintSize), bits.UintSize)
+		v := vecFromKnownPlane(seed, tc.width)
+		for _, wordBits := range hostWordSizes() {
 			n := v.nw()
 			known := make([]uint64, n)
-			copy(known, v.p[:n])
+			for i := 0; i < n; i++ {
+				known[i] = v.aword(i)
+			}
 			got := wordsToInt(planeToWords(known, wordBits), wordBits)
 			if got.Cmp(want) != 0 {
 				t.Errorf("width %d via %d-bit words: got %x, want %s", tc.width, wordBits, got, tc.hex)
 			}
-			back := alloc(tc.width)
-			wordsToPlane(back.p[:back.nw()], intToWords(want, wordBits), wordBits)
-			back.maskTop()
+			plane := make([]uint64, words(tc.width))
+			wordsToPlane(plane, intToWords(want, wordBits), wordBits)
+			back := vecFromKnownPlane(plane, tc.width)
 			if !back.Equal(v) {
 				t.Errorf("width %d via %d-bit words: round-trip mismatch", tc.width, wordBits)
 			}

@@ -33,6 +33,7 @@ type simOutcome struct {
 	endTime uint64
 	final   map[string]string
 	flags   string
+	shards  int
 }
 
 func runVerilog(t *testing.T, name, src string, workers int) simOutcome {
@@ -58,6 +59,7 @@ func runVerilog(t *testing.T, name, src string, workers int) simOutcome {
 		endTime: uint64(res.EndTime),
 		final:   res.Final,
 		flags:   fmt.Sprintf("fin=%v stop=%v to=%v", res.Finished, res.Stopped, res.TimedOut),
+		shards:  res.Shards,
 	}
 }
 
@@ -243,6 +245,168 @@ func TestDifferentialBenchVHDL(t *testing.T) {
 					t.Errorf("%s: VHDL final %s = %s at %d workers, want %s", p.ID, sig, got.final[sig], w, want)
 				}
 			}
+		}
+	}
+}
+
+// genPartitionPair emits two behaviourally identical Verilog designs
+// that the connectivity partitioner must treat very differently:
+//
+//   - "shared": every cluster's logic is clocked through one tb-level
+//     clock wire fanned into cluster ports, so a chain of shared
+//     signals forces the whole design into a single component.
+//   - "split": the same clusters duplicate the clock generator locally
+//     (same phase, same period) and ignore the still-connected port,
+//     so each cluster is its own component and the design shards.
+//
+// Cluster hierarchies, signal names, widths, and value evolution are
+// identical in both shapes, so logs, VCD, final values, end time, and
+// stop flags must match byte for byte between the two — fuzzing the
+// partition itself rather than the backend under one partition.
+// $random is deliberately absent: its streams are seeded per component
+// and the two shapes have different component structures by design.
+func genPartitionPair(rng *rand.Rand) (shared, split string) {
+	nclusters := 2 + rng.Intn(3)
+	period := 1 + rng.Intn(3)
+	ops := []string{"+", "-", "^", "&", "|"}
+	clkgen := fmt.Sprintf(`
+module clkgen(output reg clk);
+  initial clk = 0;
+  always #%d clk = ~clk;
+endmodule
+`, period)
+
+	type cluster struct {
+		w, inc, b0 int
+		op1, op2   string
+		edge       string
+		partSel    bool
+	}
+	cs := make([]cluster, nclusters)
+	for i := range cs {
+		cs[i] = cluster{
+			w:       4 + rng.Intn(13),
+			inc:     1 + rng.Intn(7),
+			b0:      rng.Intn(1 << 10),
+			op1:     ops[rng.Intn(len(ops))],
+			op2:     ops[rng.Intn(len(ops))],
+			edge:    []string{"posedge", "negedge"}[rng.Intn(2)],
+			partSel: rng.Intn(3) == 0,
+		}
+	}
+
+	body := func(c int, clkSrc string) string {
+		var sb strings.Builder
+		k := cs[c]
+		sb.WriteString(clkSrc)
+		fmt.Fprintf(&sb, "  reg [%d:0] a, b;\n  wire [%d:0] m;\n", k.w-1, k.w-1)
+		fmt.Fprintf(&sb, "  assign m = a %s b;\n", k.op2)
+		fmt.Fprintf(&sb, "  initial begin a = 0; b = %d; end\n", k.b0)
+		fmt.Fprintf(&sb, "  always @(%s clk) begin\n", k.edge)
+		fmt.Fprintf(&sb, "    a <= a + %d;\n", k.inc)
+		fmt.Fprintf(&sb, "    b <= b %s a;\n", k.op1)
+		if k.partSel {
+			fmt.Fprintf(&sb, "    b[1:0] <= a[1:0];\n")
+		}
+		fmt.Fprintf(&sb, "    $display(\"c%d a=%%0d b=%%0h m=%%0d t=%%0t\", a, b, m, $time);\n", c)
+		sb.WriteString("  end\n")
+		return sb.String()
+	}
+
+	finishAt := 20 + rng.Intn(41)
+	emit := func(dup bool) string {
+		var sb strings.Builder
+		sb.WriteString(clkgen)
+		for c := 0; c < nclusters; c++ {
+			fmt.Fprintf(&sb, "module cluster%d(input clk_in);\n", c)
+			if dup {
+				// Duplicated clock: clk_in stays connected but unread,
+				// so the cluster is its own connectivity component. The
+				// X->0 initialization is emitted AFTER the cluster body so
+				// the edge-sensitive process arms on an X baseline before
+				// the init write lands — exactly the ordering the shared
+				// shape's port-assign cascade produces.
+				sb.WriteString(body(c, fmt.Sprintf("  reg clk;\n  always #%d clk = ~clk;\n", period)))
+				sb.WriteString("  initial clk = 0;\n")
+			} else {
+				sb.WriteString(body(c, "  wire clk;\n  assign clk = clk_in;\n"))
+				// Filler so both shapes have identical line numbering:
+				// $finish reports its source line in the log.
+				sb.WriteString("  // clk mirrors the shared port\n")
+			}
+			sb.WriteString("endmodule\n")
+		}
+		sb.WriteString("module tb;\n  wire clk;\n  clkgen g(.clk(clk));\n")
+		for c := 0; c < nclusters; c++ {
+			fmt.Fprintf(&sb, "  cluster%d u%d(.clk_in(clk));\n", c, c)
+		}
+		sb.WriteString("  initial begin $dumpfile(\"w.vcd\"); $dumpvars; end\n")
+		fmt.Fprintf(&sb, "  initial begin #%d $display(\"tb done t=%%0t\", $time); $finish; end\n", finishAt)
+		sb.WriteString("endmodule\n")
+		return sb.String()
+	}
+
+	// Both emit calls must see identical rng state; the generator only
+	// draws before this point.
+	return emit(false), emit(true)
+}
+
+// TestDifferentialPartitionShapes fuzzes the partition itself: the
+// shared (one-component) and split (many-component) shapes of the same
+// behaviour must produce byte-identical logs, VCD, final values, end
+// times, and stop flags — across each other and across worker counts.
+func TestDifferentialPartitionShapes(t *testing.T) {
+	designs := 12
+	if testing.Short() {
+		designs = 4
+	}
+	for i := 0; i < designs; i++ {
+		rng := rand.New(rand.NewSource(int64(31000 + i*271)))
+		sharedSrc, splitSrc := genPartitionPair(rng)
+		name := fmt.Sprintf("partition-%d", i)
+
+		refShared := runVerilog(t, name+"-shared", sharedSrc, 1)
+		refSplit := runVerilog(t, name+"-split", splitSrc, 1)
+		if !strings.Contains(refShared.log, "$finish called") {
+			t.Fatalf("%s: shared reference did not finish:\n%s", name, refShared.log)
+		}
+
+		// Cross-shape: identical observable behaviour. Event counts are
+		// excluded (the shapes run different processes to produce it).
+		if refShared.log != refSplit.log {
+			t.Errorf("%s: log differs between shapes:\n--- shared ---\n%s\n--- split ---\n%s",
+				name, refShared.log, refSplit.log)
+		}
+		if refShared.vcd != refSplit.vcd {
+			t.Errorf("%s: VCD differs between shapes:\n--- shared ---\n%s\n--- split ---\n%s",
+				name, refShared.vcd, refSplit.vcd)
+		}
+		if refShared.endTime != refSplit.endTime || refShared.flags != refSplit.flags {
+			t.Errorf("%s: end state differs between shapes: (%d, %s) vs (%d, %s)",
+				name, refShared.endTime, refShared.flags, refSplit.endTime, refSplit.flags)
+		}
+		for sig, want := range refShared.final {
+			if got, ok := refSplit.final[sig]; ok && got != want {
+				t.Errorf("%s: final %s = %s in split shape, want %s", name, sig, got, want)
+			}
+		}
+
+		// The shapes must actually partition differently: the clusters
+		// collapse into the clock component in the shared shape (only
+		// the signal-less service initials stay separate) and spread in
+		// the split one, so at 4 workers the split shape must run on
+		// strictly more shards.
+		shShared := runVerilog(t, name+"-shared", sharedSrc, 4)
+		shSplit := runVerilog(t, name+"-split", splitSrc, 4)
+		if shSplit.shards <= shShared.shards {
+			t.Errorf("%s: split shape ran on %d shards vs shared's %d, want strictly more (partition fuzz premise broken)",
+				name, shSplit.shards, shShared.shards)
+		}
+
+		// Within each shape: the standard worker-count sweep.
+		for _, w := range workerCounts[1:] {
+			diffOutcomes(t, name+"-shared", refShared, runVerilog(t, name+"-shared", sharedSrc, w), w)
+			diffOutcomes(t, name+"-split", refSplit, runVerilog(t, name+"-split", splitSrc, w), w)
 		}
 	}
 }

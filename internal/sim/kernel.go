@@ -113,8 +113,9 @@ type Kernel struct {
 	future     futureQueue
 	active     []func()
 	activeHead int // next unconsumed index into active
-	nba        []func()
-	nbaSpare   []func() // drained buffer recycled into nba
+	nba        []NBARecord
+	nbaSpare   []NBARecord  // drained buffer recycled into nba
+	recFree    []*NBARecord // pooled delayed-update records (see update.go)
 	finished   bool
 
 	// Lockstep position, maintained by the engine: the current delta
@@ -211,9 +212,15 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 // Active queues fn into the current delta's active region.
 func (k *Kernel) Active(fn func()) { k.active = append(k.active, fn) }
 
-// NBA queues an update into the nonblocking-assignment region of the
-// current time slot.
-func (k *Kernel) NBA(fn func()) { k.nba = append(k.nba, fn) }
+// NBA queues a plain closure into the nonblocking-assignment region of
+// the current time slot. It shares the typed record queue (see
+// update.go), so closures and records interleave in schedule order;
+// hot paths should prefer NBAPut, which needs no closure allocation.
+func (k *Kernel) NBA(fn func()) {
+	r := k.NBAPut()
+	r.Apply = nbaApply
+	r.Sig = fn
+}
 
 // Finish requests simulation stop at the end of the current event.
 func (k *Kernel) Finish() { k.finished = true }
@@ -266,9 +273,14 @@ func (k *Kernel) drainActive(budget uint64) {
 }
 
 // applyNBA applies the queued nonblocking-assignment updates of the
-// current delta. Updates typically reactivate processes into the next
-// delta's active region. The spare buffer is swapped in so updates
-// scheduling new NBAs append into recycled storage.
+// current delta, in schedule order. Updates typically reactivate
+// processes into the next delta's active region. The spare buffer is
+// swapped in so updates scheduling new NBAs append into recycled
+// storage; the drained records themselves are recycled too, so a
+// steady-state run never allocates here. Applied records are zeroed
+// before the buffer is parked as the spare — the same
+// release-the-closure discipline the func() queue had, extended to the
+// signal and value references a record carries.
 func (k *Kernel) applyNBA() {
 	if len(k.nba) == 0 {
 		return
@@ -276,13 +288,12 @@ func (k *Kernel) applyNBA() {
 	updates := k.nba
 	k.nba = k.nbaSpare[:0]
 	k.inNBA = true
-	for _, u := range updates {
-		u()
+	for i := range updates {
+		r := &updates[i]
+		r.Apply(r)
+		*r = NBARecord{}
 	}
 	k.inNBA = false
-	for i := range updates {
-		updates[i] = nil
-	}
 	k.nbaSpare = updates[:0]
 }
 

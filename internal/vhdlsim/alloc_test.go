@@ -1,0 +1,79 @@
+package vhdlsim
+
+import (
+	"testing"
+
+	"repro/internal/vhdl"
+)
+
+// TestVHDLCounterAllocBound is the VHDL front-end allocation guard: a
+// ~2000-cycle clocked-counter run must stay within a small constant
+// allocation budget. Scheduled signal updates travel as pooled kernel
+// records (sim.NBARecord) rather than closures, and small vectors are
+// inline values, so the steady-state loop allocates nothing; a
+// per-cycle regression shows up here as thousands of allocations.
+func TestVHDLCounterAllocBound(t *testing.T) {
+	src := `
+entity counter is
+  port (clk : in std_logic; reset : in std_logic; count : out std_logic_vector(15 downto 0));
+end entity;
+architecture rtl of counter is
+  signal cnt : unsigned(15 downto 0) := (others => '0');
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        cnt <= (others => '0');
+      else
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  count <= std_logic_vector(cnt);
+end architecture;
+`
+	tb := `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal reset : std_logic := '1';
+  signal done : std_logic := '0';
+  signal count : std_logic_vector(15 downto 0);
+begin
+  clk <= not clk after 1 ns when done = '0' else '0';
+  uut: entity work.counter port map (clk => clk, reset => reset, count => count);
+  stim: process
+  begin
+    wait for 2 ns;
+    reset <= '0';
+    wait for 4000 ns;
+    assert count /= x"0000" report "counter never advanced" severity error;
+    done <= '1';
+    wait;
+  end process;
+end architecture;`
+	var units []*vhdl.DesignFile
+	for _, s := range []string{src, tb} {
+		df, diags := vhdl.Parse("alloc.vhd", s)
+		if diags.HasErrors() {
+			t.Fatalf("parse: %v", diags)
+		}
+		units = append(units, df)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		res, err := Simulate(units, "tb", Options{MaxTime: 100000})
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if res.TimedOut || res.AssertErrors != 0 || res.Fault != "" {
+			t.Fatalf("bad run (timeout=%v errors=%d fault=%q)", res.TimedOut, res.AssertErrors, res.Fault)
+		}
+	})
+	// The whole run currently costs ~150 allocations (elaboration and
+	// result assembly); the bound leaves headroom while catching any
+	// per-cycle allocation (2000 cycles would add >= 2000).
+	if avg > 600 {
+		t.Errorf("VHDL counter run allocations = %v, want <= 600 (per-cycle allocation regression)", avg)
+	}
+}

@@ -50,21 +50,34 @@ func (s *Simulator) applyUpdate(sig *Signal, v hdl.Vector) {
 	sig.watch.Notify()
 }
 
-// scheduleUpdate queues a signal assignment: zero delay lands in the
-// next delta (NBA region); positive delays are scheduled in time. The
-// update closure restores the component context, since it runs from
-// the kernel regions rather than through a process step.
+// scheduleUpdate queues a signal assignment as a pooled kernel update
+// record: zero delay lands in the next delta (NBA region); positive
+// delays are scheduled in time (VHDL transport-style delivery, applied
+// in the active region of the target time step, exactly where the
+// closure-based scheduling delivered them). The apply hook restores
+// the component context, since it runs from the kernel regions rather
+// than through a process step.
 func (s *Simulator) scheduleUpdate(sig *Signal, v hdl.Vector, delay sim.Time) {
-	comp := s.curComp
-	fn := func() {
-		s.curComp = comp
-		s.applyUpdate(sig, v)
-	}
-	if delay == 0 {
-		s.kernel.NBA(fn)
-		return
-	}
-	s.kernel.Schedule(delay, fn)
+	r := s.kernel.ScheduleUpdate(delay)
+	r.Comp = s.curComp.idx
+	r.Sig = sig
+	r.Val = v
+	r.Apply = s.updFull
+}
+
+// applyFullUpdate commits a pooled whole-signal update record.
+func (s *Simulator) applyFullUpdate(r *sim.NBARecord) {
+	s.curComp = s.sh.comps[r.Comp]
+	s.applyUpdate(r.Sig.(*Signal), r.Val)
+}
+
+// applyPartUpdate commits a pooled part-write update record:
+// read-modify-write against the value the signal holds when the update
+// applies.
+func (s *Simulator) applyPartUpdate(r *sim.NBARecord) {
+	s.curComp = s.sh.comps[r.Comp]
+	sig := r.Sig.(*Signal)
+	s.applyUpdate(sig, sig.Val.SetSlice(r.Lo, r.Val))
 }
 
 // sigTarget is a resolved signal assignment destination.
@@ -145,18 +158,12 @@ func (s *Simulator) assignSignal(inst *Instance, en *env, target vhdl.Expr, valE
 	// Partial write: read-modify-write against the value the signal
 	// will hold when the update applies; we approximate with current
 	// value captured at apply time.
-	part := val.v.Resize(t.width)
-	sg, lo := t.sig, t.lo
-	comp := s.curComp
-	apply := func() {
-		s.curComp = comp
-		s.applyUpdate(sg, sg.Val.SetSlice(lo, part))
-	}
-	if delay == 0 {
-		s.kernel.NBA(apply)
-	} else {
-		s.kernel.Schedule(delay, apply)
-	}
+	r := s.kernel.ScheduleUpdate(delay)
+	r.Comp = s.curComp.idx
+	r.Sig = t.sig
+	r.Val = val.v.Resize(t.width)
+	r.Lo = t.lo
+	r.Apply = s.updPart
 }
 
 // ---------------------------------------------------------------- exec

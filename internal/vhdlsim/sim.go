@@ -34,8 +34,8 @@ type Result struct {
 	TimedOut     bool
 	Fault        string
 	EndTime      sim.Time
-	Events       uint64 // kernel events executed, summed over shards
-	Shards       int    // shard kernels the run executed on
+	Events       uint64            // kernel events executed, summed over shards
+	Shards       int               // shard kernels the run executed on
 	Final        map[string]string // hierarchical name -> final value
 }
 
@@ -69,6 +69,20 @@ type Simulator struct {
 
 	assertErrors int
 	failed       bool
+
+	// updFull/updPart are the pre-bound scheduled-update apply hooks
+	// (method values created once; one per update would allocate).
+	updFull func(*sim.NBARecord)
+	updPart func(*sim.NBARecord)
+}
+
+// newSimulator returns a shard simulator with its kernel and pre-bound
+// update hooks.
+func newSimulator(sh *shared) *Simulator {
+	s := &Simulator{sh: sh, kernel: sim.NewKernel()}
+	s.updFull = s.applyFullUpdate
+	s.updPart = s.applyPartUpdate
+	return s
 }
 
 // Simulate elaborates the entity named top from the units and runs it.
@@ -101,7 +115,7 @@ func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, erro
 	sims := make([]*Simulator, nshards)
 	kernels := make([]*sim.Kernel, nshards)
 	for i := range sims {
-		sims[i] = &Simulator{sh: sh, kernel: sim.NewKernel()}
+		sims[i] = newSimulator(sh)
 		kernels[i] = sims[i].kernel
 	}
 

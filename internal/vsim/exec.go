@@ -60,7 +60,8 @@ type target struct {
 
 // resolveTargets flattens an lvalue into primitive targets, MSB-first
 // for concatenations, and returns the total width. The returned slice
-// is freshly allocated and safe to retain (NBA closures capture it).
+// is freshly allocated and safe to retain (static-LHS bindings cache it
+// for the lifetime of the run).
 func (s *Simulator) resolveTargets(inst *Instance, lhs verilog.Expr) ([]target, int) {
 	return s.appendTargets(nil, inst, lhs)
 }
@@ -153,6 +154,72 @@ func (s *Simulator) appendTargets(buf []target, inst *Instance, lhs verilog.Expr
 	}
 }
 
+// isConstIndex reports whether an index expression's value cannot
+// change between executions of its statement: it reads no signals and
+// calls no system functions, so it is parameters and literals only.
+// Conservative: anything unrecognized is treated as dynamic.
+func isConstIndex(inst *Instance, e verilog.Expr) bool {
+	con := true
+	var walk func(verilog.Expr)
+	walk = func(e verilog.Expr) {
+		if !con {
+			return
+		}
+		switch x := e.(type) {
+		case *verilog.Number, *verilog.StringLit:
+		case *verilog.Ident:
+			if _, _, kind := inst.lookup(x.Name); kind != 2 {
+				con = false // signal read, or undeclared (faults either way)
+			}
+		case *verilog.Unary:
+			walk(x.X)
+		case *verilog.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *verilog.Ternary:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *verilog.ConcatExpr:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *verilog.ReplicateExpr:
+			walk(x.Count)
+			walk(x.Value)
+		default:
+			con = false // $random etc., nested selects
+		}
+	}
+	walk(e)
+	return con
+}
+
+// staticLHS reports whether an assignment target resolves to the same
+// primitive targets on every execution — plain identifiers, constant
+// bit/part-selects and memory indexes, and concatenations thereof.
+// Static targets are resolved once and the resolution cached
+// (pre-bound), so steady-state assignment scheduling does neither
+// name lookups nor allocation.
+func staticLHS(inst *Instance, lhs verilog.Expr) bool {
+	switch x := lhs.(type) {
+	case *verilog.Ident:
+		return true
+	case *verilog.Index:
+		return isConstIndex(inst, x.Idx)
+	case *verilog.PartSelect:
+		return isConstIndex(inst, x.MSB) && isConstIndex(inst, x.LSB)
+	case *verilog.ConcatExpr:
+		for _, p := range x.Parts {
+			if !staticLHS(inst, p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // applyTargets writes val (of at least totalWidth bits) into the targets,
 // slicing MSB-first as Verilog concatenation assignment requires.
 func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
@@ -175,6 +242,61 @@ func (s *Simulator) applyTargets(ts []target, total int, val hdl.Vector) {
 			s.setSignal(t.sig, t.sig.Val.SetSlice(t.lo, part))
 		}
 	}
+}
+
+// scheduleNBA queues one pooled kernel update record per primitive
+// target, slicing val MSB-first exactly as applyTargets would at apply
+// time (vectors are immutable, so slicing at schedule time is
+// equivalent). This replaces the closure-per-assignment NBA
+// representation: the records live in the kernel's recycled region
+// buffer and the target list is either a cached static binding or the
+// simulator's scratch, so a steady-state nonblocking assignment
+// performs no allocation at all.
+func (s *Simulator) scheduleNBA(ts []target, total int, val hdl.Vector, comp *compCtx) {
+	val = val.Resize(total)
+	hi := total
+	for i := range ts {
+		t := &ts[i]
+		lo := hi - t.width
+		part := val.Slice(lo, t.width)
+		hi = lo
+		if !t.ok {
+			continue
+		}
+		r := s.kernel.NBAPut()
+		r.Comp = comp.idx
+		r.Sig = t.sig
+		r.Val = part
+		if t.isMem {
+			r.Aux = t.memIdx
+			r.Apply = s.nbaMem
+		} else {
+			r.Lo = t.lo
+			r.Width = t.width
+			r.Apply = s.nbaVec
+		}
+	}
+}
+
+// applyVecNBA commits one pooled vector-target update. It runs from
+// the kernel's NBA region, not through a process step, so it restores
+// the component context first: observable effects (VCD changes,
+// watcher-driven output) must be attributed to the scheduling
+// component.
+func (s *Simulator) applyVecNBA(r *sim.NBARecord) {
+	s.curComp = s.sh.comps[r.Comp]
+	sig := r.Sig.(*Signal)
+	if r.Lo == 0 && r.Width == sig.Width {
+		s.setSignal(sig, r.Val)
+	} else {
+		s.setSignal(sig, sig.Val.SetSlice(r.Lo, r.Val))
+	}
+}
+
+// applyMemNBA commits one pooled memory-word update.
+func (s *Simulator) applyMemNBA(r *sim.NBARecord) {
+	s.curComp = s.sh.comps[r.Comp]
+	s.setMemWord(r.Sig.(*Signal), r.Aux, r.Val)
 }
 
 // ---------------------------------------------------------- sensitivity
@@ -407,12 +529,46 @@ type procMachine struct {
 	body     verilog.Stmt
 	sens     *verilog.SensList // non-nil for always @(...) blocks
 	stack    []frame
-	always   bool         // always block: restart body when the stack drains
-	started  bool         // initial block: body has been executed
-	armed    bool         // top-level sensitivity wait armed, body run pending
-	topReg   *sim.WaitReg // cached always-block sensitivity registration
-	waits    map[verilog.Stmt]*sim.WaitReg // cached per-stmt inner wait registrations
-	activate func()       // pre-built resume hook shared by all waits
+	always   bool                            // always block: restart body when the stack drains
+	started  bool                            // initial block: body has been executed
+	armed    bool                            // top-level sensitivity wait armed, body run pending
+	topReg   *sim.WaitReg                    // cached always-block sensitivity registration
+	waits    map[verilog.Stmt]*sim.WaitReg   // cached per-stmt inner wait registrations
+	lhs      map[*verilog.Assign]*lhsBinding // pre-bound static assignment targets
+	activate func()                          // pre-built resume hook shared by all waits
+}
+
+// lhsBinding is the cached resolution of a static assignment target
+// (see staticLHS). A nil binding marks an LHS classified as dynamic,
+// which resolves through the scratch buffer on every execution.
+type lhsBinding struct {
+	ts    []target
+	total int
+}
+
+// lhsTargets resolves an assignment's target list. Static shapes are
+// resolved once — on first execution, when name lookup is guaranteed to
+// see the fully elaborated scope — and the binding reused on every
+// later pass; dynamic shapes (runtime indexes) re-resolve into the
+// simulator's scratch buffer, whose contents the caller must consume
+// before the next resolve.
+func (m *procMachine) lhsTargets(x *verilog.Assign) ([]target, int) {
+	if b, ok := m.lhs[x]; ok {
+		if b != nil {
+			return b.ts, b.total
+		}
+		return m.s.resolveTargetsScratch(m.inst, x.LHS)
+	}
+	if m.lhs == nil {
+		m.lhs = make(map[*verilog.Assign]*lhsBinding)
+	}
+	if staticLHS(m.inst, x.LHS) {
+		ts, total := m.s.resolveTargets(m.inst, x.LHS)
+		m.lhs[x] = &lhsBinding{ts: ts, total: total}
+		return ts, total
+	}
+	m.lhs[x] = nil
+	return m.s.resolveTargetsScratch(m.inst, x.LHS)
 }
 
 // step is the process continuation the kernel dispatches.
@@ -587,23 +743,15 @@ func (m *procMachine) exec(st verilog.Stmt) bool {
 	case *verilog.Forever:
 		m.push(frame{kind: fForever, st: x})
 	case *verilog.Assign:
+		ts, total := m.lhsTargets(x)
+		val := s.evalCtx(inst, x.RHS, total)
 		if x.Blocking {
-			ts, total := s.resolveTargetsScratch(inst, x.LHS)
-			val := s.evalCtx(inst, x.RHS, total)
 			s.applyTargets(ts, total, val)
 		} else {
-			// NBA targets are applied later; they need their own storage.
-			// The closure restores the component context: it runs from the
-			// kernel's NBA region, not through a process step, and its
-			// observable effects (VCD changes, watcher-driven output) must
-			// be attributed to this component.
-			ts, total := s.resolveTargets(inst, x.LHS)
-			val := s.evalCtx(inst, x.RHS, total)
-			comp := m.comp
-			s.kernel.NBA(func() {
-				s.curComp = comp
-				s.applyTargets(ts, total, val)
-			})
+			// NBA updates apply later, as typed kernel records carrying
+			// their own copy of the resolved target bounds — nothing from
+			// the scratch resolution is retained.
+			s.scheduleNBA(ts, total, val, m.comp)
 		}
 	case *verilog.DelayStmt:
 		av := s.eval(inst, x.Amount)

@@ -38,9 +38,9 @@ type Result struct {
 	TimedOut bool // hit MaxTime or event/delta limits
 	Fault    string
 	EndTime  sim.Time
-	VCD      string // waveform dump when the bench ran $dumpvars
-	Events   uint64 // kernel events executed, summed over shards
-	Shards   int    // shard kernels the run executed on
+	VCD      string            // waveform dump when the bench ran $dumpvars
+	Events   uint64            // kernel events executed, summed over shards
+	Shards   int               // shard kernels the run executed on
 	Final    map[string]string // hierarchical name -> final value (CaptureFinal)
 }
 
@@ -89,8 +89,25 @@ type Simulator struct {
 	vcdFile  string // $dumpfile argument (informational)
 
 	// targetScratch backs resolveTargetsScratch for assignments whose
-	// targets are consumed immediately (not captured by NBA closures).
+	// targets are consumed immediately (blocking assigns, continuous
+	// updates, and NBA scheduling, which copies target bounds into
+	// pooled kernel records before returning).
 	targetScratch []target
+
+	// nbaVec/nbaMem are the pre-bound NBA record apply hooks (method
+	// values created once here; creating one per scheduled update would
+	// allocate).
+	nbaVec func(*sim.NBARecord)
+	nbaMem func(*sim.NBARecord)
+}
+
+// newSimulator returns a shard simulator with its kernel and pre-bound
+// update hooks.
+func newSimulator(sh *shared) *Simulator {
+	s := &Simulator{sh: sh, kernel: sim.NewKernel()}
+	s.nbaVec = s.applyVecNBA
+	s.nbaMem = s.applyMemNBA
+	return s
 }
 
 // Simulate elaborates top from modules and runs it to completion.
@@ -130,7 +147,7 @@ func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Re
 	sims := make([]*Simulator, nshards)
 	kernels := make([]*sim.Kernel, nshards)
 	for i := range sims {
-		sims[i] = &Simulator{sh: sh, kernel: sim.NewKernel()}
+		sims[i] = newSimulator(sh)
 		kernels[i] = sims[i].kernel
 	}
 
@@ -233,6 +250,11 @@ type contAssignRT struct {
 	comp    *compCtx
 	pending bool
 	run     func() // pre-built event closure: scheduling must not allocate
+
+	// Pre-bound static LHS resolution (see staticLHS); nil when the
+	// target carries runtime indexes and must re-resolve per update.
+	bound   *lhsBinding
+	dynamic bool // LHS classified dynamic; skip re-classification
 }
 
 func (c *contAssignRT) schedule() {
@@ -246,7 +268,20 @@ func (c *contAssignRT) schedule() {
 func (c *contAssignRT) update() {
 	c.s.curComp = c.comp
 	defer c.s.recoverFault()
-	ts, total := c.s.resolveTargetsScratch(c.a.lhsScope, c.a.lhs)
+	var ts []target
+	var total int
+	switch {
+	case c.bound != nil:
+		ts, total = c.bound.ts, c.bound.total
+	case !c.dynamic && staticLHS(c.a.lhsScope, c.a.lhs):
+		// First execution of a static target: resolve once (inside the
+		// fault recovery a bad target needs) and pre-bind.
+		ts, total = c.s.resolveTargets(c.a.lhsScope, c.a.lhs)
+		c.bound = &lhsBinding{ts: ts, total: total}
+	default:
+		c.dynamic = true
+		ts, total = c.s.resolveTargetsScratch(c.a.lhsScope, c.a.lhs)
+	}
 	val := c.s.evalCtx(c.a.rhsScope, c.a.rhs, total)
 	c.s.applyTargets(ts, total, val)
 }
