@@ -10,11 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/edatool"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 )
 
 func main() {
@@ -24,6 +26,13 @@ func main() {
 		langName  = flag.String("lang", "verilog", "target language: verilog | vhdl")
 		list      = flag.Bool("list", false, "list all problem ids and exit")
 		showRTL   = flag.Bool("show-rtl", true, "print the final RTL")
+
+		providerName = flag.String("provider", "offline",
+			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | "))
+		traceLLM   = flag.Bool("trace-llm", false, "interleave one transcript line per LLM call")
+		llmMetrics = flag.Bool("llm-metrics", false, "print per-op LLM call metrics at the end")
+		flakyRate  = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
+		flakySeed  = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
 	)
 	flag.Parse()
 
@@ -49,14 +58,43 @@ func main() {
 		lang = edatool.VHDL
 	}
 
-	fmt.Printf("=== AIVRIL 2: %s / %s / %s ===\n\n", prob.ID, model.Name(), lang)
+	fmt.Printf("=== AIVRIL 2: %s / %s / %s / provider %s ===\n\n", prob.ID, model.Name(), lang, *providerName)
 	fmt.Printf("Specification:\n  %s\n\n", prob.Spec)
 
 	cfg := core.DefaultConfig(model, lang)
 	cfg.Trace = func(stage, detail string) {
 		fmt.Printf("[%-9s] %s\n", stage, detail)
 	}
+
+	stack := provider.DefaultStackConfig()
+	if *traceLLM {
+		stack.Trace = cfg.Trace
+	}
+	var metrics *provider.Metrics
+	if *llmMetrics {
+		metrics = provider.NewMetrics(provider.RealClock())
+		stack.Metrics = metrics
+	}
+	p, err := provider.DefaultRegistry.New(*providerName, model, provider.BuildConfig{
+		Stack: stack,
+		Flaky: provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aivril: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Provider = p
 	res := core.New(cfg).Run(prob)
+
+	if res.Aborted {
+		fmt.Printf("\n--- outcome ---\n")
+		fmt.Printf("verdict            : %s\n", res.Verdict())
+		fmt.Printf("error              : %v\n", res.Err)
+		if metrics != nil {
+			fmt.Printf("\n%s\n", metrics.Render())
+		}
+		os.Exit(1)
+	}
 
 	fmt.Printf("\n--- outcome ---\n")
 	fmt.Printf("baseline syntax OK : %v\n", core.EvaluateSyntax(lang, res.BaselineRTL))
@@ -68,6 +106,9 @@ func main() {
 		res.Latency.Baseline, res.Latency.Syntax, res.Latency.Func, res.Latency.Total())
 	if *showRTL {
 		fmt.Printf("\n--- final RTL ---\n%s\n", res.FinalRTL)
+	}
+	if metrics != nil {
+		fmt.Printf("\n%s\n", metrics.Render())
 	}
 }
 

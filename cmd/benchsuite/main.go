@@ -28,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/edatool"
 	"repro/internal/exp"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -56,8 +60,24 @@ func main() {
 		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
 		shardSpec  = flag.String("shard", "", "evaluate only shard \"i/n\" of each sweep (e.g. \"0/2\")")
 		progress   = flag.Bool("progress", false, "stream per-cell progress and ETA to stderr")
+
+		providerName = flag.String("provider", "offline",
+			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | ")+
+				" (non-default providers occupy their own cache cells)")
+		llmTimeout   = flag.Duration("llm-timeout", 30*time.Second, "per-attempt LLM call timeout (0 disables)")
+		llmRetries   = flag.Int("llm-retries", 3, "total LLM attempt budget per call (1 disables retries)")
+		llmRPS       = flag.Float64("llm-rps", 0, "LLM token-bucket rate limit in calls/s (0 disables)")
+		llmBurst     = flag.Int("llm-burst", 1, "LLM rate-limiter burst capacity")
+		llmBreaker   = flag.Int("llm-breaker-threshold", 8, "consecutive infrastructure failures that open the circuit breaker (0 disables)")
+		flakyRate    = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
+		flakySeed    = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
 	)
 	flag.Parse()
+	if !slices.Contains(provider.DefaultRegistry.Names(), *providerName) {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown provider %q (have: %s)\n",
+			*providerName, strings.Join(provider.DefaultRegistry.Names(), ", "))
+		os.Exit(2)
+	}
 	if !*table1 && !*fig3 && !*table2 && !*ablation && !*sweep && !*categories && !*all {
 		flag.Usage()
 		os.Exit(2)
@@ -91,9 +111,25 @@ func main() {
 		}
 		problems = sub
 	}
-	fmt.Printf("Benchmark suite: %d problems (%d categories)\n\n",
-		len(problems), len(suite.Categories()))
-	opts := exp.Options{Problems: problems, Runner: run, SimWorkers: *simWorkers}
+	fmt.Printf("Benchmark suite: %d problems (%d categories)\n", len(problems), len(suite.Categories()))
+	fmt.Printf("LLM provider: %s\n\n", *providerName)
+
+	stack := provider.DefaultStackConfig()
+	stack.Timeout = *llmTimeout
+	stack.Attempts = *llmRetries
+	stack.RPS = *llmRPS
+	stack.Burst = *llmBurst
+	stack.BreakerThreshold = *llmBreaker
+	opts := exp.Options{
+		Problems:   problems,
+		Runner:     run,
+		SimWorkers: *simWorkers,
+		Provider:   *providerName,
+		ProviderConfig: provider.BuildConfig{
+			Stack: stack,
+			Flaky: provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},
+		},
+	}
 
 	var matrix []*exp.Summary
 	needMatrix := *table1 || *fig3 || *table2 || *categories || *all

@@ -12,6 +12,7 @@
 package agents
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"strconv"
@@ -20,31 +21,57 @@ import (
 	"repro/internal/bench"
 	"repro/internal/edatool"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 )
 
 // CodeAgent is the single source of generated code in the pipeline.
+// It speaks to the model through the provider layer, so every call can
+// fail with a classified error once rate limits, timeouts or circuit
+// breakers intervene.
 type CodeAgent struct {
-	Session llm.Session
+	Session provider.Session
+
+	// req is reused across calls: the middleware chain treats requests
+	// as read-only, and reuse keeps the steady-state path allocation-free.
+	req provider.Request
 }
 
-// NewCodeAgent opens a model session for one problem/language task.
-func NewCodeAgent(model llm.Model, prob *bench.Problem, lang edatool.Language) *CodeAgent {
-	return &CodeAgent{Session: model.NewSession(llm.GenRequest{Problem: prob, Language: lang})}
+// NewCodeAgent opens a provider session for one problem/language task.
+func NewCodeAgent(p provider.Provider, prob *bench.Problem, lang edatool.Language) (*CodeAgent, error) {
+	s, err := p.NewSession(llm.GenRequest{Problem: prob, Language: lang})
+	if err != nil {
+		return nil, err
+	}
+	return &CodeAgent{Session: s}, nil
 }
 
 // GenerateTestbench asks the model for the self-verification testbench.
-func (a *CodeAgent) GenerateTestbench() (string, float64) {
-	return a.Session.GenerateTestbench()
+func (a *CodeAgent) GenerateTestbench(ctx context.Context) (string, float64, error) {
+	a.req = provider.Request{Op: provider.OpGenerateTestbench}
+	resp, err := a.Session.Do(ctx, &a.req)
+	return resp.Code, resp.Latency, err
 }
 
 // RepairTestbench regenerates the testbench from syntax feedback.
-func (a *CodeAgent) RepairTestbench(fb *llm.Feedback) (string, float64) {
-	return a.Session.RepairTestbench(fb)
+func (a *CodeAgent) RepairTestbench(ctx context.Context, fb *llm.Feedback) (string, float64, error) {
+	a.req = provider.Request{Op: provider.OpRepairTestbench, Feedback: fb}
+	resp, err := a.Session.Do(ctx, &a.req)
+	return resp.Code, resp.Latency, err
 }
 
 // GenerateRTL asks the model for candidate RTL (nil feedback = zero-shot).
-func (a *CodeAgent) GenerateRTL(fb *llm.Feedback) (string, float64) {
-	return a.Session.GenerateRTL(fb)
+func (a *CodeAgent) GenerateRTL(ctx context.Context, fb *llm.Feedback) (string, float64, error) {
+	a.req = provider.Request{Op: provider.OpGenerateRTL, Feedback: fb}
+	resp, err := a.Session.Do(ctx, &a.req)
+	return resp.Code, resp.Latency, err
+}
+
+// AnalysisLatency models the Review/Verification agent's own LLM call
+// for a corrective prompt with the given number of findings.
+func (a *CodeAgent) AnalysisLatency(ctx context.Context, kind llm.FeedbackKind, items int) (float64, error) {
+	a.req = provider.Request{Op: provider.OpAnalysis, Kind: kind, Items: items}
+	resp, err := a.Session.Do(ctx, &a.req)
+	return resp.Latency, err
 }
 
 // ---------------------------------------------------------------- review

@@ -1,12 +1,14 @@
 package agents
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/edatool"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 )
 
 func TestParseCompileLogExtractsErrors(t *testing.T) {
@@ -132,14 +134,22 @@ Time: 41 ns  Iteration: 0  Process: line_12
 func TestCodeAgentRoundTrip(t *testing.T) {
 	suite := bench.NewSuite()
 	model := llm.ProfileByName("claude-3.5-sonnet")
-	agent := NewCodeAgent(model, suite.ByID("gate_and"), edatool.Verilog)
-	tb, lat := agent.GenerateTestbench()
-	if tb == "" || lat <= 0 {
-		t.Error("bad testbench generation")
+	agent, err := NewCodeAgent(provider.NewOffline(model), suite.ByID("gate_and"), edatool.Verilog)
+	if err != nil {
+		t.Fatalf("NewCodeAgent: %v", err)
 	}
-	rtl, lat2 := agent.GenerateRTL(nil)
-	if rtl == "" || lat2 <= 0 {
-		t.Error("bad rtl generation")
+	ctx := context.Background()
+	tb, lat, err := agent.GenerateTestbench(ctx)
+	if err != nil || tb == "" || lat <= 0 {
+		t.Errorf("bad testbench generation: err=%v", err)
+	}
+	rtl, lat2, err := agent.GenerateRTL(ctx, nil)
+	if err != nil || rtl == "" || lat2 <= 0 {
+		t.Errorf("bad rtl generation: err=%v", err)
+	}
+	alat, err := agent.AnalysisLatency(ctx, llm.SyntaxFeedback, 3)
+	if err != nil || alat <= 0 {
+		t.Errorf("bad analysis latency: %v err=%v", alat, err)
 	}
 }
 

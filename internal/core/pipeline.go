@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -13,11 +15,20 @@ import (
 	"repro/internal/bench"
 	"repro/internal/edatool"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 )
 
 // Config parameterises a pipeline run.
 type Config struct {
-	Model          llm.Model
+	// Model is the calibrated profile the default offline provider
+	// serves. It identifies the model for reports even when Provider
+	// is set explicitly.
+	Model llm.Model
+	// Provider routes every LLM call through the provider/middleware
+	// layer (internal/llm/provider). When nil, New wraps Model in the
+	// offline provider behind the default middleware stack — byte-for-
+	// byte the seed behavior.
+	Provider       provider.Provider
 	Language       edatool.Language
 	MaxSyntaxIters int // per code artefact (paper: small, ~5)
 	MaxFuncIters   int
@@ -36,10 +47,12 @@ type Config struct {
 	Trace      func(stage, detail string) // optional transcript sink
 }
 
-// DefaultConfig returns the configuration used for the headline results.
+// DefaultConfig returns the configuration used for the headline
+// results: the offline provider behind the default middleware stack.
 func DefaultConfig(model llm.Model, lang edatool.Language) Config {
 	return Config{
 		Model:           model,
+		Provider:        provider.NewStack(provider.NewOffline(model), provider.DefaultStackConfig()),
 		Language:        lang,
 		MaxSyntaxIters:  5,
 		MaxFuncIters:    5,
@@ -74,6 +87,31 @@ type Result struct {
 	SyntaxIters int
 	FuncIters   int
 	Latency     Latency
+
+	// Aborted reports that the run terminated early on an
+	// unrecoverable LLM provider failure (retries exhausted, circuit
+	// open, cancellation); Err carries the classified error. An
+	// aborted run is a clean job failure: no loop hangs and no
+	// partially applied artefacts — the fields above reflect the last
+	// consistent state.
+	Aborted bool
+	Err     error
+}
+
+// Verdict classifies the run for reports: "pass" (self-verification
+// converged), "func-fail", "syntax-fail", or "aborted(<class>)" when
+// the LLM provider gave out.
+func (r *Result) Verdict() string {
+	switch {
+	case r.Aborted:
+		return "aborted(" + provider.ClassOf(r.Err).String() + ")"
+	case !r.SyntaxOK:
+		return "syntax-fail"
+	case r.SelfVerified:
+		return "pass"
+	default:
+		return "func-fail"
+	}
 }
 
 // Pipeline executes the AIVRIL 2 flow.
@@ -82,6 +120,9 @@ type Pipeline struct {
 	review agents.ReviewAgent
 	verify agents.VerificationAgent
 }
+
+// errNoProvider reports a Config with neither Provider nor Model.
+var errNoProvider = errors.New("core: config has no provider and no model")
 
 // New returns a pipeline for the given configuration.
 func New(cfg Config) *Pipeline {
@@ -93,6 +134,9 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.MaxSimTime == 0 {
 		cfg.MaxSimTime = 200_000
+	}
+	if cfg.Provider == nil && cfg.Model != nil {
+		cfg.Provider = provider.NewStack(provider.NewOffline(cfg.Model), provider.DefaultStackConfig())
 	}
 	return &Pipeline{cfg: cfg}
 }
@@ -139,17 +183,43 @@ func stubDUT(prob *bench.Problem, lang edatool.Language) edatool.Source {
 		hdr + "\n\narchitecture stub of " + bench.TopName + " is\nbegin\nend architecture;\n"}
 }
 
+// abort finalises res on an unrecoverable provider failure: the run
+// terminates with a classified verdict instead of hanging or leaving
+// half-applied state.
+func (p *Pipeline) abort(res *Result, err error) *Result {
+	res.Aborted = true
+	res.Err = err
+	p.trace("llm", "run aborted (%s): %v", provider.ClassOf(err), err)
+	return res
+}
+
 // Run executes the full flow on one problem.
 func (p *Pipeline) Run(prob *bench.Problem) *Result {
+	return p.RunContext(context.Background(), prob)
+}
+
+// RunContext executes the full flow on one problem under ctx: caller
+// cancellation aborts the run between (and, through the provider
+// layer, inside) LLM calls with a classified verdict.
+func (p *Pipeline) RunContext(ctx context.Context, prob *bench.Problem) *Result {
 	cfg := p.cfg
 	lang := cfg.Language
-	code := agents.NewCodeAgent(cfg.Model, prob, lang)
 	res := &Result{Problem: prob}
+	if cfg.Provider == nil {
+		return p.abort(res, &provider.Error{Class: provider.ClassInvalid, Err: errNoProvider})
+	}
+	code, err := agents.NewCodeAgent(cfg.Provider, prob, lang)
+	if err != nil {
+		return p.abort(res, err)
+	}
 
 	// Stage 0: self-verification testbench, syntax-checked first
 	// (Fig. 2 step 2: "check if the generated testbench is
 	// syntactically correct using the Review agent").
-	tb, lat := code.GenerateTestbench()
+	tb, lat, err := code.GenerateTestbench(ctx)
+	if err != nil {
+		return p.abort(res, err)
+	}
 	res.Latency.Syntax += lat
 	p.trace("testbench", "generated self-verification bench (%d bytes)", len(tb))
 	for iter := 0; iter < cfg.MaxSyntaxIters; iter++ {
@@ -159,25 +229,37 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 			break
 		}
 		fb := p.review.ParseCompileLog(comp.Log)
-		res.Latency.Syntax += code.Session.AnalysisLatency(llm.SyntaxFeedback, len(fb.Items))
+		alat, err := code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
+		if err != nil {
+			return p.abort(res, err)
+		}
+		res.Latency.Syntax += alat
 		p.trace("review", "testbench syntax errors: %d", len(fb.Items))
 		p.trace("prompt", "%s", p.review.CorrectivePrompt(fb))
-		tb, lat = code.RepairTestbench(fb)
+		if tb, lat, err = code.RepairTestbench(ctx, fb); err != nil {
+			return p.abort(res, err)
+		}
 		res.Latency.Syntax += lat
 		res.SyntaxIters++
 	}
 	res.Testbench = tb
 
 	// Stage 1: zero-shot RTL (this artefact IS the baseline measurement).
-	rtl, lat := code.GenerateRTL(nil)
+	rtl, lat, err := code.GenerateRTL(ctx, nil)
+	if err != nil {
+		return p.abort(res, err)
+	}
 	res.Latency.Baseline += lat
 	res.BaselineRTL = rtl
 	p.trace("codegen", "zero-shot RTL generated (%d bytes)", len(rtl))
 
 	// Syntax Optimization loop.
-	rtl, ok := p.syntaxLoop(code, prob, rtl, &res.Latency.Syntax, &res.SyntaxIters)
-	res.SyntaxOK = ok
+	rtl, ok, err := p.syntaxLoop(ctx, code, rtl, &res.Latency.Syntax, &res.SyntaxIters)
 	res.FinalRTL = rtl
+	if err != nil {
+		return p.abort(res, err)
+	}
+	res.SyntaxOK = ok
 	if !ok {
 		p.trace("syntax", "loop exhausted without clean compile")
 		return res
@@ -197,7 +279,11 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 		res.Latency.Func += sim.LatencyModel
 		// The Verification Agent analyses every simulation log, also the
 		// passing one that lets it declare success.
-		res.Latency.Func += code.Session.AnalysisLatency(llm.FunctionalFeedback, 0)
+		alat, err := code.AnalysisLatency(ctx, llm.FunctionalFeedback, 0)
+		if err != nil {
+			return p.abort(res, err)
+		}
+		res.Latency.Func += alat
 		if p.verify.Passed(sim.Log) {
 			res.SelfVerified = true
 			p.trace("verify", "all self-checks passed after %d functional iteration(s)", iter)
@@ -208,22 +294,28 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 		p.trace("verify", "functional failures: %d", len(fb.Items))
 		p.trace("prompt", "%s", p.verify.CorrectivePrompt(fb))
 		res.FuncIters++
-		rtl, lat = code.GenerateRTL(fb)
+		if rtl, lat, err = code.GenerateRTL(ctx, fb); err != nil {
+			return p.abort(res, err)
+		}
 		res.Latency.Func += lat
 		if !cfg.FreezeTestbench {
 			// AIVRIL 1-style co-generation: the bench is regenerated
 			// alongside the RTL, losing the stable verification target.
-			res.Testbench, lat = code.GenerateTestbench()
+			if res.Testbench, lat, err = code.GenerateTestbench(ctx); err != nil {
+				return p.abort(res, err)
+			}
 			res.Latency.Func += lat
 		}
 		// Regenerated code may have regressed syntactically.
-		rtl, ok = p.syntaxLoop(code, prob, rtl, &res.Latency.Func, &res.SyntaxIters)
+		rtl, ok, err = p.syntaxLoop(ctx, code, rtl, &res.Latency.Func, &res.SyntaxIters)
+		res.FinalRTL = rtl
+		if err != nil {
+			return p.abort(res, err)
+		}
 		if !ok {
 			res.SyntaxOK = false
-			res.FinalRTL = rtl
 			return res
 		}
-		res.FinalRTL = rtl
 	}
 	res.FinalRTL = rtl
 	return res
@@ -232,28 +324,34 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 // syntaxLoop drives the Review Agent until the RTL compiles or the
 // iteration budget is exhausted. latAcc and iterAcc accumulate into the
 // caller's accounting (the loop also runs inside the functional stage).
-func (p *Pipeline) syntaxLoop(code *agents.CodeAgent, prob *bench.Problem, rtl string, latAcc *float64, iterAcc *int) (string, bool) {
+func (p *Pipeline) syntaxLoop(ctx context.Context, code *agents.CodeAgent, rtl string, latAcc *float64, iterAcc *int) (string, bool, error) {
 	cfg := p.cfg
 	for iter := 0; iter <= cfg.MaxSyntaxIters; iter++ {
 		src := edatool.Source{Name: designFile(cfg.Language), Text: rtl}
 		comp := edatool.Compile(cfg.Language, src)
 		*latAcc += compileLatency(src)
 		if comp.OK {
-			return rtl, true
+			return rtl, true, nil
 		}
 		if iter == cfg.MaxSyntaxIters {
 			break
 		}
 		fb := p.review.ParseCompileLog(comp.Log)
-		*latAcc += code.Session.AnalysisLatency(llm.SyntaxFeedback, len(fb.Items))
+		alat, err := code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
+		if err != nil {
+			return rtl, false, err
+		}
+		*latAcc += alat
 		p.trace("review", "syntax errors: %d", len(fb.Items))
 		p.trace("prompt", "%s", p.review.CorrectivePrompt(fb))
 		var lat float64
-		rtl, lat = code.GenerateRTL(fb)
+		if rtl, lat, err = code.GenerateRTL(ctx, fb); err != nil {
+			return rtl, false, err
+		}
 		*latAcc += lat
 		*iterAcc++
 	}
-	return rtl, false
+	return rtl, false, nil
 }
 
 // EvaluateFunctional runs the final, reference-bench judgement: the

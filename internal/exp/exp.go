@@ -13,6 +13,7 @@ import (
 	"repro/internal/edatool"
 	"repro/internal/eval"
 	"repro/internal/llm"
+	"repro/internal/llm/provider"
 	"repro/internal/runner"
 )
 
@@ -22,6 +23,10 @@ import (
 type ProblemOutcome struct {
 	ID       string `json:"id"`
 	Category string `json:"category"`
+	// Provider records which LLM provider produced the cell when it is
+	// not the offline default ("" = offline, keeping legacy cache
+	// entries and the seed-era JSON shape byte-identical).
+	Provider string `json:"provider,omitempty"`
 
 	BaselineSyntaxOK bool `json:"baseline_syntax_ok"`
 	BaselineFuncOK   bool `json:"baseline_func_ok"`
@@ -39,6 +44,9 @@ type Summary struct {
 	Model    string
 	License  string
 	Language edatool.Language
+	// Provider names the non-default LLM provider the sweep ran
+	// through ("" = offline default).
+	Provider string
 	N        int
 
 	Outcomes []ProblemOutcome
@@ -91,6 +99,15 @@ type Options struct {
 	// its progress reporter streams per-cell outcomes. When nil the
 	// sweep runs on a private in-memory runner (MaxWorkers workers).
 	Runner *runner.Runner
+	// Provider selects a named provider from provider.DefaultRegistry
+	// ("" = the offline default with the default middleware stack —
+	// byte-identical to the pre-provider harness). Non-default
+	// providers join the job cache key, so their cells never collide
+	// with offline results.
+	Provider string
+	// ProviderConfig parameterises the middleware stack and fault
+	// profile of the selected provider.
+	ProviderConfig provider.BuildConfig
 }
 
 // configKey fingerprints the effective pipeline configuration. It is
@@ -102,23 +119,51 @@ func configKey(cfg core.Config) string {
 		cfg.FreezeTestbench, cfg.SkipFunctional)
 }
 
-// effectiveConfig applies the Configure hook on top of the defaults.
+// effectiveConfig applies provider selection and the Configure hook on
+// top of the defaults. It panics on an unknown provider name: that is
+// a caller configuration bug (CLIs validate the flag up front), not a
+// per-cell runtime failure.
 func (o Options) effectiveConfig(model *llm.Profile, lang edatool.Language) core.Config {
 	cfg := core.DefaultConfig(model, lang)
 	cfg.SimWorkers = o.SimWorkers
+	if o.Provider != "" {
+		p, err := provider.DefaultRegistry.New(o.Provider, model, o.ProviderConfig)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		cfg.Provider = p
+	}
 	if o.Configure != nil {
 		o.Configure(&cfg)
 	}
 	return cfg
 }
 
+// providerTag names the provider for cache keys and reports. The
+// offline default maps to "" so every pre-provider cache key and JSON
+// report stays byte-identical.
+func (o Options) providerTag() string {
+	if o.Provider == "" || o.Provider == "offline" {
+		return ""
+	}
+	return o.Provider
+}
+
 // evaluate runs the pipeline and both judgements for one cell. This is
-// the unit of work the runner executes, caches, and shards.
-func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config) ProblemOutcome {
+// the unit of work the runner executes, caches, and shards. Aborted
+// runs (provider gave up after exhausting its resilience budget)
+// surface as an error so the runner marks the cell Failed and — key
+// for resumability — never caches it: the next invocation recomputes
+// the cell instead of serving a poisoned result.
+func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag string) (ProblemOutcome, error) {
 	res := core.New(cfg).Run(prob)
+	if res.Aborted {
+		return ProblemOutcome{}, fmt.Errorf("cell %s/%s aborted: %w", prob.ID, lang, res.Err)
+	}
 	out := ProblemOutcome{
 		ID:           prob.ID,
 		Category:     prob.Category,
+		Provider:     tag,
 		SelfVerified: res.SelfVerified,
 		SyntaxIters:  res.SyntaxIters,
 		FuncIters:    res.FuncIters,
@@ -132,7 +177,7 @@ func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config) Probl
 	if res.SyntaxOK {
 		out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
 	}
-	return out
+	return out, nil
 }
 
 // Run sweeps one model over one language by submitting one job per
@@ -151,6 +196,7 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 	}
 	cfg := opts.effectiveConfig(model, lang)
 	key := configKey(cfg)
+	tag := opts.providerTag()
 	jobs := make([]runner.Job, len(problems))
 	for i, p := range problems {
 		jobs[i] = runner.Job{
@@ -158,16 +204,18 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 			Model:    model.Name(),
 			Language: lang.String(),
 			Config:   key,
+			Provider: tag,
 		}
 	}
 	results := runner.Execute(r, jobs, func(i int, _ runner.Job) (ProblemOutcome, error) {
-		return evaluate(problems[i], lang, cfg), nil
+		return evaluate(problems[i], lang, cfg, tag)
 	})
 
 	sum := &Summary{
 		Model:    model.Name(),
 		License:  model.License(),
 		Language: lang,
+		Provider: tag,
 	}
 	for _, res := range results {
 		if res.Status == runner.Skipped || res.Status == runner.Failed {

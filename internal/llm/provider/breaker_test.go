@@ -1,0 +1,201 @@
+package provider
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// failDo returns a DoFunc failing with the given class.
+func failDo(class Class) DoFunc {
+	return func(ctx context.Context, req *Request) (Response, error) {
+		return Response{}, &Error{Class: class, Op: req.Op, Err: errInjected}
+	}
+}
+
+func TestBreakerOpensAfterThresholdFailures(t *testing.T) {
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 3, 10*time.Second, 1)
+	calls := 0
+	do := b.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		calls++
+		return Response{}, &Error{Class: ClassUnavailable, Err: errInjected}
+	})
+	req := &Request{Op: OpGenerateRTL}
+	for i := 0; i < 3; i++ {
+		do(context.Background(), req)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", got)
+	}
+	// Open: rejected locally, the provider is not called.
+	_, err := do(context.Background(), req)
+	if ClassOf(err) != ClassCircuitOpen {
+		t.Errorf("class = %v, want circuit-open", ClassOf(err))
+	}
+	if calls != 3 {
+		t.Errorf("provider called %d times, want 3 (open breaker sheds load)", calls)
+	}
+	if Retryable(err) {
+		t.Error("circuit-open must not be retryable: the cooldown, not backoff, gates recovery")
+	}
+}
+
+func TestBreakerIgnoresNonInfrastructureFailures(t *testing.T) {
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 2, time.Second, 1)
+	for _, class := range []Class{ClassInvalid, ClassRateLimited, ClassCanceled} {
+		do := b.Wrap(failDo(class))
+		for i := 0; i < 10; i++ {
+			do(context.Background(), &Request{})
+		}
+		if got := b.State(); got != BreakerClosed {
+			t.Errorf("state = %v after %v failures, want closed", got, class)
+		}
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 3, time.Second, 1)
+	fail := b.Wrap(failDo(ClassUnavailable))
+	ok := b.Wrap(okDo)
+	for round := 0; round < 5; round++ {
+		fail(context.Background(), &Request{})
+		fail(context.Background(), &Request{})
+		ok(context.Background(), &Request{}) // breaks the streak
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v, want closed (failures never consecutive)", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 1, 10*time.Second, 2)
+	fail := b.Wrap(failDo(ClassTimeout))
+	ok := b.Wrap(okDo)
+
+	fail(context.Background(), &Request{})
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Cooldown not elapsed: still rejecting.
+	c.Advance(9 * time.Second)
+	if _, err := ok(context.Background(), &Request{}); ClassOf(err) != ClassCircuitOpen {
+		t.Fatalf("rejected with %v during cooldown, want circuit-open", ClassOf(err))
+	}
+	c.Advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", got)
+	}
+	// Two sequential probe successes close the breaker.
+	if _, err := ok(context.Background(), &Request{}); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if _, err := ok(context.Background(), &Request{}); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v after probe successes, want closed", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 1, 10*time.Second, 2)
+	fail := b.Wrap(failDo(ClassUnavailable))
+
+	fail(context.Background(), &Request{})
+	c.Advance(10 * time.Second)
+	fail(context.Background(), &Request{}) // failed probe
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", got)
+	}
+	// The cooldown restarted at the reopen, not the original trip.
+	c.Advance(9 * time.Second)
+	if got := b.State(); got != BreakerOpen {
+		t.Errorf("state = %v 9s after reopen, want still open", got)
+	}
+	c.Advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Errorf("state = %v 10s after reopen, want half-open", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeBudgetRace drives many concurrent calls into
+// a half-open breaker and asserts the probe budget bounds concurrency:
+// at most Probes calls reach the provider, everyone else is rejected
+// with ClassCircuitOpen. Run under -race this also proves the state
+// machine's locking.
+func TestBreakerHalfOpenProbeBudgetRace(t *testing.T) {
+	const probes, callers = 2, 16
+	c := NewMockClock()
+	b := NewCircuitBreaker(c, 1, time.Second, probes)
+	b.Wrap(failDo(ClassUnavailable))(context.Background(), &Request{})
+	c.Advance(time.Second) // cooldown elapsed: next admit goes half-open
+
+	var inFlight, maxInFlight, rejected atomic.Int64
+	rejectedCh := make(chan struct{}, callers)
+	gate := make(chan struct{})
+	do := b.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		n := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if n <= m || maxInFlight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		<-gate // hold the probe slot until every caller has been admitted or rejected
+		inFlight.Add(-1)
+		return Response{}, nil
+	})
+
+	var started, finished sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		started.Add(1)
+		finished.Add(1)
+		go func() {
+			started.Done()
+			defer finished.Done()
+			if _, err := do(context.Background(), &Request{}); err != nil {
+				if ClassOf(err) != ClassCircuitOpen {
+					t.Errorf("rejection class = %v", ClassOf(err))
+				}
+				rejected.Add(1)
+				rejectedCh <- struct{}{}
+			}
+		}()
+	}
+	started.Wait()
+	// Wait until all non-probe callers have been rejected; the probes
+	// are parked on the gate. No wall-clock waiting: this is a pure
+	// rendezvous.
+	for i := 0; i < callers-probes; i++ {
+		<-rejectedCh
+	}
+	close(gate)
+	finished.Wait()
+
+	if got := maxInFlight.Load(); got > probes {
+		t.Errorf("max concurrent probes = %d, want <= %d", got, probes)
+	}
+	if got := rejected.Load(); got != callers-probes {
+		t.Errorf("rejected = %d, want %d", got, callers-probes)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Errorf("state = %v after successful probes, want closed", got)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package provider
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the middleware stack. Every middleware
+// takes an injected Clock, so refill math, cooldowns, backoff and
+// deadlines are all unit-testable with MockClock and zero real sleeps.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case and nil after a full sleep.
+	Sleep(ctx context.Context, d time.Duration) error
+	// AfterFunc arms f to run once after d. f runs on an unspecified
+	// goroutine (real clock) or inside an Advance call (mock clock).
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is the stoppable handle returned by Clock.AfterFunc.
+// Stop reports whether it prevented the function from running —
+// exactly time.Timer semantics, so *time.Timer satisfies it.
+type Timer interface {
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// RealClock returns the process wall clock.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// MockClock is a deterministic Clock for tests. Time moves only when
+// the test calls Advance/AdvanceToNext — or, in auto mode, when a
+// Sleep consumes its own duration — so no middleware test ever waits
+// on the wall clock.
+type MockClock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    time.Time
+	seq    int
+	timers []*mockTimer
+	auto   bool
+}
+
+// NewMockClock returns a manually advanced mock clock at a fixed
+// epoch.
+func NewMockClock() *MockClock {
+	c := &MockClock{now: time.Unix(1_700_000_000, 0)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// NewAutoClock returns a mock clock whose Sleep calls advance the
+// clock themselves (firing any timers that come due on the way). A
+// single-threaded pipeline run over sleeping providers then completes
+// instantly and deterministically with no driver goroutine.
+func NewAutoClock() *MockClock {
+	c := NewMockClock()
+	c.auto = true
+	return c
+}
+
+type mockTimer struct {
+	clk      *MockClock
+	deadline time.Time
+	seq      int
+	fn       func()        // AfterFunc callback (nil for sleepers)
+	ch       chan struct{} // sleeper wakeup (nil for AfterFunc timers)
+	armed    bool
+}
+
+// Now returns the mock time.
+func (c *MockClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Pending returns the number of armed timers and blocked sleepers.
+func (c *MockClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// BlockUntil blocks until at least n timers/sleepers are pending —
+// the rendezvous a test needs before advancing past a sleeping
+// goroutine.
+func (c *MockClock) BlockUntil(n int) {
+	c.mu.Lock()
+	for len(c.timers) < n {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d, firing due timers in deadline
+// order (ties broken by arm order).
+func (c *MockClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.advanceTo(c.now.Add(d), nil)
+	c.mu.Unlock()
+}
+
+// AdvanceToNext jumps to the earliest pending deadline and fires it
+// (plus anything sharing that instant). It reports whether a timer was
+// pending.
+func (c *MockClock) AdvanceToNext() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.earliestDue(farFuture)
+	if t == nil {
+		return false
+	}
+	c.advanceTo(t.deadline, nil)
+	return true
+}
+
+var farFuture = time.Unix(1<<60, 0)
+
+// advanceTo fires due timers in order up to target. Callbacks run with
+// the lock released. When stop is non-nil, firing halts early once it
+// reports true (auto Sleep honouring context cancellation).
+// Caller holds c.mu.
+func (c *MockClock) advanceTo(target time.Time, stop func() bool) {
+	for {
+		t := c.earliestDue(target)
+		if t == nil {
+			break
+		}
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		c.remove(t)
+		if t.fn != nil {
+			c.mu.Unlock()
+			t.fn()
+			c.mu.Lock()
+		} else {
+			close(t.ch)
+		}
+		if stop != nil && stop() {
+			return
+		}
+	}
+	if target.After(c.now) {
+		c.now = target
+	}
+}
+
+// earliestDue returns the armed timer with the smallest
+// (deadline, seq) at or before target, or nil. Caller holds c.mu.
+func (c *MockClock) earliestDue(target time.Time) *mockTimer {
+	var best *mockTimer
+	for _, t := range c.timers {
+		if t.deadline.After(target) {
+			continue
+		}
+		if best == nil || t.deadline.Before(best.deadline) ||
+			(t.deadline.Equal(best.deadline) && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// arm registers a timer. Caller holds c.mu.
+func (c *MockClock) arm(d time.Duration, fn func(), ch chan struct{}) *mockTimer {
+	c.seq++
+	t := &mockTimer{clk: c, deadline: c.now.Add(d), seq: c.seq, fn: fn, ch: ch, armed: true}
+	c.timers = append(c.timers, t)
+	c.cond.Broadcast()
+	return t
+}
+
+// remove disarms a timer. Caller holds c.mu.
+func (c *MockClock) remove(t *mockTimer) {
+	if !t.armed {
+		return
+	}
+	t.armed = false
+	for i, x := range c.timers {
+		if x == t {
+			c.timers[i] = c.timers[len(c.timers)-1]
+			c.timers = c.timers[:len(c.timers)-1]
+			return
+		}
+	}
+}
+
+// Sleep implements Clock. In auto mode it advances the clock itself;
+// otherwise it blocks until an Advance reaches the deadline or ctx is
+// done.
+func (c *MockClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.auto {
+		c.advanceTo(c.now.Add(d), func() bool { return ctx.Err() != nil })
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+	t := c.arm(d, nil, make(chan struct{}))
+	c.mu.Unlock()
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.remove(t)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// AfterFunc implements Clock.
+func (c *MockClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	t := c.arm(d, f, nil)
+	c.mu.Unlock()
+	return t
+}
+
+// Stop implements Timer.
+func (t *mockTimer) Stop() bool {
+	c := t.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !t.armed {
+		return false
+	}
+	c.remove(t)
+	return true
+}
+
+// Reset implements Timer.
+func (t *mockTimer) Reset(d time.Duration) bool {
+	c := t.clk
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	was := t.armed
+	t.deadline = c.now.Add(d)
+	c.seq++
+	t.seq = c.seq
+	if !was {
+		t.armed = true
+		c.timers = append(c.timers, t)
+		c.cond.Broadcast()
+	}
+	return was
+}

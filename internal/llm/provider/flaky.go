@@ -1,0 +1,112 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+)
+
+var errInjected = errors.New("injected fault")
+
+// FlakyConfig parameterises fault injection.
+type FlakyConfig struct {
+	// Seed drives the fault RNG; the same seed and call order replay
+	// the same faults.
+	Seed int64
+	// ErrorRate is the per-call probability of an injected failure.
+	ErrorRate float64
+	// Classes are the failure classes sampled uniformly per injected
+	// error. Nil defaults to {ClassUnavailable, ClassRateLimited}.
+	Classes []Class
+	// MeanLatency, when > 0, injects an exponentially distributed
+	// wall-clock delay (through the injected clock) before each call —
+	// the knob that exercises the timeout middleware.
+	MeanLatency time.Duration
+}
+
+// DefaultFlakyConfig returns the fault profile the CLIs use when the
+// flaky provider is selected without explicit knobs.
+func DefaultFlakyConfig() FlakyConfig {
+	return FlakyConfig{Seed: 1, ErrorRate: 0.25}
+}
+
+// Flaky wraps another provider with seeded, configurable fault
+// injection: classified errors at ErrorRate and optional latency drawn
+// from an exponential distribution. It exists to prove the middleware
+// stack and the pipeline degrade gracefully; it is deterministic for a
+// fixed seed and call order.
+type Flaky struct {
+	inner Provider
+	clock Clock
+	cfg   FlakyConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFlaky wraps inner with the given fault profile.
+func NewFlaky(inner Provider, clock Clock, cfg FlakyConfig) *Flaky {
+	if cfg.Classes == nil {
+		cfg.Classes = []Class{ClassUnavailable, ClassRateLimited}
+	}
+	return &Flaky{inner: inner, clock: clock, cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Provider.
+func (f *Flaky) Name() string { return "flaky" }
+
+// ModelName implements Provider.
+func (f *Flaky) ModelName() string { return f.inner.ModelName() }
+
+// License implements Provider.
+func (f *Flaky) License() string { return f.inner.License() }
+
+// NewSession implements Provider. All sessions share the provider's
+// fault RNG, like real outages that hit every conversation at once.
+func (f *Flaky) NewSession(req llm.GenRequest) (Session, error) {
+	s, err := f.inner.NewSession(req)
+	if err != nil {
+		return nil, err
+	}
+	return &flakySession{f: f, inner: s}, nil
+}
+
+// roll draws (latency, fault class) for one call in a fixed RNG order.
+func (f *Flaky) roll() (time.Duration, Class, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var lat time.Duration
+	if f.cfg.MeanLatency > 0 {
+		lat = time.Duration(f.rng.ExpFloat64() * float64(f.cfg.MeanLatency))
+	}
+	if f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate {
+		return lat, f.cfg.Classes[f.rng.Intn(len(f.cfg.Classes))], true
+	}
+	return lat, ClassOK, false
+}
+
+type flakySession struct {
+	f     *Flaky
+	inner Session
+}
+
+// Do implements Session: sleep the injected latency (honouring ctx, so
+// the timeout middleware can cut it short), then either fail with the
+// injected class or delegate to the wrapped provider.
+func (s *flakySession) Do(ctx context.Context, req *Request) (Response, error) {
+	lat, class, fail := s.f.roll()
+	if lat > 0 {
+		if err := s.f.clock.Sleep(ctx, lat); err != nil {
+			return Response{}, &Error{Class: ClassOf(err), Op: req.Op, Provider: "flaky", Err: err}
+		}
+	}
+	if fail {
+		return Response{}, &Error{Class: class, Op: req.Op, Provider: "flaky", Err: errInjected}
+	}
+	return s.inner.Do(ctx, req)
+}

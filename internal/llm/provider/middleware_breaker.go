@@ -1,0 +1,172 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+var errCircuitOpen = errors.New("circuit breaker open")
+
+// BreakerState is the circuit breaker's coarse state.
+type BreakerState int
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// CircuitBreaker sheds load from a failing provider. Closed, it counts
+// consecutive infrastructure failures (ClassUnavailable, ClassTimeout;
+// backpressure and caller errors do not trip it) and opens at
+// Threshold. Open, it rejects everything with ClassCircuitOpen until
+// Cooldown elapses, then goes half-open: up to Probes concurrent probe
+// calls are admitted while the rest stay rejected. Probes successes
+// close the breaker; any probe failure reopens it with a fresh
+// cooldown.
+type CircuitBreaker struct {
+	clock       Clock
+	threshold   int
+	cooldown    time.Duration
+	probeBudget int
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	openedAt  time.Time
+	inFlight  int // probes in flight while half-open
+	successes int // probe successes this half-open round
+}
+
+// NewCircuitBreaker returns a closed breaker. threshold and probes are
+// clamped to at least 1.
+func NewCircuitBreaker(clock Clock, threshold int, cooldown time.Duration, probes int) *CircuitBreaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	return &CircuitBreaker{clock: clock, threshold: threshold, cooldown: cooldown, probeBudget: probes}
+}
+
+// Name implements Middleware.
+func (b *CircuitBreaker) Name() string { return "breaker" }
+
+// State returns the current state, accounting for an elapsed cooldown
+// (an open breaker whose cooldown has passed reports half-open).
+func (b *CircuitBreaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock.Now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Wrap implements Middleware.
+func (b *CircuitBreaker) Wrap(next DoFunc) DoFunc {
+	return func(ctx context.Context, req *Request) (Response, error) {
+		probe, err := b.admit(req.Op)
+		if err != nil {
+			return Response{}, err
+		}
+		resp, err := next(ctx, req)
+		b.record(probe, err)
+		return resp, err
+	}
+}
+
+// admit decides whether the call may proceed and whether it counts as
+// a half-open probe.
+func (b *CircuitBreaker) admit(op Op) (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false, &Error{Class: ClassCircuitOpen, Op: op, Err: errCircuitOpen}
+		}
+		b.state = BreakerHalfOpen
+		b.inFlight, b.successes = 0, 0
+	}
+	// Half-open: admit up to probeBudget concurrent probes.
+	if b.inFlight >= b.probeBudget {
+		return false, &Error{Class: ClassCircuitOpen, Op: op, Err: errCircuitOpen}
+	}
+	b.inFlight++
+	return true, nil
+}
+
+// countsAsFailure: only infrastructure failures trip the breaker.
+func countsAsFailure(err error) bool {
+	switch ClassOf(err) {
+	case ClassUnavailable, ClassTimeout:
+		return true
+	}
+	return false
+}
+
+// record feeds a call outcome back into the state machine.
+func (b *CircuitBreaker) record(probe bool, err error) {
+	fail := countsAsFailure(err)
+	ok := err == nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		// A probe completing after a sibling probe already reopened the
+		// breaker must not disturb the fresh open state.
+		if b.state != BreakerHalfOpen {
+			return
+		}
+		b.inFlight--
+		switch {
+		case fail:
+			b.trip()
+		case ok:
+			b.successes++
+			if b.successes >= b.probeBudget {
+				b.state = BreakerClosed
+				b.failures = 0
+			}
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return // stale completion from before a trip
+	}
+	switch {
+	case fail:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case ok:
+		b.failures = 0
+	}
+}
+
+// trip (re)opens the breaker. Caller holds b.mu.
+func (b *CircuitBreaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.failures = 0
+	b.inFlight, b.successes = 0, 0
+}

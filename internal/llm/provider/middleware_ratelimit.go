@@ -1,0 +1,104 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+var errTooManyRequests = errors.New("token bucket empty")
+
+// RateLimiter is a token-bucket admission gate shared by every session
+// of the provider it wraps: capacity Burst tokens, refilled at Rate
+// tokens per second, one token per call. By default a call with no
+// token waits (through the injected clock, so tests never sleep); in
+// fail-fast mode it is rejected immediately with ClassRateLimited.
+type RateLimiter struct {
+	clock    Clock
+	failFast bool
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter admitting rps calls per second with
+// the given burst capacity (minimum 1).
+func NewRateLimiter(clock Clock, rps float64, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		clock: clock, rate: rps,
+		burst: float64(burst), tokens: float64(burst),
+		last: clock.Now(),
+	}
+}
+
+// FailFast switches the limiter from waiting to rejecting; it returns
+// the limiter for chaining and must be called before use.
+func (l *RateLimiter) FailFast() *RateLimiter {
+	l.failFast = true
+	return l
+}
+
+// Name implements Middleware.
+func (l *RateLimiter) Name() string { return "ratelimit" }
+
+// Tokens returns the current token count after refill (for tests and
+// metrics).
+func (l *RateLimiter) Tokens() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill(l.clock.Now())
+	return l.tokens
+}
+
+// Wrap implements Middleware.
+func (l *RateLimiter) Wrap(next DoFunc) DoFunc {
+	return func(ctx context.Context, req *Request) (Response, error) {
+		if err := l.acquire(ctx, req.Op); err != nil {
+			return Response{}, err
+		}
+		return next(ctx, req)
+	}
+}
+
+// acquire takes one token, waiting for refill when the bucket is empty
+// (unless fail-fast). The wait is re-checked in a loop because another
+// waiter may have won the refilled token.
+func (l *RateLimiter) acquire(ctx context.Context, op Op) error {
+	for {
+		l.mu.Lock()
+		l.refill(l.clock.Now())
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		// Ceil to whole nanoseconds so a rounded-down wait cannot spin.
+		need := time.Duration(math.Ceil((1 - l.tokens) / l.rate * 1e9))
+		l.mu.Unlock()
+		if l.failFast {
+			return &Error{Class: ClassRateLimited, Op: op, Err: errTooManyRequests}
+		}
+		if err := l.clock.Sleep(ctx, need); err != nil {
+			return &Error{Class: ClassOf(err), Op: op, Err: err}
+		}
+	}
+}
+
+// refill credits tokens for the time elapsed since the last update.
+// Caller holds l.mu.
+func (l *RateLimiter) refill(now time.Time) {
+	dt := now.Sub(l.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	l.tokens = math.Min(l.burst, l.tokens+dt*l.rate)
+	l.last = now
+}

@@ -1,0 +1,171 @@
+package provider
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Timeout enforces a per-attempt deadline. The call runs under a
+// context whose Done fires — and whose Err turns DeadlineExceeded —
+// when the injected clock reaches the deadline, so a provider blocked
+// in a clock Sleep unblocks promptly and the middleware maps the
+// outcome to ClassTimeout. Sitting innermost in the standard stack,
+// each retry attempt gets a fresh deadline.
+//
+// The deadline contexts are pooled: a completed call whose timer was
+// stopped in time and whose Done channel was never demanded returns
+// its context to the pool, keeping the steady-state offline path
+// allocation-free.
+type Timeout struct {
+	clock Clock
+	d     time.Duration
+	pool  sync.Pool
+}
+
+// NewTimeout returns a per-call timeout of d.
+func NewTimeout(clock Clock, d time.Duration) *Timeout {
+	return &Timeout{clock: clock, d: d}
+}
+
+// Name implements Middleware.
+func (t *Timeout) Name() string { return "timeout" }
+
+// Wrap implements Middleware.
+func (t *Timeout) Wrap(next DoFunc) DoFunc {
+	return func(ctx context.Context, req *Request) (Response, error) {
+		tc := t.acquire(ctx)
+		resp, err := next(tc, req)
+		expired := tc.expired()
+		t.release(tc)
+		if expired {
+			return Response{}, &Error{Class: ClassTimeout, Op: req.Op, Err: context.DeadlineExceeded}
+		}
+		return resp, err
+	}
+}
+
+func (t *Timeout) acquire(parent context.Context) *timeoutCtx {
+	tc, _ := t.pool.Get().(*timeoutCtx)
+	if tc == nil {
+		tc = &timeoutCtx{}
+	}
+	tc.parent = parent
+	tc.deadline = t.clock.Now().Add(t.d)
+	tc.exp = false
+	tc.closed = false
+	if tc.timer == nil {
+		tc.timer = t.clock.AfterFunc(t.d, tc.expire)
+	} else {
+		tc.timer.Reset(t.d)
+	}
+	return tc
+}
+
+// release stops the deadline timer and pools the context when that is
+// provably safe: the timer cannot fire anymore and nobody ever asked
+// for the Done channel (so no goroutine or select can still hold a
+// reference into it).
+func (t *Timeout) release(tc *timeoutCtx) {
+	stopped := tc.timer.Stop()
+	tc.mu.Lock()
+	if tc.stop != nil {
+		close(tc.stop)
+		tc.stop = nil
+	}
+	reusable := stopped && !tc.exp && tc.done == nil
+	tc.mu.Unlock()
+	if reusable {
+		tc.parent = context.Background()
+		t.pool.Put(tc)
+	}
+}
+
+// timeoutCtx is a context.Context whose deadline is driven by the
+// middleware's Clock rather than the runtime timer heap.
+type timeoutCtx struct {
+	parent   context.Context
+	deadline time.Time
+	timer    Timer
+
+	mu     sync.Mutex
+	exp    bool
+	done   chan struct{} // created lazily on first Done()
+	closed bool
+	stop   chan struct{} // stops the parent-cancellation watcher
+}
+
+// Deadline implements context.Context.
+func (c *timeoutCtx) Deadline() (time.Time, bool) {
+	if pd, ok := c.parent.Deadline(); ok && pd.Before(c.deadline) {
+		return pd, true
+	}
+	return c.deadline, true
+}
+
+// Err implements context.Context.
+func (c *timeoutCtx) Err() error {
+	c.mu.Lock()
+	exp := c.exp
+	c.mu.Unlock()
+	if exp {
+		return context.DeadlineExceeded
+	}
+	return c.parent.Err()
+}
+
+// Value implements context.Context.
+func (c *timeoutCtx) Value(k any) any { return c.parent.Value(k) }
+
+// Done implements context.Context. The channel is created on demand;
+// the fast synchronous path never allocates it. Parent cancellation is
+// propagated by a watcher goroutine that is likewise only started when
+// someone actually selects on Done.
+func (c *timeoutCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.exp || c.parent.Err() != nil {
+			close(c.done)
+			c.closed = true
+		} else if pd := c.parent.Done(); pd != nil {
+			c.stop = make(chan struct{})
+			go c.watch(pd, c.stop)
+		}
+	}
+	d := c.done
+	c.mu.Unlock()
+	return d
+}
+
+func (c *timeoutCtx) watch(pd <-chan struct{}, stop chan struct{}) {
+	select {
+	case <-pd:
+		c.mu.Lock()
+		if c.done != nil && !c.closed {
+			close(c.done)
+			c.closed = true
+		}
+		c.mu.Unlock()
+	case <-stop:
+	}
+}
+
+// expire is the timer callback.
+func (c *timeoutCtx) expire() {
+	c.mu.Lock()
+	c.exp = true
+	if c.done != nil && !c.closed {
+		close(c.done)
+		c.closed = true
+	}
+	c.mu.Unlock()
+}
+
+func (c *timeoutCtx) expired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exp
+}
+
+var _ context.Context = (*timeoutCtx)(nil)

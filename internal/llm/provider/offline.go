@@ -1,0 +1,64 @@
+package provider
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/llm"
+)
+
+var errUnknownOp = errors.New("unknown op")
+
+// Offline re-homes the calibrated deterministic llm.Model as the
+// default provider. Calls are synchronous, never fail, and consume the
+// session's seeded RNG in exactly the order the seed pipeline did, so
+// results — and therefore experiment cache keys — are byte-for-byte
+// identical with or without the middleware stack around it.
+type Offline struct {
+	model llm.Model
+}
+
+// NewOffline wraps a calibrated model profile.
+func NewOffline(model llm.Model) *Offline { return &Offline{model: model} }
+
+// Name implements Provider.
+func (o *Offline) Name() string { return "offline" }
+
+// ModelName implements Provider.
+func (o *Offline) ModelName() string { return o.model.Name() }
+
+// License implements Provider.
+func (o *Offline) License() string { return o.model.License() }
+
+// NewSession implements Provider.
+func (o *Offline) NewSession(req llm.GenRequest) (Session, error) {
+	return &offlineSession{s: o.model.NewSession(req)}, nil
+}
+
+type offlineSession struct {
+	s llm.Session
+}
+
+// Do implements Session by dispatching onto the simulated
+// conversation. A pre-cancelled context is honoured before any RNG is
+// consumed, so cancellation can never desynchronise the deterministic
+// defect stream.
+func (s *offlineSession) Do(ctx context.Context, req *Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	switch req.Op {
+	case OpGenerateTestbench:
+		code, lat := s.s.GenerateTestbench()
+		return Response{Code: code, Latency: lat}, nil
+	case OpGenerateRTL:
+		code, lat := s.s.GenerateRTL(req.Feedback)
+		return Response{Code: code, Latency: lat}, nil
+	case OpRepairTestbench:
+		code, lat := s.s.RepairTestbench(req.Feedback)
+		return Response{Code: code, Latency: lat}, nil
+	case OpAnalysis:
+		return Response{Latency: s.s.AnalysisLatency(req.Kind, req.Items)}, nil
+	}
+	return Response{}, &Error{Class: ClassInvalid, Op: req.Op, Provider: "offline", Err: errUnknownOp}
+}

@@ -1,0 +1,117 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// okDo is the innermost no-op call for middleware-in-isolation tests.
+func okDo(ctx context.Context, req *Request) (Response, error) {
+	return Response{Latency: 1}, nil
+}
+
+func TestRateLimiterBurstThenWait(t *testing.T) {
+	c := NewAutoClock()
+	l := NewRateLimiter(c, 2, 3) // 2 tokens/s, burst 3
+	do := l.Wrap(okDo)
+	req := &Request{Op: OpAnalysis}
+	start := c.Now()
+
+	// The burst is admitted without any time passing.
+	for i := 0; i < 3; i++ {
+		if _, err := do(context.Background(), req); err != nil {
+			t.Fatalf("burst call %d: %v", i, err)
+		}
+	}
+	if !c.Now().Equal(start) {
+		t.Fatalf("burst consumed time: %v", c.Now().Sub(start))
+	}
+
+	// The 4th call must wait exactly one token's refill: 1/rate = 500ms.
+	if _, err := do(context.Background(), req); err != nil {
+		t.Fatalf("post-burst call: %v", err)
+	}
+	if got, want := c.Now().Sub(start), 500*time.Millisecond; got != want {
+		t.Errorf("waited %v, want %v", got, want)
+	}
+}
+
+func TestRateLimiterRefillMath(t *testing.T) {
+	c := NewMockClock()
+	l := NewRateLimiter(c, 4, 8)
+	ctx := context.Background()
+	req := &Request{Op: OpAnalysis}
+	do := l.Wrap(okDo)
+	for i := 0; i < 8; i++ {
+		if _, err := do(ctx, req); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if got := l.Tokens(); got != 0 {
+		t.Fatalf("tokens after drain = %v", got)
+	}
+	c.Advance(time.Second) // 4 tokens/s for 1s
+	if got := l.Tokens(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("tokens after 1s = %v, want 4", got)
+	}
+	c.Advance(time.Hour) // refill saturates at burst
+	if got := l.Tokens(); got != 8 {
+		t.Errorf("tokens after 1h = %v, want burst 8", got)
+	}
+}
+
+func TestRateLimiterFailFast(t *testing.T) {
+	c := NewMockClock()
+	l := NewRateLimiter(c, 1, 1).FailFast()
+	do := l.Wrap(okDo)
+	req := &Request{Op: OpGenerateRTL}
+	if _, err := do(context.Background(), req); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	start := c.Now()
+	_, err := do(context.Background(), req)
+	if ClassOf(err) != ClassRateLimited {
+		t.Errorf("class = %v, want rate-limited", ClassOf(err))
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Op != OpGenerateRTL {
+		t.Errorf("error = %v, want classified with op", err)
+	}
+	if !c.Now().Equal(start) {
+		t.Error("fail-fast rejection consumed time")
+	}
+	if Retryable(err) != true {
+		t.Error("rate-limited must be retryable so an outer retry can wait it out")
+	}
+}
+
+func TestRateLimiterWaitCancelled(t *testing.T) {
+	c := NewMockClock()
+	l := NewRateLimiter(c, 1, 1)
+	do := l.Wrap(okDo)
+	if _, err := do(context.Background(), &Request{}); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := do(ctx, &Request{Op: OpAnalysis})
+		errc <- err
+	}()
+	c.BlockUntil(1) // waiter asleep on the refill
+	cancel()
+	if err := <-errc; ClassOf(err) != ClassCanceled {
+		t.Errorf("class = %v, want canceled", ClassOf(err))
+	}
+}
+
+func TestRateLimiterMinimumBurst(t *testing.T) {
+	c := NewAutoClock()
+	l := NewRateLimiter(c, 10, 0) // burst clamps to 1
+	if got := l.Tokens(); got != 1 {
+		t.Errorf("tokens = %v, want clamped burst 1", got)
+	}
+}

@@ -1,0 +1,148 @@
+package provider
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTimeoutExpiresSlowCall(t *testing.T) {
+	c := NewAutoClock()
+	tm := NewTimeout(c, 50*time.Millisecond)
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		// A provider stuck for 10x the budget; the deadline context cuts
+		// the sleep short.
+		if err := c.Sleep(ctx, 500*time.Millisecond); err != nil {
+			return Response{}, err
+		}
+		return Response{Latency: 1}, nil
+	})
+	start := c.Now()
+	_, err := do(context.Background(), &Request{Op: OpGenerateRTL})
+	if ClassOf(err) != ClassTimeout {
+		t.Fatalf("class = %v (%v), want timeout", ClassOf(err), err)
+	}
+	// The call was cut at the deadline, not after the full provider stall.
+	if got, want := c.Now().Sub(start), 50*time.Millisecond; got != want {
+		t.Errorf("elapsed %v, want %v", got, want)
+	}
+	if !Retryable(err) {
+		t.Error("timeout must be retryable: the next attempt gets a fresh deadline")
+	}
+}
+
+func TestTimeoutFastCallUnaffected(t *testing.T) {
+	c := NewAutoClock()
+	tm := NewTimeout(c, 50*time.Millisecond)
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		c.Sleep(ctx, 10*time.Millisecond)
+		return Response{Latency: 1}, nil
+	})
+	// Several sequential calls also exercise context pooling/reset.
+	for i := 0; i < 5; i++ {
+		resp, err := do(context.Background(), &Request{})
+		if err != nil || resp.Latency != 1 {
+			t.Fatalf("call %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Errorf("leaked %d armed timers", c.Pending())
+	}
+}
+
+func TestTimeoutFreshDeadlinePerCall(t *testing.T) {
+	c := NewAutoClock()
+	tm := NewTimeout(c, 50*time.Millisecond)
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		c.Sleep(ctx, 40*time.Millisecond)
+		return Response{}, ctx.Err()
+	})
+	// Each 40ms call fits its own 50ms budget; budgets must not bleed
+	// across calls through the pooled context.
+	for i := 0; i < 4; i++ {
+		if _, err := do(context.Background(), &Request{}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTimeoutParentCancellationWins(t *testing.T) {
+	c := NewMockClock()
+	tm := NewTimeout(c, time.Hour)
+	entered := make(chan struct{})
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		close(entered)
+		<-ctx.Done() // a provider blocked on the context directly
+		return Response{}, ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := do(ctx, &Request{})
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errc; ClassOf(err) != ClassCanceled {
+		t.Errorf("class = %v, want canceled (parent cancellation, not timeout)", ClassOf(err))
+	}
+}
+
+func TestTimeoutCtxContract(t *testing.T) {
+	c := NewMockClock()
+	tm := NewTimeout(c, time.Minute)
+	type key struct{}
+	parent := context.WithValue(context.Background(), key{}, "v")
+	var inner context.Context
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		inner = ctx
+		if d, ok := ctx.Deadline(); !ok || !d.Equal(c.Now().Add(time.Minute)) {
+			t.Errorf("Deadline() = %v, %v", d, ok)
+		}
+		if ctx.Value(key{}) != "v" {
+			t.Error("Value not delegated to parent")
+		}
+		if ctx.Err() != nil {
+			t.Errorf("Err() = %v before deadline", ctx.Err())
+		}
+		return Response{}, nil
+	})
+	if _, err := do(parent, &Request{}); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	_ = inner
+
+	// A parent deadline earlier than the timeout's own wins. The mock
+	// epoch is far in the past, so a huge mock-relative budget puts the
+	// timeout's deadline safely after the parent's wall-clock one.
+	pctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel()
+	tm2 := NewTimeout(c, 200*365*24*time.Hour)
+	do2 := tm2.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		pd, _ := pctx.Deadline()
+		if d, ok := ctx.Deadline(); !ok || !d.Equal(pd) {
+			t.Errorf("Deadline() = %v, want parent's %v", d, pd)
+		}
+		return Response{}, nil
+	})
+	do2(pctx, &Request{})
+}
+
+func TestTimeoutDoneChannelCloses(t *testing.T) {
+	c := NewMockClock()
+	tm := NewTimeout(c, 10*time.Millisecond)
+	done := make(chan error, 1)
+	do := tm.Wrap(func(ctx context.Context, req *Request) (Response, error) {
+		<-ctx.Done() // demand the channel before the deadline
+		return Response{}, ctx.Err()
+	})
+	go func() {
+		_, err := do(context.Background(), &Request{})
+		done <- err
+	}()
+	c.BlockUntil(1) // the armed deadline timer
+	c.Advance(10 * time.Millisecond)
+	if err := <-done; ClassOf(err) != ClassTimeout {
+		t.Errorf("class = %v, want timeout", ClassOf(err))
+	}
+}

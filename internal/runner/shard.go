@@ -9,7 +9,7 @@ import (
 	"strings"
 )
 
-// Job addresses one evaluation cell of an experiment sweep. The four
+// Job addresses one evaluation cell of an experiment sweep. The
 // fields fully determine the pipeline's (deterministic) outcome, so
 // their hash is both the cache key and the shard assignment.
 type Job struct {
@@ -17,9 +17,14 @@ type Job struct {
 	Model    string `json:"model"`    // llm profile name
 	Language string `json:"language"` // "Verilog" / "VHDL"
 	Config   string `json:"config"`   // fingerprint of the effective core.Config
+	// Provider names a non-default LLM provider ("" = the offline
+	// default). The empty value is excluded from the hash so every key
+	// minted before providers existed stays valid: offline sweeps keep
+	// their cache entries and shard assignments byte-for-byte.
+	Provider string `json:"provider,omitempty"`
 }
 
-// Key returns the job's content address: a hex SHA-256 over the four
+// Key returns the job's content address: a hex SHA-256 over the
 // fields with an unambiguous separator. Stable across processes and
 // platforms.
 func (j Job) Key() string {
@@ -28,11 +33,19 @@ func (j Job) Key() string {
 		h.Write([]byte(f))
 		h.Write([]byte{0})
 	}
+	if j.Provider != "" {
+		h.Write([]byte("provider=" + j.Provider))
+		h.Write([]byte{0})
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 func (j Job) String() string {
-	return j.Problem + "/" + j.Model + "/" + j.Language
+	s := j.Problem + "/" + j.Model + "/" + j.Language
+	if j.Provider != "" {
+		s += "/" + j.Provider
+	}
+	return s
 }
 
 // Shard names one slice of a sweep split across Count invocations.
