@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/edatool"
 	"repro/internal/llm"
 	"repro/internal/llm/provider"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -33,6 +35,10 @@ func main() {
 		llmMetrics = flag.Bool("llm-metrics", false, "print per-op LLM call metrics at the end")
 		flakyRate  = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
 		flakySeed  = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
+
+		checkpointDir = flag.String("checkpoint-dir", "",
+			"persist a checkpoint after every pipeline state into this directory (aborted runs resume)")
+		resume = flag.Bool("resume", true, "resume from an existing checkpoint in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -84,14 +90,54 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Provider = p
-	res := core.New(cfg).Run(prob)
+	pipe := core.New(cfg)
+
+	var res *core.Result
+	if *checkpointDir != "" {
+		cache, err := runner.OpenCache(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aivril: %v\n", err)
+			os.Exit(1)
+		}
+		tag := ""
+		if *providerName != "offline" {
+			tag = *providerName
+		}
+		job := runner.Job{Problem: prob.ID, Model: model.Name(), Language: lang.String(),
+			Config: cfg.Fingerprint(), Provider: tag}
+		m := pipe.NewMachine(prob)
+		var cp core.Checkpoint
+		if *resume && cache.LoadCheckpoint(job, &cp) {
+			if rm, rerr := pipe.Restore(&cp, prob); rerr == nil {
+				m = rm
+				fmt.Printf("[resume   ] continuing from state %s (step %d)\n", m.State(), m.Steps())
+			} else {
+				fmt.Fprintf(os.Stderr, "aivril: checkpoint unusable (%v); starting over\n", rerr)
+			}
+		}
+		res, err = m.RunCheckpointed(context.Background(), func(c *core.Checkpoint) error {
+			return cache.StoreCheckpoint(job, c)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aivril: checkpointing failed: %v\n", err)
+			os.Exit(1)
+		}
+		if !res.Aborted {
+			cache.DeleteCheckpoint(job)
+		}
+	} else {
+		res = pipe.Run(prob)
+	}
 
 	if res.Aborted {
-		fmt.Printf("\n--- outcome ---\n")
-		fmt.Printf("verdict            : %s\n", res.Verdict())
-		fmt.Printf("error              : %v\n", res.Err)
 		if metrics != nil {
 			fmt.Printf("\n%s\n", metrics.Render())
+		}
+		// The abort is the program's failure: classified verdict and
+		// cause on stderr, non-zero exit for scripts and CI.
+		fmt.Fprintf(os.Stderr, "aivril: run aborted: %s: %v\n", res.Verdict(), res.Err)
+		if *checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "aivril: checkpoint kept in %s; re-run with the same flags to resume\n", *checkpointDir)
 		}
 		os.Exit(1)
 	}

@@ -58,6 +58,7 @@ func main() {
 		simWorkers = flag.Int("sim-workers", 0, "shard each simulation across this many workers (<=1 = serial; output is byte-identical either way)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (enables resume)")
 		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
+		checkpoint = flag.Bool("checkpoints", true, "with -cache-dir: checkpoint every cell after each pipeline state so aborted cells resume mid-run")
 		shardSpec  = flag.String("shard", "", "evaluate only shard \"i/n\" of each sweep (e.g. \"0/2\")")
 		progress   = flag.Bool("progress", false, "stream per-cell progress and ETA to stderr")
 
@@ -124,6 +125,7 @@ func main() {
 		Problems:   problems,
 		Runner:     run,
 		SimWorkers: *simWorkers,
+		Checkpoint: *checkpoint,
 		Provider:   *providerName,
 		ProviderConfig: provider.BuildConfig{
 			Stack: stack,

@@ -47,6 +47,16 @@ type Config struct {
 	Trace      func(stage, detail string) // optional transcript sink
 }
 
+// Fingerprint identifies the behavioural configuration: every knob
+// that changes pipeline outcomes, and none that don't (SimWorkers and
+// Trace are deliberately absent). The format is a component of the
+// runner's content-addressed cache keys and of checkpoint identity —
+// changing it orphans every cached sweep, so keep it stable.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("syn%d,fun%d,sim%d,freeze=%t,skipf=%t",
+		c.MaxSyntaxIters, c.MaxFuncIters, c.MaxSimTime, c.FreezeTestbench, c.SkipFunctional)
+}
+
 // DefaultConfig returns the configuration used for the headline
 // results: the offline provider behind the default middleware stack.
 func DefaultConfig(model llm.Model, lang edatool.Language) Config {
@@ -200,158 +210,21 @@ func (p *Pipeline) Run(prob *bench.Problem) *Result {
 
 // RunContext executes the full flow on one problem under ctx: caller
 // cancellation aborts the run between (and, through the provider
-// layer, inside) LLM calls with a classified verdict.
+// layer, inside) LLM calls with a classified verdict. It drives the
+// explicit state machine (statemachine.go) to completion; callers that
+// need checkpoints between states use NewMachine/RunCheckpointed
+// directly.
 func (p *Pipeline) RunContext(ctx context.Context, prob *bench.Problem) *Result {
-	cfg := p.cfg
-	lang := cfg.Language
-	res := &Result{Problem: prob}
-	if cfg.Provider == nil {
-		return p.abort(res, &provider.Error{Class: provider.ClassInvalid, Err: errNoProvider})
-	}
-	code, err := agents.NewCodeAgent(cfg.Provider, prob, lang)
-	if err != nil {
-		return p.abort(res, err)
-	}
-
-	// Stage 0: self-verification testbench, syntax-checked first
-	// (Fig. 2 step 2: "check if the generated testbench is
-	// syntactically correct using the Review agent").
-	tb, lat, err := code.GenerateTestbench(ctx)
-	if err != nil {
-		return p.abort(res, err)
-	}
-	res.Latency.Syntax += lat
-	p.trace("testbench", "generated self-verification bench (%d bytes)", len(tb))
-	for iter := 0; iter < cfg.MaxSyntaxIters; iter++ {
-		comp := edatool.Compile(lang, stubDUT(prob, lang), edatool.Source{Name: tbFile(lang), Text: tb})
-		res.Latency.Syntax += compileLatency(stubDUT(prob, lang), edatool.Source{Text: tb})
-		if comp.OK {
-			break
-		}
-		fb := p.review.ParseCompileLog(comp.Log)
-		alat, err := code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
+	m := p.NewMachine(prob)
+	for {
+		done, err := m.Step(ctx)
 		if err != nil {
-			return p.abort(res, err)
+			return m.Abort(err)
 		}
-		res.Latency.Syntax += alat
-		p.trace("review", "testbench syntax errors: %d", len(fb.Items))
-		p.trace("prompt", "%s", p.review.CorrectivePrompt(fb))
-		if tb, lat, err = code.RepairTestbench(ctx, fb); err != nil {
-			return p.abort(res, err)
-		}
-		res.Latency.Syntax += lat
-		res.SyntaxIters++
-	}
-	res.Testbench = tb
-
-	// Stage 1: zero-shot RTL (this artefact IS the baseline measurement).
-	rtl, lat, err := code.GenerateRTL(ctx, nil)
-	if err != nil {
-		return p.abort(res, err)
-	}
-	res.Latency.Baseline += lat
-	res.BaselineRTL = rtl
-	p.trace("codegen", "zero-shot RTL generated (%d bytes)", len(rtl))
-
-	// Syntax Optimization loop.
-	rtl, ok, err := p.syntaxLoop(ctx, code, rtl, &res.Latency.Syntax, &res.SyntaxIters)
-	res.FinalRTL = rtl
-	if err != nil {
-		return p.abort(res, err)
-	}
-	res.SyntaxOK = ok
-	if !ok {
-		p.trace("syntax", "loop exhausted without clean compile")
-		return res
-	}
-	if cfg.SkipFunctional {
-		res.SelfVerified = true // syntax-only flow claims success here
-		return res
-	}
-
-	// Functional Optimization loop: frozen testbench, iterative RTL fixes.
-	for iter := 0; iter < cfg.MaxFuncIters; iter++ {
-		sim := edatool.SimulateWith(lang, bench.TBName,
-			edatool.SimOptions{MaxTime: cfg.MaxSimTime, Workers: cfg.SimWorkers},
-			edatool.Source{Name: designFile(lang), Text: rtl},
-			edatool.Source{Name: tbFile(lang), Text: res.Testbench},
-		)
-		res.Latency.Func += sim.LatencyModel
-		// The Verification Agent analyses every simulation log, also the
-		// passing one that lets it declare success.
-		alat, err := code.AnalysisLatency(ctx, llm.FunctionalFeedback, 0)
-		if err != nil {
-			return p.abort(res, err)
-		}
-		res.Latency.Func += alat
-		if p.verify.Passed(sim.Log) {
-			res.SelfVerified = true
-			p.trace("verify", "all self-checks passed after %d functional iteration(s)", iter)
-			break
-		}
-		fb := p.verify.ParseSimLog(sim.Log)
-		res.Latency.Func += 0.35 * float64(len(fb.Items))
-		p.trace("verify", "functional failures: %d", len(fb.Items))
-		p.trace("prompt", "%s", p.verify.CorrectivePrompt(fb))
-		res.FuncIters++
-		if rtl, lat, err = code.GenerateRTL(ctx, fb); err != nil {
-			return p.abort(res, err)
-		}
-		res.Latency.Func += lat
-		if !cfg.FreezeTestbench {
-			// AIVRIL 1-style co-generation: the bench is regenerated
-			// alongside the RTL, losing the stable verification target.
-			if res.Testbench, lat, err = code.GenerateTestbench(ctx); err != nil {
-				return p.abort(res, err)
-			}
-			res.Latency.Func += lat
-		}
-		// Regenerated code may have regressed syntactically.
-		rtl, ok, err = p.syntaxLoop(ctx, code, rtl, &res.Latency.Func, &res.SyntaxIters)
-		res.FinalRTL = rtl
-		if err != nil {
-			return p.abort(res, err)
-		}
-		if !ok {
-			res.SyntaxOK = false
-			return res
+		if done {
+			return m.res
 		}
 	}
-	res.FinalRTL = rtl
-	return res
-}
-
-// syntaxLoop drives the Review Agent until the RTL compiles or the
-// iteration budget is exhausted. latAcc and iterAcc accumulate into the
-// caller's accounting (the loop also runs inside the functional stage).
-func (p *Pipeline) syntaxLoop(ctx context.Context, code *agents.CodeAgent, rtl string, latAcc *float64, iterAcc *int) (string, bool, error) {
-	cfg := p.cfg
-	for iter := 0; iter <= cfg.MaxSyntaxIters; iter++ {
-		src := edatool.Source{Name: designFile(cfg.Language), Text: rtl}
-		comp := edatool.Compile(cfg.Language, src)
-		*latAcc += compileLatency(src)
-		if comp.OK {
-			return rtl, true, nil
-		}
-		if iter == cfg.MaxSyntaxIters {
-			break
-		}
-		fb := p.review.ParseCompileLog(comp.Log)
-		alat, err := code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
-		if err != nil {
-			return rtl, false, err
-		}
-		*latAcc += alat
-		p.trace("review", "syntax errors: %d", len(fb.Items))
-		p.trace("prompt", "%s", p.review.CorrectivePrompt(fb))
-		var lat float64
-		if rtl, lat, err = code.GenerateRTL(ctx, fb); err != nil {
-			return rtl, false, err
-		}
-		*latAcc += lat
-		*iterAcc++
-	}
-	return rtl, false, nil
 }
 
 // EvaluateFunctional runs the final, reference-bench judgement: the

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/bench"
+	"repro/internal/edatool"
+	"repro/internal/llm"
+	"repro/internal/llm/provider"
+)
+
+// State names one phase of the pipeline state machine. The machine
+// walks TestbenchGen → TestbenchSyntax → ZeroShotRTL → SyntaxLoop(i) →
+// FunctionalLoop(i) → Verdict, where the two loop states re-enter
+// themselves once per iteration (and the functional loop re-enters the
+// syntax loop for post-repair compile fixes, exactly as the monolithic
+// pipeline did).
+type State int
+
+// Machine states, in canonical order.
+const (
+	StateTestbenchGen State = iota
+	StateTestbenchSyntax
+	StateZeroShotRTL
+	StateSyntaxLoop
+	StateFunctionalLoop
+	StateVerdict
+	StateDone
+
+	// NumStates counts the states above (metrics arrays index by State).
+	NumStates
+)
+
+var stateNames = [NumStates]string{
+	"testbench-gen",
+	"testbench-syntax",
+	"zero-shot-rtl",
+	"syntax-loop",
+	"functional-loop",
+	"verdict",
+	"done",
+}
+
+func (s State) String() string {
+	if s < 0 || s >= NumStates {
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// ParseState inverts State.String for checkpoint decoding.
+func ParseState(name string) (State, error) {
+	for i, n := range stateNames {
+		if n == name {
+			return State(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown machine state %q", name)
+}
+
+// Checkpoint is the serializable machine snapshot taken at a step
+// boundary. It carries everything a fresh process needs to continue
+// the run: the state and loop counters, the working and committed
+// artefacts, the accumulated result fields, and the LLM session
+// snapshot (conversation state, defect stream position). The identity
+// fields pin which run the checkpoint belongs to, so a checkpoint can
+// never be restored into a mismatched configuration.
+type Checkpoint struct {
+	Schema   int    `json:"schema"`
+	Problem  string `json:"problem"`
+	Model    string `json:"model"`
+	Language string `json:"language"`
+	Provider string `json:"provider,omitempty"`
+	Config   string `json:"config"`
+
+	State    string `json:"state"`
+	Steps    int    `json:"steps"`
+	TBIter   int    `json:"tb_iter"`
+	SynIter  int    `json:"syn_iter"`
+	FuncIter int    `json:"func_iter"`
+	InFunc   bool   `json:"in_func"`
+
+	// Working artefacts (not yet committed to the result).
+	TB  string `json:"tb,omitempty"`
+	RTL string `json:"rtl,omitempty"`
+
+	// Result-so-far.
+	Testbench    string  `json:"testbench,omitempty"`
+	BaselineRTL  string  `json:"baseline_rtl,omitempty"`
+	FinalRTL     string  `json:"final_rtl,omitempty"`
+	SyntaxOK     bool    `json:"syntax_ok"`
+	SelfVerified bool    `json:"self_verified"`
+	SyntaxIters  int     `json:"syntax_iters"`
+	FuncIters    int     `json:"func_iters"`
+	Latency      Latency `json:"latency"`
+
+	Session json.RawMessage `json:"session,omitempty"`
+}
+
+// CheckpointSchema is the current Checkpoint.Schema value.
+const CheckpointSchema = 1
+
+// Machine executes the pipeline one state transition at a time. Each
+// Step performs the agent turns of one state iteration and leaves the
+// machine at a consistent boundary, so Checkpoint after any Step
+// yields a resumable snapshot; a crash mid-step resumes from the
+// previous boundary and re-executes the step deterministically.
+type Machine struct {
+	p    *Pipeline
+	prob *bench.Problem
+	code *agents.CodeAgent
+	res  *Result
+
+	state    State
+	tb       string // working testbench during the testbench-syntax loop
+	rtl      string // working RTL revision
+	tbIter   int    // testbench-syntax iterations completed
+	synIter  int    // current syntax-loop iteration
+	funcIter int    // functional-loop iterations entered
+	inFunc   bool   // syntax loop nested inside the functional stage
+	steps    int    // transitions executed (including after a restore)
+}
+
+// NewMachine returns a fresh machine for one problem.
+func (p *Pipeline) NewMachine(prob *bench.Problem) *Machine {
+	return &Machine{p: p, prob: prob, res: &Result{Problem: prob}, state: StateTestbenchGen}
+}
+
+// State returns the machine's current state.
+func (m *Machine) State() State { return m.state }
+
+// Steps returns the number of transitions executed so far.
+func (m *Machine) Steps() int { return m.steps }
+
+// Result returns the result under construction. It is final once Step
+// has reported done, or once Abort has classified a step error.
+func (m *Machine) Result() *Result { return m.res }
+
+// Abort finalises the result after a step error: the run terminates
+// with a classified verdict and the fields reflect the last consistent
+// state, exactly as the monolithic pipeline's abort path did.
+func (m *Machine) Abort(err error) *Result { return m.p.abort(m.res, err) }
+
+func (m *Machine) ensureAgent() error {
+	if m.code != nil {
+		return nil
+	}
+	if m.p.cfg.Provider == nil {
+		return &provider.Error{Class: provider.ClassInvalid, Err: errNoProvider}
+	}
+	code, err := agents.NewCodeAgent(m.p.cfg.Provider, m.prob, m.p.cfg.Language)
+	if err != nil {
+		return err
+	}
+	m.code = code
+	return nil
+}
+
+// Step executes one transition. It returns done=true once the machine
+// has passed Verdict; a non-nil error is an unrecoverable provider
+// failure the caller finalises via Abort (or discards, when the job
+// layer plans to resume from the last checkpoint instead).
+func (m *Machine) Step(ctx context.Context) (bool, error) {
+	if m.state == StateDone {
+		return true, nil
+	}
+	m.steps++
+	switch m.state {
+	case StateTestbenchGen:
+		return false, m.stepTestbenchGen(ctx)
+	case StateTestbenchSyntax:
+		return false, m.stepTestbenchSyntax(ctx)
+	case StateZeroShotRTL:
+		return false, m.stepZeroShotRTL(ctx)
+	case StateSyntaxLoop:
+		return false, m.stepSyntaxLoop(ctx)
+	case StateFunctionalLoop:
+		return false, m.stepFunctionalLoop(ctx)
+	case StateVerdict:
+		m.state = StateDone
+		return true, nil
+	}
+	return false, fmt.Errorf("core: invalid machine state %d", int(m.state))
+}
+
+// stepTestbenchGen generates the self-verification testbench (Fig. 2
+// step 1) and enters its syntax-check loop.
+func (m *Machine) stepTestbenchGen(ctx context.Context) error {
+	if err := m.ensureAgent(); err != nil {
+		return err
+	}
+	tb, lat, err := m.code.GenerateTestbench(ctx)
+	if err != nil {
+		return err
+	}
+	m.res.Latency.Syntax += lat
+	m.p.trace("testbench", "generated self-verification bench (%d bytes)", len(tb))
+	m.tb = tb
+	m.tbIter = 0
+	m.state = StateTestbenchSyntax
+	return nil
+}
+
+// stepTestbenchSyntax runs one iteration of the testbench syntax loop
+// (Fig. 2 step 2): compile against a stub DUT, and on failure repair
+// from Review-Agent feedback. The loop exits on a clean compile or an
+// exhausted iteration budget.
+func (m *Machine) stepTestbenchSyntax(ctx context.Context) error {
+	cfg := m.p.cfg
+	lang := cfg.Language
+	if m.tbIter < cfg.MaxSyntaxIters {
+		comp := edatool.Compile(lang, stubDUT(m.prob, lang), edatool.Source{Name: tbFile(lang), Text: m.tb})
+		m.res.Latency.Syntax += compileLatency(stubDUT(m.prob, lang), edatool.Source{Text: m.tb})
+		if !comp.OK {
+			fb := m.p.review.ParseCompileLog(comp.Log)
+			alat, err := m.code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
+			if err != nil {
+				return err
+			}
+			m.res.Latency.Syntax += alat
+			m.p.trace("review", "testbench syntax errors: %d", len(fb.Items))
+			m.p.trace("prompt", "%s", m.p.review.CorrectivePrompt(fb))
+			tb, lat, err := m.code.RepairTestbench(ctx, fb)
+			m.tb = tb
+			if err != nil {
+				return err
+			}
+			m.res.Latency.Syntax += lat
+			m.res.SyntaxIters++
+			m.tbIter++
+			if m.tbIter < cfg.MaxSyntaxIters {
+				return nil // another testbench-syntax iteration
+			}
+		}
+	}
+	m.res.Testbench = m.tb
+	m.state = StateZeroShotRTL
+	return nil
+}
+
+// stepZeroShotRTL generates the zero-shot RTL — the artefact that IS
+// the baseline measurement — and enters the syntax loop.
+func (m *Machine) stepZeroShotRTL(ctx context.Context) error {
+	rtl, lat, err := m.code.GenerateRTL(ctx, nil)
+	if err != nil {
+		return err
+	}
+	m.res.Latency.Baseline += lat
+	m.res.BaselineRTL = rtl
+	m.p.trace("codegen", "zero-shot RTL generated (%d bytes)", len(rtl))
+	m.rtl = rtl
+	m.synIter = 0
+	m.inFunc = false
+	m.state = StateSyntaxLoop
+	return nil
+}
+
+// stepSyntaxLoop runs one iteration of the Syntax Optimization loop:
+// compile, and on failure regenerate from Review-Agent feedback.
+// Latency accumulates into the syntax or functional column depending
+// on which stage the loop is serving.
+func (m *Machine) stepSyntaxLoop(ctx context.Context) error {
+	cfg := m.p.cfg
+	latAcc := &m.res.Latency.Syntax
+	if m.inFunc {
+		latAcc = &m.res.Latency.Func
+	}
+	src := edatool.Source{Name: designFile(cfg.Language), Text: m.rtl}
+	comp := edatool.Compile(cfg.Language, src)
+	*latAcc += compileLatency(src)
+	if comp.OK {
+		return m.finishSyntaxLoop(true)
+	}
+	if m.synIter == cfg.MaxSyntaxIters {
+		return m.finishSyntaxLoop(false)
+	}
+	fb := m.p.review.ParseCompileLog(comp.Log)
+	alat, err := m.code.AnalysisLatency(ctx, llm.SyntaxFeedback, len(fb.Items))
+	if err != nil {
+		m.res.FinalRTL = m.rtl
+		return err
+	}
+	*latAcc += alat
+	m.p.trace("review", "syntax errors: %d", len(fb.Items))
+	m.p.trace("prompt", "%s", m.p.review.CorrectivePrompt(fb))
+	rtl, lat, err := m.code.GenerateRTL(ctx, fb)
+	m.rtl = rtl
+	if err != nil {
+		m.res.FinalRTL = m.rtl
+		return err
+	}
+	*latAcc += lat
+	m.res.SyntaxIters++
+	m.synIter++
+	return nil
+}
+
+// finishSyntaxLoop routes a completed syntax loop: in the baseline
+// stage success proceeds to the functional loop (or straight to the
+// verdict for syntax-only ablations); in the functional stage success
+// re-enters the next functional iteration. Failure is terminal either
+// way.
+func (m *Machine) finishSyntaxLoop(ok bool) error {
+	m.res.FinalRTL = m.rtl
+	if !m.inFunc {
+		m.res.SyntaxOK = ok
+		if !ok {
+			m.p.trace("syntax", "loop exhausted without clean compile")
+			m.state = StateVerdict
+			return nil
+		}
+		if m.p.cfg.SkipFunctional {
+			m.res.SelfVerified = true // syntax-only flow claims success here
+			m.state = StateVerdict
+			return nil
+		}
+		m.funcIter = 0
+		m.state = StateFunctionalLoop
+		return nil
+	}
+	if !ok {
+		m.res.SyntaxOK = false
+		m.state = StateVerdict
+		return nil
+	}
+	m.funcIter++
+	m.state = StateFunctionalLoop
+	return nil
+}
+
+// stepFunctionalLoop runs one iteration of the Functional Optimization
+// loop: simulate against the frozen testbench, and on failure repair
+// from Verification-Agent feedback, then re-enter the syntax loop to
+// catch syntactic regressions in the repaired RTL.
+func (m *Machine) stepFunctionalLoop(ctx context.Context) error {
+	cfg := m.p.cfg
+	lang := cfg.Language
+	if m.funcIter >= cfg.MaxFuncIters {
+		m.res.FinalRTL = m.rtl
+		m.state = StateVerdict
+		return nil
+	}
+	sim := edatool.SimulateWith(lang, bench.TBName,
+		edatool.SimOptions{MaxTime: cfg.MaxSimTime, Workers: cfg.SimWorkers},
+		edatool.Source{Name: designFile(lang), Text: m.rtl},
+		edatool.Source{Name: tbFile(lang), Text: m.res.Testbench},
+	)
+	m.res.Latency.Func += sim.LatencyModel
+	// The Verification Agent analyses every simulation log, also the
+	// passing one that lets it declare success.
+	alat, err := m.code.AnalysisLatency(ctx, llm.FunctionalFeedback, 0)
+	if err != nil {
+		return err
+	}
+	m.res.Latency.Func += alat
+	if m.p.verify.Passed(sim.Log) {
+		m.res.SelfVerified = true
+		m.p.trace("verify", "all self-checks passed after %d functional iteration(s)", m.funcIter)
+		m.res.FinalRTL = m.rtl
+		m.state = StateVerdict
+		return nil
+	}
+	fb := m.p.verify.ParseSimLog(sim.Log)
+	m.res.Latency.Func += 0.35 * float64(len(fb.Items))
+	m.p.trace("verify", "functional failures: %d", len(fb.Items))
+	m.p.trace("prompt", "%s", m.p.verify.CorrectivePrompt(fb))
+	m.res.FuncIters++
+	rtl, lat, err := m.code.GenerateRTL(ctx, fb)
+	m.rtl = rtl
+	if err != nil {
+		return err
+	}
+	m.res.Latency.Func += lat
+	if !cfg.FreezeTestbench {
+		// AIVRIL 1-style co-generation: the bench is regenerated
+		// alongside the RTL, losing the stable verification target.
+		tb, lat, err := m.code.GenerateTestbench(ctx)
+		m.res.Testbench = tb
+		if err != nil {
+			return err
+		}
+		m.res.Latency.Func += lat
+	}
+	// Regenerated code may have regressed syntactically.
+	m.synIter = 0
+	m.inFunc = true
+	m.state = StateSyntaxLoop
+	return nil
+}
+
+// providerName returns the cfg's provider registry name ("" when only
+// a bare model is configured).
+func (m *Machine) providerName() string {
+	if m.p.cfg.Provider != nil {
+		return m.p.cfg.Provider.Name()
+	}
+	return ""
+}
+
+func (m *Machine) modelName() string {
+	if m.p.cfg.Provider != nil {
+		return m.p.cfg.Provider.ModelName()
+	}
+	if m.p.cfg.Model != nil {
+		return m.p.cfg.Model.Name()
+	}
+	return ""
+}
+
+// Checkpoint serializes the machine at the current step boundary. It
+// fails when the provider's sessions do not support checkpointing; the
+// job layer then runs the job without resumability rather than not at
+// all.
+func (m *Machine) Checkpoint() (*Checkpoint, error) {
+	cp := &Checkpoint{
+		Schema:   CheckpointSchema,
+		Problem:  m.prob.ID,
+		Model:    m.modelName(),
+		Language: m.p.cfg.Language.String(),
+		Provider: m.providerName(),
+		Config:   m.p.cfg.Fingerprint(),
+
+		State:    m.state.String(),
+		Steps:    m.steps,
+		TBIter:   m.tbIter,
+		SynIter:  m.synIter,
+		FuncIter: m.funcIter,
+		InFunc:   m.inFunc,
+
+		TB:  m.tb,
+		RTL: m.rtl,
+
+		Testbench:    m.res.Testbench,
+		BaselineRTL:  m.res.BaselineRTL,
+		FinalRTL:     m.res.FinalRTL,
+		SyntaxOK:     m.res.SyntaxOK,
+		SelfVerified: m.res.SelfVerified,
+		SyntaxIters:  m.res.SyntaxIters,
+		FuncIters:    m.res.FuncIters,
+		Latency:      m.res.Latency,
+	}
+	if m.code != nil {
+		snap, err := provider.SnapshotSession(m.code.Session)
+		if err != nil {
+			return nil, err
+		}
+		cp.Session = snap
+	}
+	return cp, nil
+}
+
+// Restore rebuilds a machine from a checkpoint taken by an equivalent
+// pipeline (same problem, model, language, configuration fingerprint,
+// and provider). The restored machine continues from the checkpointed
+// boundary and — because the session snapshot pins the conversation
+// state — produces the same remaining artefacts an uninterrupted run
+// would have.
+func (p *Pipeline) Restore(cp *Checkpoint, prob *bench.Problem) (*Machine, error) {
+	if cp == nil {
+		return nil, errors.New("core: nil checkpoint")
+	}
+	if cp.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("core: checkpoint schema %d, want %d", cp.Schema, CheckpointSchema)
+	}
+	if prob == nil || prob.ID != cp.Problem {
+		return nil, fmt.Errorf("core: checkpoint is for problem %q", cp.Problem)
+	}
+	state, err := ParseState(cp.State)
+	if err != nil {
+		return nil, err
+	}
+	m := p.NewMachine(prob)
+	if got := p.cfg.Language.String(); got != cp.Language {
+		return nil, fmt.Errorf("core: checkpoint language %q, pipeline %q", cp.Language, got)
+	}
+	if got := p.cfg.Fingerprint(); got != cp.Config {
+		return nil, fmt.Errorf("core: checkpoint config %q, pipeline %q", cp.Config, got)
+	}
+	if cp.Model != "" && m.modelName() != "" && m.modelName() != cp.Model {
+		return nil, fmt.Errorf("core: checkpoint model %q, pipeline %q", cp.Model, m.modelName())
+	}
+	if cp.Provider != "" && m.providerName() != "" && m.providerName() != cp.Provider {
+		return nil, fmt.Errorf("core: checkpoint provider %q, pipeline %q", cp.Provider, m.providerName())
+	}
+	if err := m.ensureAgent(); err != nil {
+		return nil, err
+	}
+	if cp.Session != nil {
+		if err := provider.RestoreSession(m.code.Session, cp.Session); err != nil {
+			return nil, err
+		}
+	} else if state != StateTestbenchGen && state != StateVerdict && state != StateDone {
+		return nil, errors.New("core: mid-run checkpoint lacks a session snapshot")
+	}
+	m.state = state
+	m.steps = cp.Steps
+	m.tbIter = cp.TBIter
+	m.synIter = cp.SynIter
+	m.funcIter = cp.FuncIter
+	m.inFunc = cp.InFunc
+	m.tb = cp.TB
+	m.rtl = cp.RTL
+	m.res.Testbench = cp.Testbench
+	m.res.BaselineRTL = cp.BaselineRTL
+	m.res.FinalRTL = cp.FinalRTL
+	m.res.SyntaxOK = cp.SyntaxOK
+	m.res.SelfVerified = cp.SelfVerified
+	m.res.SyntaxIters = cp.SyntaxIters
+	m.res.FuncIters = cp.FuncIters
+	m.res.Latency = cp.Latency
+	return m, nil
+}
+
+// RunCheckpointed drives the machine to completion, handing sink a
+// fresh checkpoint after every step. A provider failure finalises the
+// result through the classified abort path (first return), exactly
+// like RunContext; a sink or serialization error stops the machine
+// immediately and is returned raw (second return) — the caller decides
+// whether checkpointing trouble is fatal. The checkpoint for the step
+// that failed is never written: resume restarts from the previous
+// boundary, whose session snapshot makes the replay deterministic.
+func (m *Machine) RunCheckpointed(ctx context.Context, sink func(*Checkpoint) error) (*Result, error) {
+	for {
+		done, err := m.Step(ctx)
+		if err != nil {
+			return m.Abort(err), nil
+		}
+		if sink != nil {
+			cp, err := m.Checkpoint()
+			if err == nil {
+				err = sink(cp)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if done {
+			return m.res, nil
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/edatool"
+	"repro/internal/llm"
+	"repro/internal/llm/provider"
+)
+
+// machineProblems covers the interesting control-flow shapes: a
+// trivial pass, a testbench/RTL syntax repair, a multi-iteration
+// functional loop, and a functional-budget exhaustion.
+var machineProblems = []string{"gate_xor", "gate_or", "vec_xor_w8", "cmp_lt_w4"}
+
+func machineModel(t *testing.T) *llm.Profile {
+	t.Helper()
+	m := llm.ProfileByName("claude-3.5-sonnet")
+	if m == nil {
+		t.Fatal("profile missing")
+	}
+	return m
+}
+
+func requireProblem(t *testing.T, id string) *bench.Problem {
+	t.Helper()
+	p := bench.NewSuite().ByID(id)
+	if p == nil {
+		t.Fatalf("problem %q missing from suite", id)
+	}
+	return p
+}
+
+// assertSameResult demands field-for-field equality, including exact
+// float latencies: resume must be byte-identical, not approximately
+// right.
+func assertSameResult(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Aborted != want.Aborted {
+		t.Fatalf("Aborted = %v, want %v (err %v)", got.Aborted, want.Aborted, got.Err)
+	}
+	if got.BaselineRTL != want.BaselineRTL {
+		t.Error("BaselineRTL diverged")
+	}
+	if got.FinalRTL != want.FinalRTL {
+		t.Error("FinalRTL diverged")
+	}
+	if got.Testbench != want.Testbench {
+		t.Error("Testbench diverged")
+	}
+	if got.SyntaxOK != want.SyntaxOK || got.SelfVerified != want.SelfVerified {
+		t.Errorf("flags = (%v,%v), want (%v,%v)", got.SyntaxOK, got.SelfVerified, want.SyntaxOK, want.SelfVerified)
+	}
+	if got.SyntaxIters != want.SyntaxIters || got.FuncIters != want.FuncIters {
+		t.Errorf("iters = (%d,%d), want (%d,%d)", got.SyntaxIters, got.FuncIters, want.SyntaxIters, want.FuncIters)
+	}
+	if got.Latency != want.Latency {
+		t.Errorf("Latency = %+v, want %+v", got.Latency, want.Latency)
+	}
+	if got.Verdict() != want.Verdict() {
+		t.Errorf("Verdict = %q, want %q", got.Verdict(), want.Verdict())
+	}
+}
+
+// TestMachineMatchesRunContext: driving the state machine with a
+// checkpoint sink produces the exact result of the monolithic path,
+// and the sink sees a checkpoint per step.
+func TestMachineMatchesRunContext(t *testing.T) {
+	model := machineModel(t)
+	for _, id := range machineProblems {
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			prob := requireProblem(t, id)
+			want := New(DefaultConfig(model, lang)).RunContext(context.Background(), prob)
+
+			m := New(DefaultConfig(model, lang)).NewMachine(prob)
+			steps := 0
+			got, err := m.RunCheckpointed(context.Background(), func(cp *Checkpoint) error {
+				steps++
+				if cp.Problem != prob.ID {
+					t.Fatalf("checkpoint problem %q", cp.Problem)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: RunCheckpointed: %v", id, lang, err)
+			}
+			if steps != m.Steps() || steps == 0 {
+				t.Errorf("%s/%s: sink saw %d checkpoints, machine ran %d steps", id, lang, steps, m.Steps())
+			}
+			assertSameResult(t, got, want)
+		}
+	}
+}
+
+// collectCheckpoints runs one problem to completion, returning the
+// serialized checkpoint at every step boundary plus the final result.
+func collectCheckpoints(t *testing.T, model *llm.Profile, lang edatool.Language, prob *bench.Problem) ([][]byte, *Result) {
+	t.Helper()
+	m := New(DefaultConfig(model, lang)).NewMachine(prob)
+	var cps [][]byte
+	res, err := m.RunCheckpointed(context.Background(), func(cp *Checkpoint) error {
+		data, err := json.Marshal(cp)
+		if err != nil {
+			return err
+		}
+		cps = append(cps, data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return cps, res
+}
+
+func restoreFromJSON(t *testing.T, p *Pipeline, prob *bench.Problem, data []byte) *Machine {
+	t.Helper()
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		t.Fatalf("checkpoint decode: %v", err)
+	}
+	m, err := p.Restore(&cp, prob)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return m
+}
+
+// TestResumeAtEveryBoundary is the kill-and-resume property: for every
+// step boundary of every control-flow shape, a brand-new pipeline
+// restored from the JSON checkpoint finishes with the exact result of
+// the uninterrupted run. This is what makes SIGKILL safe at any
+// instant — whatever step was in flight is replayed from the previous
+// boundary and the deterministic session snapshot reproduces it.
+func TestResumeAtEveryBoundary(t *testing.T) {
+	model := machineModel(t)
+	for _, id := range machineProblems {
+		prob := requireProblem(t, id)
+		for _, lang := range []edatool.Language{edatool.Verilog, edatool.VHDL} {
+			cps, want := collectCheckpoints(t, model, lang, prob)
+			for i, data := range cps {
+				p2 := New(DefaultConfig(model, lang))
+				m2 := restoreFromJSON(t, p2, prob, data)
+				got, err := m2.RunCheckpointed(context.Background(), nil)
+				if err != nil {
+					t.Fatalf("%s/%s boundary %d: %v", id, lang, i, err)
+				}
+				assertSameResult(t, got, want)
+			}
+		}
+	}
+}
+
+// TestCancellationAtEveryBoundary covers the satellite contract:
+// cancel the run at every state boundary — during testbench
+// generation, inside the syntax loop, inside the functional loop — and
+// assert (a) the abort is clean and classified, (b) the checkpoint
+// written at the boundary is valid, and (c) resuming from it with a
+// live context completes with artefacts identical to an uninterrupted
+// run.
+func TestCancellationAtEveryBoundary(t *testing.T) {
+	model := machineModel(t)
+	lang := edatool.Verilog
+	for _, id := range machineProblems {
+		prob := requireProblem(t, id)
+		cps, want := collectCheckpoints(t, model, lang, prob)
+		statesSeen := map[string]bool{}
+		for i, data := range cps[:len(cps)-1] { // last boundary is Done
+			var cp Checkpoint
+			if err := json.Unmarshal(data, &cp); err != nil {
+				t.Fatal(err)
+			}
+			statesSeen[cp.State] = true
+
+			// Resume at the boundary under a cancelled context. Steps
+			// without LLM calls legitimately complete (cancellation
+			// surfaces at provider calls, exactly like the monolithic
+			// pipeline); the run must either finish identically or
+			// abort cleanly with ClassCanceled at its next LLM call.
+			p := New(DefaultConfig(model, lang))
+			m := restoreFromJSON(t, p, prob, data)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var err error
+			var done bool
+			for !done && err == nil {
+				done, err = m.Step(ctx)
+			}
+			if err == nil {
+				// Reached the verdict without needing the provider
+				// again — the completed result must be the real one.
+				assertSameResult(t, m.Result(), want)
+			} else {
+				if class := provider.ClassOf(err); class != provider.ClassCanceled {
+					t.Fatalf("%s boundary %d: abort class %v, want canceled", id, i, class)
+				}
+				res := m.Abort(err)
+				if !res.Aborted || !strings.HasPrefix(res.Verdict(), "aborted(") {
+					t.Fatalf("%s boundary %d: abort not classified: %q", id, i, res.Verdict())
+				}
+			}
+
+			// The checkpoint on disk (the same bytes) is still valid:
+			// resume with a live context and finish identically.
+			p2 := New(DefaultConfig(model, lang))
+			m2 := restoreFromJSON(t, p2, prob, data)
+			got, rerr := m2.RunCheckpointed(context.Background(), nil)
+			if rerr != nil {
+				t.Fatalf("%s boundary %d: resume: %v", id, i, rerr)
+			}
+			assertSameResult(t, got, want)
+		}
+		// The sweep must actually have visited the loop states the
+		// satellite names, or the test is vacuous.
+		if id == "cmp_lt_w4" {
+			for _, st := range []State{StateTestbenchSyntax, StateSyntaxLoop, StateFunctionalLoop} {
+				if !statesSeen[st.String()] {
+					t.Errorf("%s: no boundary in state %s was exercised", id, st)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsMismatches: a checkpoint must only restore into an
+// equivalent pipeline.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	model := machineModel(t)
+	prob := requireProblem(t, "gate_or")
+	cps, _ := collectCheckpoints(t, model, edatool.Verilog, prob)
+	var cp Checkpoint
+	if err := json.Unmarshal(cps[2], &cp); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(cp *Checkpoint) (*Pipeline, *bench.Problem)
+	}{
+		{"wrong problem", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			return New(DefaultConfig(model, edatool.Verilog)), requireProblem(t, "gate_and")
+		}},
+		{"wrong language", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			return New(DefaultConfig(model, edatool.VHDL)), prob
+		}},
+		{"wrong config", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			cfg := DefaultConfig(model, edatool.Verilog)
+			cfg.MaxFuncIters = 2
+			return New(cfg), prob
+		}},
+		{"wrong model", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			return New(DefaultConfig(llm.ProfileByName("gpt-4o"), edatool.Verilog)), prob
+		}},
+		{"wrong schema", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			c.Schema = 99
+			return New(DefaultConfig(model, edatool.Verilog)), prob
+		}},
+		{"unknown state", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			c.State = "no-such-state"
+			return New(DefaultConfig(model, edatool.Verilog)), prob
+		}},
+		{"missing session", func(c *Checkpoint) (*Pipeline, *bench.Problem) {
+			c.Session = nil
+			return New(DefaultConfig(model, edatool.Verilog)), prob
+		}},
+	}
+	for _, tc := range cases {
+		c := cp // copy
+		p, pr := tc.mut(&c)
+		if _, err := p.Restore(&c, pr); err == nil {
+			t.Errorf("%s: Restore accepted a mismatched checkpoint", tc.name)
+		}
+	}
+}
+
+// TestStateStringRoundTrip pins the state names (they are the
+// checkpoint schema) and their parse inverse.
+func TestStateStringRoundTrip(t *testing.T) {
+	want := []string{"testbench-gen", "testbench-syntax", "zero-shot-rtl",
+		"syntax-loop", "functional-loop", "verdict", "done"}
+	for i, name := range want {
+		st := State(i)
+		if st.String() != name {
+			t.Errorf("State(%d) = %q, want %q", i, st.String(), name)
+		}
+		parsed, err := ParseState(name)
+		if err != nil || parsed != st {
+			t.Errorf("ParseState(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Error("ParseState accepted a bogus name")
+	}
+}
+
+// TestFingerprintStable pins the config fingerprint format: it is a
+// cache-key component minted since the first runner PR, and changing
+// it silently orphans every cached sweep.
+func TestFingerprintStable(t *testing.T) {
+	cfg := Config{MaxSyntaxIters: 5, MaxFuncIters: 3, MaxSimTime: 200_000,
+		FreezeTestbench: true, SkipFunctional: false}
+	want := "syn5,fun3,sim200000,freeze=true,skipf=false"
+	if got := cfg.Fingerprint(); got != want {
+		t.Errorf("Fingerprint = %q, want %q", got, want)
+	}
+}

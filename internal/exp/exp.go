@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -108,15 +109,22 @@ type Options struct {
 	// ProviderConfig parameterises the middleware stack and fault
 	// profile of the selected provider.
 	ProviderConfig provider.BuildConfig
+	// Checkpoint runs every cell through the checkpointed state machine
+	// when the Runner has a cache: the machine persists a checkpoint
+	// after each state transition, an aborted cell leaves its checkpoint
+	// behind, and the next invocation resumes the cell from that
+	// boundary instead of starting over. Ignored without a Runner cache.
+	// Deterministic guarantee: a resumed cell produces the same
+	// artefacts, outcome and cache entry an uninterrupted run would
+	// have.
+	Checkpoint bool
 }
 
 // configKey fingerprints the effective pipeline configuration. It is
 // part of the runner job identity, so sweeps with different budgets or
 // ablation variants (Configure hooks) occupy distinct cache cells.
 func configKey(cfg core.Config) string {
-	return fmt.Sprintf("syn%d,fun%d,sim%d,freeze=%t,skipf=%t",
-		cfg.MaxSyntaxIters, cfg.MaxFuncIters, cfg.MaxSimTime,
-		cfg.FreezeTestbench, cfg.SkipFunctional)
+	return cfg.Fingerprint()
 }
 
 // effectiveConfig applies provider selection and the Configure hook on
@@ -160,6 +168,15 @@ func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag s
 	if res.Aborted {
 		return ProblemOutcome{}, fmt.Errorf("cell %s/%s aborted: %w", prob.ID, lang, res.Err)
 	}
+	return Outcome(prob, lang, cfg, tag, res), nil
+}
+
+// Outcome runs the reference judgements over a completed (non-aborted)
+// pipeline result and assembles the cache payload for its cell. It is
+// exported so other executors of pipeline runs — the job service in
+// internal/serve — persist the exact same payload shape into the same
+// cache cells the experiment harness uses.
+func Outcome(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag string, res *core.Result) ProblemOutcome {
 	out := ProblemOutcome{
 		ID:           prob.ID,
 		Category:     prob.Category,
@@ -177,7 +194,53 @@ func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag s
 	if res.SyntaxOK {
 		out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
 	}
-	return out, nil
+	return out
+}
+
+// evaluateResumable runs one cell through the checkpointed state
+// machine: a checkpoint is persisted after every state transition, a
+// prior checkpoint (left by a crashed or aborted invocation) resumes
+// the cell mid-run, and a completed cell deletes its checkpoint. An
+// aborted cell keeps the last checkpoint on disk so the next
+// invocation picks up where the provider gave out.
+func evaluateResumable(ctx context.Context, r *runner.Runner, job runner.Job, prob *bench.Problem, lang edatool.Language, cfg core.Config, tag string) (ProblemOutcome, error) {
+	p := core.New(cfg)
+	m := p.NewMachine(prob)
+	resumed := 0
+	var cp core.Checkpoint
+	if r.Cache.LoadCheckpoint(job, &cp) {
+		if rm, err := p.Restore(&cp, prob); err == nil {
+			m = rm
+			resumed = 1
+		}
+		// A stale or mismatched checkpoint is a clean miss: run fresh.
+	}
+	base := m.Steps()
+	written := 0
+	res, err := m.RunCheckpointed(ctx, func(c *core.Checkpoint) error {
+		// Best-effort durability: a failed write only degrades
+		// resumability, never the sweep.
+		if r.Cache.StoreCheckpoint(job, c) == nil {
+			written++
+		}
+		return nil
+	})
+	if err != nil {
+		// Checkpointing itself is broken (e.g. a non-resumable
+		// session). The pipeline is deterministic, so fall back to a
+		// plain uncheckpointed run.
+		return evaluate(prob, lang, cfg, tag)
+	}
+	replayed := 0
+	if resumed > 0 {
+		replayed = m.Steps() - base
+	}
+	r.AddResume(written, resumed, replayed)
+	if res.Aborted {
+		return ProblemOutcome{}, fmt.Errorf("cell %s/%s aborted: %w", prob.ID, lang, res.Err)
+	}
+	r.Cache.DeleteCheckpoint(job)
+	return Outcome(prob, lang, cfg, tag, res), nil
 }
 
 // Run sweeps one model over one language by submitting one job per
@@ -207,7 +270,11 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 			Provider: tag,
 		}
 	}
-	results := runner.Execute(r, jobs, func(i int, _ runner.Job) (ProblemOutcome, error) {
+	checkpointed := opts.Checkpoint && r.Cache != nil
+	results := runner.Execute(r, jobs, func(i int, job runner.Job) (ProblemOutcome, error) {
+		if checkpointed {
+			return evaluateResumable(context.Background(), r, job, problems[i], lang, cfg, tag)
+		}
 		return evaluate(problems[i], lang, cfg, tag)
 	})
 

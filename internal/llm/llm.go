@@ -131,18 +131,25 @@ func (p *Profile) skill(lang edatool.Language) LangSkill {
 	return p.VHDL
 }
 
-// NewSession implements Model.
+// NewSession implements Model. The session RNG sits behind a counted
+// source so the conversation state — including the exact position in
+// the deterministic defect stream — can be checkpointed and restored
+// (see snapshot.go).
 func (p *Profile) NewSession(req GenRequest) Session {
 	h := fnv.New64a()
 	h.Write([]byte(p.ModelName))
 	h.Write([]byte{0})
 	h.Write([]byte(req.Problem.ID))
 	h.Write([]byte{byte(req.Language)})
+	seed := int64(h.Sum64())
+	src := newCountedSource(seed)
 	return &simSession{
 		profile: p,
 		req:     req,
 		skill:   p.skill(req.Language),
-		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
+		seed:    seed,
+		src:     src,
+		rng:     rand.New(src),
 	}
 }
 

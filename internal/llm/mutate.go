@@ -17,11 +17,19 @@ const (
 // Mutation is one concrete defect injected into generated code. Apply
 // transforms source text; Marker is a substring of the resulting broken
 // region used to decide whether agent feedback localises the defect.
+//
+// site records the defect's index in the deterministic site enumeration
+// for its (base source, kind), which is how a serialized session
+// snapshot re-binds Apply after a restore: closures cannot cross a
+// process boundary, but the enumeration that produced them can be
+// replayed.
 type Mutation struct {
 	Kind   MutKind
 	Desc   string
 	Marker string
 	Apply  func(src string) string
+
+	site int
 }
 
 // mutantSite is an applicable mutation opportunity found in the source.
@@ -321,6 +329,7 @@ func sampleMutations(rng *rand.Rand, src string, verilog bool, kind MutKind, n i
 			if pick < w {
 				out = append(out, Mutation{
 					Kind: kind, Desc: sites[i].desc, Marker: sites[i].marker, Apply: sites[i].apply,
+					site: i,
 				})
 				total -= w
 				sites[i].weight = 0

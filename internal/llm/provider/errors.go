@@ -122,3 +122,28 @@ func ClassOf(err error) Class {
 
 // Retryable reports whether err's class permits another attempt.
 func Retryable(err error) bool { return ClassOf(err).Retryable() }
+
+// ResumableAfter reports whether a pipeline run that aborted on err is
+// worth resuming later from its checkpoint. It is the per-state
+// retry-vs-abort decision the job service applies: transient classes
+// (rate-limited, unavailable, timeout) resume; an open circuit resumes
+// (the breaker only opens on repeated infrastructure failures, which
+// clear); an exhausted retry budget resumes when the attempts it spent
+// were on a transient cause (the outage may be over by the time the
+// job is re-queued); cancellation and invalid requests do not — the
+// same request would fail the same way.
+func ResumableAfter(err error) bool {
+	class := ClassOf(err)
+	if class.Retryable() || class == ClassCircuitOpen {
+		return true
+	}
+	if class != ClassExhausted {
+		return false
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Err == nil {
+		return true // exhausted with unknown cause: assume transient
+	}
+	cause := ClassOf(pe.Err)
+	return cause.Retryable() || cause == ClassExhausted || cause == ClassCircuitOpen
+}

@@ -95,6 +95,15 @@ type flakySession struct {
 	inner Session
 }
 
+// Snapshot implements Resumable by delegating to the wrapped session:
+// the fault RNG is infrastructure noise, not conversation state, so a
+// resumed run may see a different fault pattern but — through the
+// retry stack — the same model outputs.
+func (s *flakySession) Snapshot() ([]byte, error) { return SnapshotSession(s.inner) }
+
+// Restore implements Resumable.
+func (s *flakySession) Restore(data []byte) error { return RestoreSession(s.inner, data) }
+
 // Do implements Session: sleep the injected latency (honouring ctx, so
 // the timeout middleware can cut it short), then either fail with the
 // injected class or delegate to the wrapped provider.

@@ -39,6 +39,27 @@ type offlineSession struct {
 	s llm.Session
 }
 
+// Snapshot implements Resumable: the calibrated model's sessions carry
+// their full conversation state (RNG position, active defect sets), so
+// checkpointed pipeline runs restore to the exact defect stream an
+// uninterrupted run would have consumed.
+func (s *offlineSession) Snapshot() ([]byte, error) {
+	r, ok := s.s.(llm.ResumableSession)
+	if !ok {
+		return nil, &Error{Class: ClassInvalid, Provider: "offline", Err: errNotResumable}
+	}
+	return r.Snapshot()
+}
+
+// Restore implements Resumable.
+func (s *offlineSession) Restore(data []byte) error {
+	r, ok := s.s.(llm.ResumableSession)
+	if !ok {
+		return &Error{Class: ClassInvalid, Provider: "offline", Err: errNotResumable}
+	}
+	return r.Restore(data)
+}
+
 // Do implements Session by dispatching onto the simulated
 // conversation. A pre-cancelled context is honoured before any RNG is
 // consumed, so cancellation can never desynchronise the deterministic

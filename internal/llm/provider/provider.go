@@ -16,6 +16,7 @@ package provider
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/llm"
 )
@@ -130,11 +131,55 @@ func (c *chained) NewSession(req llm.GenRequest) (Session, error) {
 	for i := len(c.mws) - 1; i >= 0; i-- {
 		do = c.mws[i].Wrap(do)
 	}
-	return doSession{do}, nil
+	return doSession{do: do, inner: s}, nil
 }
 
-type doSession struct{ do DoFunc }
+// doSession keeps the innermost session alongside the wrapped call
+// path so checkpointing (Snapshot/Restore) reaches through the
+// middleware chain: middleware state is resilience policy, not
+// conversation state, and is deliberately not part of a snapshot.
+type doSession struct {
+	do    DoFunc
+	inner Session
+}
 
 func (s doSession) Do(ctx context.Context, req *Request) (Response, error) {
 	return s.do(ctx, req)
+}
+
+func (s doSession) Snapshot() ([]byte, error) { return SnapshotSession(s.inner) }
+
+func (s doSession) Restore(data []byte) error { return RestoreSession(s.inner, data) }
+
+// Resumable is a provider Session whose conversation state can be
+// checkpointed and restored (the provider-layer mirror of
+// llm.ResumableSession). The pipeline state machine uses it to make
+// runs crash-resumable: a checkpoint carries the session snapshot, and
+// a restored session continues the conversation exactly where the
+// snapshot left it.
+type Resumable interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+var errNotResumable = errors.New("session does not support checkpointing")
+
+// SnapshotSession snapshots s when it is resumable and reports a
+// classified invalid error otherwise.
+func SnapshotSession(s Session) ([]byte, error) {
+	r, ok := s.(Resumable)
+	if !ok {
+		return nil, &Error{Class: ClassInvalid, Err: errNotResumable}
+	}
+	return r.Snapshot()
+}
+
+// RestoreSession restores a snapshot into s when it is resumable and
+// reports a classified invalid error otherwise.
+func RestoreSession(s Session, data []byte) error {
+	r, ok := s.(Resumable)
+	if !ok {
+		return &Error{Class: ClassInvalid, Err: errNotResumable}
+	}
+	return r.Restore(data)
 }

@@ -16,6 +16,8 @@ type simSession struct {
 	profile *Profile
 	req     GenRequest
 	skill   LangSkill
+	seed    int64
+	src     *countedSource
 	rng     *rand.Rand
 
 	rtlMuts []Mutation // active defects in the current RTL revision

@@ -26,6 +26,11 @@ func Manifest(st runner.Stats) string {
 	if st.StoreErrors > 0 {
 		fmt.Fprintf(&sb, "  %-22s %d (these cells will recompute next run)\n", "cache write errors", st.StoreErrors)
 	}
+	if st.CheckpointsWritten > 0 || st.JobsResumed > 0 {
+		fmt.Fprintf(&sb, "  %-22s %d\n", "checkpoints written", st.CheckpointsWritten)
+		fmt.Fprintf(&sb, "  %-22s %d\n", "jobs resumed", st.JobsResumed)
+		fmt.Fprintf(&sb, "  %-22s %d\n", "states replayed", st.StatesReplayed)
+	}
 	fmt.Fprintf(&sb, "  %-22s %.2fs\n", "wall-clock", st.Wall.Seconds())
 	return sb.String()
 }

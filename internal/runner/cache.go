@@ -6,12 +6,22 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Cache is a content-addressed on-disk result store: one JSON file per
 // job, named by the job key, fanned out over 256 prefix directories.
-// Writes are atomic (temp file + rename), so a sweep killed mid-write
-// never leaves a truncated entry — the cell simply reruns on resume.
+// Result writes are crash-safe: the payload is written to a temp file,
+// fsynced, renamed into place, and the directory entry is fsynced, so
+// a process kill — or a power cut — mid-store can never leave a
+// truncated entry under the final name.
+//
+// Alongside results the cache stores per-job checkpoints (the state-
+// machine snapshots of internal/core) under a separate ckpt/ tree.
+// Checkpoints are written atomically (temp file + rename) but not
+// fsynced: losing the newest checkpoint in a crash only costs re-
+// executing a few pipeline states, and checkpoint writes happen after
+// every agent turn, so they must stay cheap.
 type Cache struct {
 	dir string
 }
@@ -35,9 +45,18 @@ type entry struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
+// ckptDirName segregates checkpoints from result entries so Len and
+// result scans never confuse the two.
+const ckptDirName = "ckpt"
+
 func (c *Cache) path(j Job) string {
 	key := j.Key()
 	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *Cache) ckptPath(j Job) string {
+	key := j.Key()
+	return filepath.Join(c.dir, ckptDirName, key[:2], key+".json")
 }
 
 // Load reads the cached payload for job into v. It returns false (and
@@ -61,7 +80,9 @@ func (c *Cache) Load(j Job, v any) (bool, error) {
 	return true, nil
 }
 
-// Store writes the payload for job atomically.
+// Store writes the payload for job atomically and durably: the entry
+// is fsynced before the rename and the directory after it, so no kill
+// point leaves a truncated or missing-but-reported entry.
 func (c *Cache) Store(j Job, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
@@ -71,11 +92,58 @@ func (c *Cache) Store(j Job, v any) error {
 	if err != nil {
 		return err
 	}
-	path := c.path(j)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return writeFileAtomic(c.path(j), data, true)
+}
+
+// StoreCheckpoint atomically replaces the job's checkpoint.
+func (c *Cache) StoreCheckpoint(j Job, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	return writeFileAtomic(c.ckptPath(j), data, false)
+}
+
+// LoadCheckpoint reads the job's checkpoint into v. A missing — or
+// corrupt — checkpoint is a clean miss: a torn write from a crash
+// degrades to "restart this job from scratch", never to an error that
+// wedges the job.
+func (c *Cache) LoadCheckpoint(j Job, v any) bool {
+	data, err := os.ReadFile(c.ckptPath(j))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// DeleteCheckpoint removes the job's checkpoint (a completed job no
+// longer needs one). Missing checkpoints are not an error.
+func (c *Cache) DeleteCheckpoint(j Job) error {
+	err := os.Remove(c.ckptPath(j))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// HasCheckpoint reports whether a checkpoint exists for the job.
+func (c *Cache) HasCheckpoint(j Job) bool {
+	_, err := os.Stat(c.ckptPath(j))
+	return err == nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory and an atomic rename. With durable set it additionally
+// fsyncs the file before the rename and the parent directory after,
+// closing the two kill windows rename alone leaves open (a zero-length
+// file under the final name on some filesystems, and a rename that
+// never reaches the journal).
+func writeFileAtomic(path string, data []byte, durable bool) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
@@ -84,19 +152,44 @@ func (c *Cache) Store(j Job, v any) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if durable {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if durable {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
 }
 
-// Len counts the entries currently on disk (used by tests and the
-// manifest; O(entries)).
+// Len counts the result entries currently on disk (used by tests and
+// the manifest; O(entries)). Checkpoints are not results and are
+// excluded.
 func (c *Cache) Len() int {
 	n := 0
+	ckptRoot := filepath.Join(c.dir, ckptDirName)
 	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() && path == ckptRoot {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" && !strings.HasPrefix(filepath.Base(path), ".") {
 			n++
 		}
 		return nil

@@ -1,0 +1,224 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ckptJob(p string) Job {
+	return Job{Problem: p, Model: "claude-3.5-sonnet", Language: "verilog", Config: "syn5,fun5,sim200000,freeze=true,skipf=false"}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := ckptJob("gate_and")
+
+	var miss map[string]int
+	if c.LoadCheckpoint(j, &miss) {
+		t.Fatal("LoadCheckpoint hit on empty cache")
+	}
+	if c.HasCheckpoint(j) {
+		t.Fatal("HasCheckpoint true on empty cache")
+	}
+
+	want := map[string]int{"state": 3, "steps": 7}
+	if err := c.StoreCheckpoint(j, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasCheckpoint(j) {
+		t.Fatal("HasCheckpoint false after store")
+	}
+	var got map[string]int
+	if !c.LoadCheckpoint(j, &got) {
+		t.Fatal("LoadCheckpoint missed after store")
+	}
+	if got["state"] != 3 || got["steps"] != 7 {
+		t.Fatalf("round trip lost data: %v", got)
+	}
+
+	// Overwrite replaces, not appends.
+	if err := c.StoreCheckpoint(j, map[string]int{"state": 4}); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	c.LoadCheckpoint(j, &got)
+	if got["state"] != 4 || got["steps"] != 0 {
+		t.Fatalf("overwrite did not replace: %v", got)
+	}
+
+	if err := c.DeleteCheckpoint(j); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasCheckpoint(j) {
+		t.Fatal("checkpoint survived delete")
+	}
+	// Deleting a missing checkpoint is not an error.
+	if err := c.DeleteCheckpoint(j); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+}
+
+// TestCheckpointCorruptIsCleanMiss: a torn write (crash mid-rename on a
+// non-atomic filesystem, partial disk) must degrade to "start over",
+// never wedge the job.
+func TestCheckpointCorruptIsCleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCache(dir)
+	j := ckptJob("gate_or")
+	if err := c.StoreCheckpoint(j, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.ckptPath(j), []byte("{\"trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]int
+	if c.LoadCheckpoint(j, &v) {
+		t.Fatal("corrupt checkpoint loaded")
+	}
+}
+
+// TestCheckpointsExcludedFromLen: checkpoints live in their own subtree
+// and must never inflate the result count the manifest reports.
+func TestCheckpointsExcludedFromLen(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	j := ckptJob("vec_xor_w8")
+	if err := c.Store(j, map[string]bool{"pass": true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreCheckpoint(j, map[string]int{"state": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreCheckpoint(ckptJob("gate_and"), map[string]int{"state": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (checkpoints must not count as results)", n)
+	}
+}
+
+// TestCheckpointIndependentOfResult: the same job key addresses a
+// result cell and a checkpoint cell without collision.
+func TestCheckpointIndependentOfResult(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	j := ckptJob("cmp_lt_w4")
+	if err := c.Store(j, "result"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreCheckpoint(j, "checkpoint"); err != nil {
+		t.Fatal(err)
+	}
+	var res, cp string
+	ok, err := c.Load(j, &res)
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if !c.LoadCheckpoint(j, &cp) {
+		t.Fatal("LoadCheckpoint miss")
+	}
+	if res != "result" || cp != "checkpoint" {
+		t.Fatalf("cells collided: %q %q", res, cp)
+	}
+	if err := c.DeleteCheckpoint(j); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = c.Load(j, &res)
+	if !ok {
+		t.Fatal("deleting the checkpoint removed the result")
+	}
+}
+
+// TestAtomicWriteLeavesNoTemp: no temp droppings under either tree
+// after stores complete (Len would be stable regardless — temp names
+// are dot-prefixed — but the files should not exist at all).
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCache(dir)
+	for _, p := range []string{"a", "b", "c"} {
+		if err := c.Store(ckptJob(p), p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.StoreCheckpoint(ckptJob(p), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) != ".json" {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+}
+
+func TestPoolRunsSubmittedWork(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		if err := p.TrySubmit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if n.Load() != 16 {
+		t.Fatalf("ran %d tasks, want 16", n.Load())
+	}
+}
+
+// TestPoolQueueFull: with one blocked worker and a full queue,
+// TrySubmit must reject immediately with ErrQueueFull — this is the
+// signal the job service converts into HTTP 429 backpressure.
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker now holds the first task
+	if err := p.TrySubmit(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmit(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmit(func() {}); err != ErrQueueFull {
+		t.Fatalf("submit beyond depth: %v, want ErrQueueFull", err)
+	}
+	if d := p.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	close(release)
+	p.Close()
+}
+
+// TestPoolCloseDrains: Close must run everything already accepted
+// before returning, and reject submissions afterwards.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var n atomic.Int32
+	for i := 0; i < 8; i++ {
+		if err := p.TrySubmit(func() {
+			time.Sleep(5 * time.Millisecond)
+			n.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if n.Load() != 8 {
+		t.Fatalf("Close returned with %d/8 tasks done", n.Load())
+	}
+	if err := p.TrySubmit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

@@ -76,6 +76,14 @@ type Stats struct {
 	StoreErrors int           // results that could not be written to the cache
 	Wall        time.Duration // wall-clock spent inside Execute
 	Shard       Shard         // shard this invocation is responsible for
+
+	// Resume telemetry, reported by checkpoint-aware executors (the
+	// state-machine pipeline): checkpoints persisted, jobs that resumed
+	// from a checkpoint instead of starting over, and pipeline states
+	// executed after those resumes.
+	CheckpointsWritten int
+	JobsResumed        int
+	StatesReplayed     int
 }
 
 // Misses returns the number of jobs this shard had to compute because
@@ -140,6 +148,17 @@ func (r *Runner) record(f func(*Stats)) {
 	r.mu.Lock()
 	f(&r.stats)
 	r.mu.Unlock()
+}
+
+// AddResume accumulates checkpoint/resume telemetry from a
+// checkpoint-aware job executor (goroutine-safe; jobs report from the
+// worker pool).
+func (r *Runner) AddResume(checkpointsWritten, jobsResumed, statesReplayed int) {
+	r.record(func(s *Stats) {
+		s.CheckpointsWritten += checkpointsWritten
+		s.JobsResumed += jobsResumed
+		s.StatesReplayed += statesReplayed
+	})
 }
 
 // Execute runs every job through fn on the runner's worker pool and

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one line of a job's transcript: the pipeline trace stages
+// (testbench, review, prompt, codegen, verify, llm), the machine's
+// "state" transitions, and "job" lifecycle markers. Events stream over
+// GET /jobs/{id}/events as SSE or NDJSON.
+type Event struct {
+	Seq    int       `json:"seq"`
+	Time   time.Time `json:"time"`
+	Stage  string    `json:"stage"`
+	Detail string    `json:"detail"`
+}
+
+// hub is a per-job event fan-out: it retains the full history (jobs
+// are short transcripts, not log firehoses) so late subscribers replay
+// from the start, and pushes live events to every subscriber. Closing
+// the hub closes subscriber channels — the end-of-stream signal.
+type hub struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan Event]struct{}
+	done   bool
+}
+
+func newHub() *hub {
+	return &hub{subs: map[chan Event]struct{}{}}
+}
+
+func (h *hub) publish(stage, detail string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	ev := Event{Seq: len(h.events) + 1, Time: time.Now(), Stage: stage, Detail: detail}
+	h.events = append(h.events, ev)
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			// A stalled consumer loses live events; it still has the
+			// history it was handed at subscribe time.
+		}
+	}
+}
+
+// subscribe returns the history so far and a live channel. The cancel
+// function must be called when the consumer goes away.
+func (h *hub) subscribe() ([]Event, chan Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist := make([]Event, len(h.events))
+	copy(hist, h.events)
+	ch := make(chan Event, 256)
+	if h.done {
+		close(ch)
+		return hist, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return hist, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = map[chan Event]struct{}{}
+}
+
+func (h *hub) closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /jobs             submit a Spec (202; 409-free — idempotent)
+//	GET    /jobs             list job records
+//	GET    /jobs/{id}        one job record
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /jobs/{id}/events stream the transcript (SSE; NDJSON on request)
+//	GET    /metrics          queue, per-state latency, resume + provider metrics
+//	GET    /healthz          liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	rec, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		status := http.StatusAccepted
+		if rec.Status == StatusCompleted {
+			status = http.StatusOK // idempotent resubmission of a finished job
+		}
+		writeJSON(w, status, rec)
+	case errors.Is(err, runner.ErrQueueFull):
+		// Backpressure: the bounded queue is the admission control.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining), errors.Is(err, runner.ErrPoolClosed):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+	default:
+		var se *SpecError
+		if errors.As(err, &se) {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	if !s.Cancel(id) {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job already finished"})
+		return
+	}
+	rec, _ := s.Get(id)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleEvents streams a job's transcript. Default framing is
+// Server-Sent Events; NDJSON is selected with ?format=ndjson or
+// Accept: application/x-ndjson. The stream replays the job's history,
+// then follows live events, and ends when the job reaches a terminal
+// status.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	hist, live, cancel, ok := s.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	defer cancel()
+
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	emit := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if ndjson {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Stage, data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	for _, ev := range hist {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return // job finished; stream complete
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

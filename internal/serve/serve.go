@@ -1,0 +1,665 @@
+// Package serve is the crash-safe job service: it exposes the pipeline
+// as a long-lived HTTP daemon (cmd/aivrild) that accepts generation
+// jobs, fans them onto a bounded worker pool, streams their agent
+// transcripts, and — the point of the exercise — survives being killed
+// at any moment. Every job runs through the checkpointed state machine
+// of internal/core; after each state transition the machine snapshot is
+// persisted through the runner cache, so a crashed or drained server
+// resumes interrupted jobs on the next start and drives them to the
+// same verdict an uninterrupted run would have produced.
+//
+// See docs/SERVICE.md for the job lifecycle, the checkpoint format and
+// the backpressure/resume semantics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/llm/provider"
+	"repro/internal/runner"
+)
+
+// Job statuses. queued and running are live; interrupted means the job
+// holds a checkpoint and will resume on the next server start (or
+// resubmission); completed, failed and canceled are terminal.
+const (
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusCompleted   = "completed"
+	StatusFailed      = "failed"
+	StatusCanceled    = "canceled"
+	StatusInterrupted = "interrupted"
+)
+
+// Spec is the client-facing job description (the POST /jobs body).
+// The zero value of every optional knob selects the paper default, so
+// {"problem": ..., "model": ..., "language": ...} is a complete spec.
+type Spec struct {
+	Problem  string `json:"problem"`
+	Model    string `json:"model"`
+	Language string `json:"language"`           // "verilog" (default) or "vhdl"
+	Provider string `json:"provider,omitempty"` // registry name; "" = "offline"
+
+	MaxSyntaxIters int    `json:"max_syntax_iters,omitempty"`
+	MaxFuncIters   int    `json:"max_func_iters,omitempty"`
+	MaxSimTime     uint64 `json:"max_sim_time,omitempty"`
+	// CoGenTestbench regenerates the bench every functional iteration
+	// (the AIVRIL 1 ablation); default keeps it frozen.
+	CoGenTestbench bool `json:"cogen_testbench,omitempty"`
+	SkipFunctional bool `json:"skip_functional,omitempty"`
+}
+
+// Record is one job's full lifecycle state: the API representation and
+// the on-disk schema under <cache>/jobs/. IDs are content-addressed
+// (the runner job key), so submitting the same spec twice is
+// idempotent and a job's result lands in the exact cache cell a
+// benchsuite sweep of the same cell would populate.
+type Record struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	Status  string    `json:"status"`
+	State   string    `json:"state,omitempty"` // last pipeline state reached
+	Verdict string    `json:"verdict,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
+	Updated time.Time `json:"updated"`
+
+	Outcome *exp.ProblemOutcome `json:"outcome,omitempty"`
+
+	// Resume telemetry.
+	Resumes            int `json:"resumes"`
+	CheckpointsWritten int `json:"checkpoints_written"`
+	StatesReplayed     int `json:"states_replayed"`
+}
+
+// Config parameterises the server.
+type Config struct {
+	// CacheDir roots all persistence: job records (jobs/), results and
+	// checkpoints (the runner cache layout). Required.
+	CacheDir string
+	// Workers is the job worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue answers 429
+	// (default 16).
+	QueueDepth int
+	// Registry resolves job provider names (default
+	// provider.DefaultRegistry).
+	Registry *provider.Registry
+	// Stack is the base middleware configuration for every job's
+	// provider; the server installs its own shared metrics sink on top.
+	Stack provider.StackConfig
+	// Flaky parameterises jobs that select the fault-injecting provider.
+	Flaky provider.FlakyConfig
+	// StepDelay inserts an artificial pause after every state
+	// transition. The offline pipeline completes in milliseconds; the
+	// delay gives crash/drain tests (and the CI smoke script) a window
+	// to kill the server mid-job.
+	StepDelay time.Duration
+	// StepHook, when set, runs after each checkpoint write with the job
+	// id and the checkpoint. A non-nil return interrupts the job — the
+	// in-process stand-in for SIGKILL in crash-resume tests.
+	StepHook func(jobID string, cp *core.Checkpoint) error
+	// Logf receives server lifecycle lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// ErrDraining reports submission to a server that is shutting down.
+var ErrDraining = errors.New("serve: draining")
+
+// SpecError marks a job spec the server can never run (HTTP 400).
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+func specErrf(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
+type job struct {
+	rec    Record
+	hub    *hub
+	cancel context.CancelFunc // non-nil while running
+}
+
+// Server is the job service. Create with New, serve its Handler, and
+// Shutdown to drain.
+type Server struct {
+	cfg   Config
+	suite *bench.Suite
+	cache *runner.Cache
+	pool  *runner.Pool
+	st    *stats
+	prov  *provider.Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+}
+
+// New opens the cache, starts the worker pool, and re-enqueues every
+// job a previous process left queued, running, or interrupted — the
+// crash-recovery scan. Jobs that were mid-run resume from their last
+// checkpoint.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheDir == "" {
+		return nil, errors.New("serve: Config.CacheDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = provider.DefaultRegistry
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cache, err := runner.OpenCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.CacheDir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		suite: bench.NewSuite(),
+		cache: cache,
+		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		st:    &stats{},
+		prov:  provider.NewMetrics(provider.RealClock()),
+		jobs:  map[string]*job{},
+	}
+	if err := s.recover(); err != nil {
+		s.pool.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads persisted job records and re-enqueues the unfinished
+// ones. A record found in "running" belonged to a process that died
+// mid-job; its checkpoint (if any survived) resumes it. The lock is
+// held for the whole scan: pool workers start consuming re-enqueued
+// jobs immediately, and they must not observe (or mutate) a record the
+// scan is still touching.
+func (s *Server) recover() error {
+	dir := filepath.Join(s.cfg.CacheDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(data, &rec) != nil || rec.ID == "" {
+			continue // torn record: the job is resubmittable, not wedged
+		}
+		j := &job{rec: rec, hub: newHub()}
+		switch rec.Status {
+		case StatusQueued, StatusRunning, StatusInterrupted:
+			j.rec.Status = StatusQueued
+			s.jobs[rec.ID] = j
+			id := rec.ID
+			if err := s.pool.TrySubmit(func() { s.run(id) }); err != nil {
+				// Queue smaller than the backlog: leave the job
+				// interrupted; a resubmission re-enqueues it.
+				j.rec.Status = StatusInterrupted
+			}
+			s.persist(j)
+			s.cfg.Logf("serve: recovered job %s (%s)", rec.ID, j.rec.Status)
+		default:
+			j.hub.close()
+			s.jobs[rec.ID] = j
+		}
+	}
+	return nil
+}
+
+// resolved is a Spec bound to the concrete objects it names.
+type resolved struct {
+	prob *bench.Problem
+	lang edatool.Language
+	cfg  core.Config
+	tag  string // provider tag for cache keys ("" = offline)
+	rjob runner.Job
+}
+
+// resolve validates a spec and derives the job identity. The provider
+// is NOT built here (it needs per-job trace plumbing); registry
+// membership is checked so submission fails fast.
+func (s *Server) resolve(spec Spec) (resolved, error) {
+	var r resolved
+	r.prob = s.suite.ByID(spec.Problem)
+	if r.prob == nil {
+		return r, specErrf("unknown problem %q", spec.Problem)
+	}
+	model := llm.ProfileByName(spec.Model)
+	if model == nil {
+		return r, specErrf("unknown model %q", spec.Model)
+	}
+	switch strings.ToLower(spec.Language) {
+	case "", "verilog":
+		r.lang = edatool.Verilog
+	case "vhdl":
+		r.lang = edatool.VHDL
+	default:
+		return r, specErrf("unknown language %q (verilog | vhdl)", spec.Language)
+	}
+	name := spec.Provider
+	if name == "" {
+		name = "offline"
+	}
+	known := false
+	for _, n := range s.cfg.Registry.Names() {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return r, specErrf("unknown provider %q (have: %s)", name, strings.Join(s.cfg.Registry.Names(), ", "))
+	}
+	if name != "offline" {
+		r.tag = name
+	}
+	cfg := core.DefaultConfig(model, r.lang)
+	cfg.Provider = nil // built per run, with the job's trace plumbing
+	if spec.MaxSyntaxIters > 0 {
+		cfg.MaxSyntaxIters = spec.MaxSyntaxIters
+	}
+	if spec.MaxFuncIters > 0 {
+		cfg.MaxFuncIters = spec.MaxFuncIters
+	}
+	if spec.MaxSimTime > 0 {
+		cfg.MaxSimTime = spec.MaxSimTime
+	}
+	cfg.FreezeTestbench = !spec.CoGenTestbench
+	cfg.SkipFunctional = spec.SkipFunctional
+	r.cfg = cfg
+	r.rjob = runner.Job{
+		Problem:  r.prob.ID,
+		Model:    model.Name(),
+		Language: r.lang.String(),
+		Config:   cfg.Fingerprint(),
+		Provider: r.tag,
+	}
+	return r, nil
+}
+
+// Submit validates, registers and enqueues a job. It is idempotent:
+// resubmitting a live or completed job returns its current record;
+// resubmitting a failed, canceled or interrupted job re-enqueues it
+// (resuming from its checkpoint when one exists). The bounded queue
+// rejects with runner.ErrQueueFull — the HTTP layer's 429.
+func (s *Server) Submit(spec Spec) (Record, error) {
+	r, err := s.resolve(spec)
+	if err != nil {
+		return Record{}, err
+	}
+	id := r.rjob.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Record{}, ErrDraining
+	}
+	j := s.jobs[id]
+	if j != nil {
+		switch j.rec.Status {
+		case StatusQueued, StatusRunning, StatusCompleted:
+			return j.rec, nil
+		}
+		// failed / canceled / interrupted: re-enqueue below.
+	} else {
+		j = &job{
+			rec: Record{ID: id, Spec: spec, Created: time.Now()},
+			hub: newHub(),
+		}
+	}
+	prev := j.rec.Status
+	j.rec.Status = StatusQueued
+	j.rec.Error = ""
+	if err := s.pool.TrySubmit(func() { s.run(id) }); err != nil {
+		j.rec.Status = prev
+		return Record{}, err
+	}
+	if j.hub.closed() {
+		j.hub = newHub() // fresh event stream for the re-run
+	}
+	s.jobs[id] = j
+	s.persist(j)
+	j.hub.publish("job", "queued")
+	return j.rec, nil
+}
+
+// Get returns a job's record.
+func (s *Server) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Record{}, false
+	}
+	return j.rec, true
+}
+
+// List returns every job record, newest first.
+func (s *Server) List() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.rec)
+	}
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].Created.After(out[i].Created) {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is marked canceled before it
+// starts, a running job has its context cancelled and finishes as
+// canceled. Terminal jobs are left untouched (ok=false).
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.rec.Status {
+	case StatusQueued:
+		j.rec.Status = StatusCanceled
+		s.persist(j)
+		j.hub.publish("job", "canceled before start")
+		j.hub.close()
+		return true
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// Subscribe returns a job's event history and a live feed (see hub).
+func (s *Server) Subscribe(id string) ([]Event, <-chan Event, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, false
+	}
+	hist, ch, cancel := j.hub.subscribe()
+	return hist, ch, cancel, true
+}
+
+// QueueDepth returns the number of queued-but-not-started jobs.
+func (s *Server) QueueDepth() int { return s.pool.Depth() }
+
+// Shutdown drains the server: no new submissions, running jobs are
+// cancelled (they checkpoint at every boundary, so cancellation costs
+// at most one in-flight state), and the pool empties. Interrupted jobs
+// resume on the next start.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.rec.Status == StatusRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.pool.Close()
+}
+
+// persist writes a job record atomically (temp file + rename). Caller
+// holds s.mu.
+func (s *Server) persist(j *job) {
+	j.rec.Updated = time.Now()
+	data, err := json.MarshalIndent(j.rec, "", " ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.cfg.CacheDir, "jobs", j.rec.ID+".json")
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".rec*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil && tmp.Close() == nil {
+		os.Rename(tmp.Name(), path)
+	} else {
+		tmp.Close()
+	}
+	os.Remove(tmp.Name())
+}
+
+// verdictOf reconstructs the pipeline verdict from a cached outcome.
+func verdictOf(out exp.ProblemOutcome) string {
+	switch {
+	case !out.LoopSyntaxOK:
+		return "syntax-fail"
+	case out.SelfVerified:
+		return "pass"
+	default:
+		return "func-fail"
+	}
+}
+
+// run executes one job on a pool worker: serve it from the result
+// cache if possible, otherwise restore-or-start the state machine and
+// drive it state by state, checkpointing after every transition.
+func (s *Server) run(id string) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil || j.rec.Status != StatusQueued {
+		s.mu.Unlock()
+		return // canceled while queued, or stale closure
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.rec.Status = StatusRunning
+	s.persist(j)
+	spec := j.rec.Spec
+	hub := j.hub
+	s.mu.Unlock()
+	defer cancel()
+	hub.publish("job", "running")
+
+	r, err := s.resolve(spec)
+	if err != nil {
+		s.finish(j, func(rec *Record) {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+		})
+		return
+	}
+
+	// A completed cell (this server's earlier life, or a benchsuite
+	// sweep over the same cache) short-circuits the run.
+	var cached exp.ProblemOutcome
+	if ok, _ := s.cache.Load(r.rjob, &cached); ok {
+		hub.publish("job", "served from result cache")
+		s.finish(j, func(rec *Record) {
+			rec.Status = StatusCompleted
+			rec.Verdict = verdictOf(cached)
+			rec.Outcome = &cached
+			rec.State = core.StateDone.String()
+		})
+		return
+	}
+
+	// Build the provider with this job's trace plumbing and the
+	// server-wide metrics sink.
+	stack := s.cfg.Stack
+	stack.Metrics = s.prov
+	stack.Trace = func(stage, detail string) { hub.publish(stage, detail) }
+	name := spec.Provider
+	if name == "" {
+		name = "offline"
+	}
+	model := llm.ProfileByName(spec.Model)
+	prov, err := s.cfg.Registry.New(name, model, provider.BuildConfig{Stack: stack, Flaky: s.cfg.Flaky})
+	if err != nil {
+		s.finish(j, func(rec *Record) {
+			rec.Status = StatusFailed
+			rec.Error = err.Error()
+		})
+		return
+	}
+	cfg := r.cfg
+	cfg.Provider = prov
+	cfg.Trace = func(stage, detail string) { hub.publish(stage, detail) }
+
+	pipe := core.New(cfg)
+	m := pipe.NewMachine(r.prob)
+	var cp core.Checkpoint
+	if s.cache.LoadCheckpoint(r.rjob, &cp) {
+		if rm, rerr := pipe.Restore(&cp, r.prob); rerr == nil {
+			m = rm
+			s.st.resumed()
+			s.mu.Lock()
+			j.rec.Resumes++
+			s.mu.Unlock()
+			hub.publish("job", fmt.Sprintf("resumed from checkpoint at state %s (step %d)", m.State(), m.Steps()))
+		} else {
+			hub.publish("job", fmt.Sprintf("checkpoint unusable (%v); starting over", rerr))
+		}
+	}
+	resumed := m.Steps() > 0
+
+	for {
+		st := m.State()
+		t0 := time.Now()
+		done, serr := m.Step(ctx)
+		s.st.observe(st, time.Since(t0))
+		if serr != nil {
+			s.finishStep(j, r, m, serr)
+			return
+		}
+		if resumed {
+			s.st.replayed()
+			s.mu.Lock()
+			j.rec.StatesReplayed++
+			s.mu.Unlock()
+		}
+		if c, cerr := m.Checkpoint(); cerr == nil {
+			if s.cache.StoreCheckpoint(r.rjob, c) == nil {
+				s.st.checkpointed()
+				s.mu.Lock()
+				j.rec.CheckpointsWritten++
+				s.mu.Unlock()
+			}
+			if hook := s.cfg.StepHook; hook != nil {
+				if herr := hook(id, c); herr != nil {
+					// Injected crash: the checkpoint is on disk, the
+					// job stays resumable.
+					s.finish(j, func(rec *Record) {
+						rec.Status = StatusInterrupted
+						rec.Error = herr.Error()
+						rec.State = m.State().String()
+					})
+					return
+				}
+			}
+		}
+		s.mu.Lock()
+		j.rec.State = m.State().String()
+		s.mu.Unlock()
+		hub.publish("state", m.State().String())
+		if done {
+			break
+		}
+		if d := s.cfg.StepDelay; d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+	}
+
+	res := m.Result()
+	out := exp.Outcome(r.prob, r.lang, cfg, r.tag, res)
+	if err := s.cache.Store(r.rjob, out); err != nil {
+		s.cfg.Logf("serve: job %s: result store failed: %v", id, err)
+	}
+	s.cache.DeleteCheckpoint(r.rjob)
+	hub.publish("job", "completed: "+res.Verdict())
+	s.finish(j, func(rec *Record) {
+		rec.Status = StatusCompleted
+		rec.Verdict = res.Verdict()
+		rec.Outcome = &out
+	})
+}
+
+// finishStep classifies a state-machine error into the job's terminal
+// (or resumable) status: cancellation during drain and transient
+// provider failures leave the job interrupted with its checkpoint
+// intact; a user cancel is canceled; everything else is failed and the
+// checkpoint is discarded (the same request would fail the same way).
+func (s *Server) finishStep(j *job, r resolved, m *core.Machine, err error) {
+	res := m.Abort(err)
+	class := provider.ClassOf(err)
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := StatusFailed
+	switch {
+	case class == provider.ClassCanceled && draining:
+		status = StatusInterrupted
+	case class == provider.ClassCanceled:
+		status = StatusCanceled
+	case provider.ResumableAfter(err):
+		status = StatusInterrupted
+	default:
+		s.cache.DeleteCheckpoint(r.rjob)
+	}
+	j.hub.publish("job", fmt.Sprintf("%s: %s", status, res.Verdict()))
+	s.finish(j, func(rec *Record) {
+		rec.Status = status
+		rec.Verdict = res.Verdict()
+		rec.Error = err.Error()
+		rec.State = m.State().String()
+	})
+}
+
+// finish applies a terminal mutation, persists the record, and closes
+// the event stream.
+func (s *Server) finish(j *job, mut func(*Record)) {
+	s.mu.Lock()
+	mut(&j.rec)
+	j.cancel = nil
+	s.persist(j)
+	hub := j.hub
+	s.mu.Unlock()
+	hub.close()
+}

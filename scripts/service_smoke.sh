@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Crash-resume smoke test for the aivrild job service.
+#
+# The in-process test suite proves the resume property with injected
+# interruptions (serve_test.go); this script proves it against the real
+# binary and a real SIGKILL: start aivrild, submit a job through the
+# fault-injecting flaky provider, kill -9 the server mid-run, restart
+# it on the same cache directory, and require the job to resume from
+# its checkpoint and finish with the exact verdict an uninterrupted
+# offline run produces (fault injection wraps the same deterministic
+# model, so the verdicts must agree).
+#
+# Requires: go, curl, jq.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+ADDR="${AIVRILD_ADDR:-127.0.0.1:18467}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "smoke: $*"; }
+die() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$WORK/aivrild" ./cmd/aivrild
+
+PROBLEM=cmp_lt_w4
+OFFLINE_SPEC="{\"problem\":\"$PROBLEM\",\"model\":\"claude-3.5-sonnet\",\"language\":\"verilog\"}"
+FLAKY_SPEC="{\"problem\":\"$PROBLEM\",\"model\":\"claude-3.5-sonnet\",\"language\":\"verilog\",\"provider\":\"flaky\"}"
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    die "server at $BASE never became healthy"
+}
+
+# get_job <id> <jq-expr>
+get_job() { curl -fsS "$BASE/jobs/$1" | jq -r "$2"; }
+
+# wait_terminal <id> [ticks] -> echoes the terminal status
+wait_terminal() {
+    local id="$1" ticks="${2:-400}" st=""
+    for _ in $(seq 1 "$ticks"); do
+        st="$(get_job "$id" .status)"
+        case "$st" in
+        completed | failed | canceled | interrupted)
+            echo "$st"
+            return 0
+            ;;
+        esac
+        sleep 0.1
+    done
+    die "job $id stuck in $st"
+}
+
+stop_server() {
+    [ -n "$PID" ] || return 0
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    PID=""
+}
+
+# --- Reference: an uninterrupted offline run of the same problem. -----
+log "offline reference run"
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/ref" &
+PID=$!
+wait_healthy
+REF_ID="$(curl -fsS -X POST "$BASE/jobs" -d "$OFFLINE_SPEC" | jq -r .id)"
+[ -n "$REF_ID" ] && [ "$REF_ID" != null ] || die "submission returned no job id"
+[ "$(wait_terminal "$REF_ID")" = completed ] || die "reference run did not complete"
+WANT_VERDICT="$(get_job "$REF_ID" .verdict)"
+log "reference verdict: $WANT_VERDICT"
+stop_server
+
+# --- Crash run: flaky-provider job, SIGKILL the server mid-job. -------
+# The step delay stretches the run to seconds so the kill lands between
+# states, after at least one checkpoint is on disk.
+log "flaky crash run"
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/crash" -step-delay 400ms -flaky-seed 1 &
+PID=$!
+wait_healthy
+ID="$(curl -fsS -X POST "$BASE/jobs" -d "$FLAKY_SPEC" | jq -r .id)"
+[ -n "$ID" ] && [ "$ID" != null ] || die "flaky submission returned no job id"
+CKPTS=0
+for _ in $(seq 1 100); do
+    CKPTS="$(get_job "$ID" .checkpoints_written)"
+    [ "$CKPTS" -ge 1 ] 2>/dev/null && break
+    sleep 0.1
+done
+[ "$CKPTS" -ge 1 ] || die "no checkpoint written before the kill window"
+log "SIGKILL after $CKPTS checkpoint(s), state $(get_job "$ID" .state)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# --- Restarts: recovery resumes the job until it completes. -----------
+# Each restart rotates the fault seed — process restarts are exactly
+# when a real outage profile changes — so a deterministic fault
+# sequence cannot pin the job on the same call forever.
+STATUS=""
+for seed in $(seq 2 10); do
+    log "restart (flaky seed $seed)"
+    "$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/crash" -flaky-seed "$seed" &
+    PID=$!
+    wait_healthy
+    STATUS="$(wait_terminal "$ID")"
+    stop_server
+    case "$STATUS" in
+    completed) break ;;
+    interrupted) continue ;; # transient injected fault; restart resumes
+    *) die "flaky job reached $STATUS" ;;
+    esac
+done
+[ "$STATUS" = completed ] || die "flaky job never completed across restarts"
+
+# Inspect the final record through one more server life.
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/crash" &
+PID=$!
+wait_healthy
+GOT_VERDICT="$(get_job "$ID" .verdict)"
+RESUMES="$(get_job "$ID" .resumes)"
+REPLAYED="$(get_job "$ID" .states_replayed)"
+[ "$GOT_VERDICT" = "$WANT_VERDICT" ] ||
+    die "resumed verdict $GOT_VERDICT != offline reference $WANT_VERDICT"
+[ "$RESUMES" -ge 1 ] || die "job completed without resuming (resumes=$RESUMES)"
+log "resumed (resumes=$RESUMES, states_replayed=$REPLAYED), verdict $GOT_VERDICT"
+stop_server
+log "PASS"
