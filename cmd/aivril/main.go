@@ -28,6 +28,7 @@ func main() {
 		langName  = flag.String("lang", "verilog", "target language: verilog | vhdl")
 		list      = flag.Bool("list", false, "list all problem ids and exit")
 		showRTL   = flag.Bool("show-rtl", true, "print the final RTL")
+		elabCache = flag.Bool("elab-cache", true, "reuse parse/elaboration results across repair-loop iterations (speed only; output and checkpoints are unaffected)")
 
 		providerName = flag.String("provider", "offline",
 			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | "))
@@ -68,6 +69,7 @@ func main() {
 	fmt.Printf("Specification:\n  %s\n\n", prob.Spec)
 
 	cfg := core.DefaultConfig(model, lang)
+	cfg.DisableDesignCache = !*elabCache
 	cfg.Trace = func(stage, detail string) {
 		fmt.Printf("[%-9s] %s\n", stage, detail)
 	}

@@ -47,6 +47,7 @@ type Doc struct {
 func main() {
 	compare := flag.String("compare", "", "baseline JSON document to gate against (exit 1 on allocs/op regression)")
 	maxAllocs := flag.String("max-allocs-regress", "10%", "allocs/op tolerance over the baseline: a percentage like 10%, or a ratio like 0.1")
+	summary := flag.String("summary", "", "with -compare: append a markdown time-delta table to this file (advisory; pass \"$GITHUB_STEP_SUMMARY\" in CI — an empty value is silently ignored)")
 	flag.Parse()
 
 	doc, err := parseBenchText(os.Stdin)
@@ -82,6 +83,13 @@ func main() {
 	report := compareDocs(&base, doc, tol)
 	for _, line := range report.lines {
 		fmt.Fprintln(os.Stderr, line)
+	}
+	if *summary != "" {
+		if err := appendSummary(*summary, &base, doc, report); err != nil {
+			// The summary is advisory; a broken path must not mask the
+			// gate verdict below.
+			fmt.Fprintf(os.Stderr, "benchjson: -summary: %v\n", err)
+		}
 	}
 	if len(report.regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d allocs/op regression(s) beyond %s vs %s\n",
@@ -193,6 +201,59 @@ func compareDocs(base, cur *Doc, tol float64) compareReport {
 	}
 	rep.lines = append(rep.lines, advisory...)
 	return rep
+}
+
+// appendSummary appends a markdown table of every compared benchmark —
+// time per op with the delta against the baseline, and allocs per op —
+// to path. It is written for CI job summaries ($GITHUB_STEP_SUMMARY),
+// where the advisory time deltas deserve more visibility than a log
+// line but must never gate the build.
+func appendSummary(path string, base, cur *Doc, rep compareReport) error {
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Pkg+"."+b.Name] = b
+	}
+	var sb strings.Builder
+	sb.WriteString("### Benchmark comparison (advisory)\n\n")
+	if len(rep.regressions) > 0 {
+		fmt.Fprintf(&sb, "**%d allocs/op regression(s)** — the gate fails this run.\n\n", len(rep.regressions))
+	}
+	sb.WriteString("| benchmark | ns/op (base) | ns/op (this run) | Δ time | allocs/op |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|\n")
+	for _, c := range cur.Benchmarks {
+		key := c.Pkg + "." + c.Name
+		name := shortPkg(c.Pkg) + "." + strings.TrimPrefix(c.Name, "Benchmark")
+		b, ok := baseBy[key]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | — | %.1f | new | %d |\n", name, c.NsPerOp, c.AllocsPerOp)
+			continue
+		}
+		delta := "—"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.0f%%", (c.NsPerOp-b.NsPerOp)/b.NsPerOp*100)
+		}
+		allocs := fmt.Sprintf("%d", c.AllocsPerOp)
+		if c.AllocsPerOp != b.AllocsPerOp {
+			allocs = fmt.Sprintf("%d → %d", b.AllocsPerOp, c.AllocsPerOp)
+		}
+		fmt.Fprintf(&sb, "| %s | %.1f | %.1f | %s | %s |\n", name, b.NsPerOp, c.NsPerOp, delta, allocs)
+	}
+	sb.WriteString("\nTime deltas are advisory only; the build gates on allocs/op.\n")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(sb.String())
+	return err
+}
+
+// shortPkg trims the module prefix from a package path for table rows.
+func shortPkg(pkg string) string {
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		return pkg[i+1:]
+	}
+	return pkg
 }
 
 // parseBenchLine parses lines like

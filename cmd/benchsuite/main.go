@@ -56,6 +56,7 @@ func main() {
 		every      = flag.Int("every", 1, "evaluate every N-th problem (subsampling)")
 		workers    = flag.Int("workers", 0, "max parallel problems (0 = auto)")
 		simWorkers = flag.Int("sim-workers", 0, "shard each simulation across this many workers (<=1 = serial; output is byte-identical either way)")
+		elabCache  = flag.Bool("elab-cache", true, "share one elaboration/design cache across the whole run (speed only; results and cache keys are unaffected)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (enables resume)")
 		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
 		checkpoint = flag.Bool("checkpoints", true, "with -cache-dir: checkpoint every cell after each pipeline state so aborted cells resume mid-run")
@@ -65,13 +66,13 @@ func main() {
 		providerName = flag.String("provider", "offline",
 			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | ")+
 				" (non-default providers occupy their own cache cells)")
-		llmTimeout   = flag.Duration("llm-timeout", 30*time.Second, "per-attempt LLM call timeout (0 disables)")
-		llmRetries   = flag.Int("llm-retries", 3, "total LLM attempt budget per call (1 disables retries)")
-		llmRPS       = flag.Float64("llm-rps", 0, "LLM token-bucket rate limit in calls/s (0 disables)")
-		llmBurst     = flag.Int("llm-burst", 1, "LLM rate-limiter burst capacity")
-		llmBreaker   = flag.Int("llm-breaker-threshold", 8, "consecutive infrastructure failures that open the circuit breaker (0 disables)")
-		flakyRate    = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
-		flakySeed    = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
+		llmTimeout = flag.Duration("llm-timeout", 30*time.Second, "per-attempt LLM call timeout (0 disables)")
+		llmRetries = flag.Int("llm-retries", 3, "total LLM attempt budget per call (1 disables retries)")
+		llmRPS     = flag.Float64("llm-rps", 0, "LLM token-bucket rate limit in calls/s (0 disables)")
+		llmBurst   = flag.Int("llm-burst", 1, "LLM rate-limiter burst capacity")
+		llmBreaker = flag.Int("llm-breaker-threshold", 8, "consecutive infrastructure failures that open the circuit breaker (0 disables)")
+		flakyRate  = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
+		flakySeed  = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
 	)
 	flag.Parse()
 	if !slices.Contains(provider.DefaultRegistry.Names(), *providerName) {
@@ -121,12 +122,21 @@ func main() {
 	stack.RPS = *llmRPS
 	stack.Burst = *llmBurst
 	stack.BreakerThreshold = *llmBreaker
+	// One design cache for every sweep in this invocation: a Table 1 run
+	// followed by the ablation re-simulates many identical (problem, RTL)
+	// pairs, and the cache turns those into elaboration reuse. Disabling
+	// it only removes the sharing — each exp.Run then builds its own.
+	var designCache *edatool.DesignCache
+	if *elabCache {
+		designCache = edatool.NewDesignCache()
+	}
 	opts := exp.Options{
-		Problems:   problems,
-		Runner:     run,
-		SimWorkers: *simWorkers,
-		Checkpoint: *checkpoint,
-		Provider:   *providerName,
+		Problems:    problems,
+		Runner:      run,
+		SimWorkers:  *simWorkers,
+		DesignCache: designCache,
+		Checkpoint:  *checkpoint,
+		Provider:    *providerName,
 		ProviderConfig: provider.BuildConfig{
 			Stack: stack,
 			Flaky: provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},

@@ -44,14 +44,28 @@ type Config struct {
 	// Simulation output is byte-identical across worker counts, so this
 	// knob deliberately does not enter the experiment cache key.
 	SimWorkers int
-	Trace      func(stage, detail string) // optional transcript sink
+	// DesignCache shares parsed/elaborated designs across every compile
+	// and simulation this pipeline runs (see edatool.DesignCache): the
+	// repair loop re-elaborates only the module a repair changed, and
+	// identical source sets re-run the retained design. Like SimWorkers
+	// it only changes speed, never results, so it deliberately does not
+	// enter the experiment cache key. When nil, New creates a private
+	// per-pipeline cache; sweeps may inject a shared one.
+	DesignCache *edatool.DesignCache
+	// DisableDesignCache suppresses that private cache, forcing every
+	// compile and simulation to parse and elaborate from scratch. A
+	// diagnostic knob (cold-vs-warm comparisons); ignored when
+	// DesignCache is set explicitly.
+	DisableDesignCache bool
+	Trace              func(stage, detail string) // optional transcript sink
 }
 
 // Fingerprint identifies the behavioural configuration: every knob
-// that changes pipeline outcomes, and none that don't (SimWorkers and
-// Trace are deliberately absent). The format is a component of the
-// runner's content-addressed cache keys and of checkpoint identity —
-// changing it orphans every cached sweep, so keep it stable.
+// that changes pipeline outcomes, and none that don't (SimWorkers,
+// DesignCache, and Trace are deliberately absent). The format is a
+// component of the runner's content-addressed cache keys and of
+// checkpoint identity — changing it orphans every cached sweep, so
+// keep it stable.
 func (c Config) Fingerprint() string {
 	return fmt.Sprintf("syn%d,fun%d,sim%d,freeze=%t,skipf=%t",
 		c.MaxSyntaxIters, c.MaxFuncIters, c.MaxSimTime, c.FreezeTestbench, c.SkipFunctional)
@@ -148,6 +162,9 @@ func New(cfg Config) *Pipeline {
 	if cfg.Provider == nil && cfg.Model != nil {
 		cfg.Provider = provider.NewStack(provider.NewOffline(cfg.Model), provider.DefaultStackConfig())
 	}
+	if cfg.DesignCache == nil && !cfg.DisableDesignCache {
+		cfg.DesignCache = edatool.NewDesignCache()
+	}
 	return &Pipeline{cfg: cfg}
 }
 
@@ -230,6 +247,13 @@ func (p *Pipeline) RunContext(ctx context.Context, prob *bench.Problem) *Result 
 // EvaluateFunctional runs the final, reference-bench judgement: the
 // suite's own testbench decides pass@1F, never the self-generated one.
 func EvaluateFunctional(lang edatool.Language, prob *bench.Problem, rtl string, maxSimTime uint64) bool {
+	return EvaluateFunctionalWith(nil, lang, prob, rtl, maxSimTime)
+}
+
+// EvaluateFunctionalWith is EvaluateFunctional through an optional
+// design cache: the reference testbench never changes per problem, so
+// repeated judgements (sweeps, pass@k) reuse its parse and elaboration.
+func EvaluateFunctionalWith(cache *edatool.DesignCache, lang edatool.Language, prob *bench.Problem, rtl string, maxSimTime uint64) bool {
 	if strings.TrimSpace(rtl) == "" {
 		return false
 	}
@@ -237,7 +261,8 @@ func EvaluateFunctional(lang edatool.Language, prob *bench.Problem, rtl string, 
 	if lang == edatool.VHDL {
 		refTB = prob.RefTBVHDL
 	}
-	sim := edatool.Simulate(lang, bench.TBName, maxSimTime,
+	sim := edatool.SimulateWith(lang, bench.TBName,
+		edatool.SimOptions{MaxTime: maxSimTime, Cache: cache},
 		edatool.Source{Name: designFile(lang), Text: rtl},
 		edatool.Source{Name: tbFile(lang), Text: refTB},
 	)
@@ -246,8 +271,14 @@ func EvaluateFunctional(lang edatool.Language, prob *bench.Problem, rtl string, 
 
 // EvaluateSyntax checks whether RTL compiles on its own.
 func EvaluateSyntax(lang edatool.Language, rtl string) bool {
+	return EvaluateSyntaxWith(nil, lang, rtl)
+}
+
+// EvaluateSyntaxWith is EvaluateSyntax through an optional design
+// cache (unchanged RTL reuses its parse).
+func EvaluateSyntaxWith(cache *edatool.DesignCache, lang edatool.Language, rtl string) bool {
 	if strings.TrimSpace(rtl) == "" {
 		return false
 	}
-	return edatool.Compile(lang, edatool.Source{Name: designFile(lang), Text: rtl}).OK
+	return edatool.CompileWith(lang, cache, edatool.Source{Name: designFile(lang), Text: rtl}).OK
 }

@@ -1,0 +1,211 @@
+package edatool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/vsim"
+)
+
+// Differential harness for the design cache: every cached path — warm
+// full-design reuse (reset-and-rerun), incremental re-elaboration
+// under a changed unit, and concurrent shared-cache use — must produce
+// output byte-identical to a cold simulation of the same sources. The
+// comparisons cover everything SimulateWith reports: log, VCD, the
+// judged verdict, and the latency model.
+
+const diffMaxTime = 200_000 // matches core.DefaultConfig
+
+// sampleProblems subsamples the bench suite so the differential sweep
+// stays fast while still crossing every category.
+func sampleProblems(every int) []*bench.Problem {
+	var out []*bench.Problem
+	for i, p := range bench.NewSuite().Problems {
+		if i%every == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// problemSources builds the (DUT, TB) source set the suite-side judge
+// simulates: golden RTL under the reference testbench.
+func problemSources(p *bench.Problem, lang Language) []Source {
+	if lang == Verilog {
+		return []Source{
+			{Name: "dut.v", Text: p.GoldenVerilog},
+			{Name: "tb.v", Text: p.RefTBVerilog},
+		}
+	}
+	return []Source{
+		{Name: "dut.vhd", Text: p.GoldenVHDL},
+		{Name: "tb.vhd", Text: p.RefTBVHDL},
+	}
+}
+
+func compareSimResults(t *testing.T, label string, cold, warm *SimResult) {
+	t.Helper()
+	if warm.Log != cold.Log {
+		t.Errorf("%s: log differs\ncold:\n%s\nwarm:\n%s", label, cold.Log, warm.Log)
+	}
+	if warm.VCD != cold.VCD {
+		t.Errorf("%s: VCD differs", label)
+	}
+	if warm.Passed != cold.Passed || warm.Failed != cold.Failed ||
+		warm.TimedOut != cold.TimedOut || warm.Fault != cold.Fault {
+		t.Errorf("%s: verdict differs: warm {p=%v f=%v to=%v fault=%q}, cold {p=%v f=%v to=%v fault=%q}",
+			label, warm.Passed, warm.Failed, warm.TimedOut, warm.Fault,
+			cold.Passed, cold.Failed, cold.TimedOut, cold.Fault)
+	}
+	if warm.LatencyModel != cold.LatencyModel {
+		t.Errorf("%s: latency model %v != %v", label, warm.LatencyModel, cold.LatencyModel)
+	}
+}
+
+// TestWarmSimulationByteIdentical runs sampled bench problems cold,
+// then three times through one cache per (problem, language, workers)
+// cell: the first warm run elaborates and retains the design, the
+// later ones are whole-design hits that reset and re-run it. Every run
+// must match the cold output exactly.
+func TestWarmSimulationByteIdentical(t *testing.T) {
+	for _, p := range sampleProblems(13) {
+		for _, lang := range []Language{Verilog, VHDL} {
+			for _, workers := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", p.ID, lang, workers), func(t *testing.T) {
+					srcs := problemSources(p, lang)
+					cold := SimulateWith(lang, bench.TBName,
+						SimOptions{MaxTime: diffMaxTime, Workers: workers}, srcs...)
+					cache := NewDesignCache()
+					for i := 0; i < 3; i++ {
+						warm := SimulateWith(lang, bench.TBName,
+							SimOptions{MaxTime: diffMaxTime, Workers: workers, Cache: cache}, srcs...)
+						compareSimResults(t, fmt.Sprintf("run %d", i), cold, warm)
+					}
+					st := cache.Stats()
+					if st.DesignHits != 2 || st.DesignMisses != 1 {
+						t.Errorf("design cache stats = %+v, want 2 hits / 1 miss", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRepairLoopIncrementalByteIdentical models the functional repair
+// loop: the testbench is frozen while the candidate RTL changes every
+// iteration. Warm runs must reuse the testbench parse (the DUT cannot
+// hit — its hash changes) and still match a cold run of the same
+// sources exactly.
+func TestRepairLoopIncrementalByteIdentical(t *testing.T) {
+	for _, p := range sampleProblems(31) {
+		for _, lang := range []Language{Verilog, VHDL} {
+			t.Run(fmt.Sprintf("%s/%s", p.ID, lang), func(t *testing.T) {
+				srcs := problemSources(p, lang)
+				comment := "// iteration %d\n"
+				if lang == VHDL {
+					comment = "-- iteration %d\n"
+				}
+				cache := NewDesignCache()
+				for i := 0; i < 3; i++ {
+					iter := []Source{
+						{Name: srcs[0].Name, Text: fmt.Sprintf(comment, i) + srcs[0].Text},
+						srcs[1],
+					}
+					cold := SimulateWith(lang, bench.TBName, SimOptions{MaxTime: diffMaxTime}, iter...)
+					warm := SimulateWith(lang, bench.TBName,
+						SimOptions{MaxTime: diffMaxTime, Cache: cache}, iter...)
+					compareSimResults(t, fmt.Sprintf("iteration %d", i), cold, warm)
+				}
+				st := cache.Stats()
+				if st.DesignHits != 0 {
+					t.Errorf("unexpected whole-design hit with changing DUT: %+v", st)
+				}
+				// Iterations 2 and 3 must reuse the testbench parse.
+				if st.ParseHits < 2 {
+					t.Errorf("parse hits = %d, want >= 2 (frozen testbench not reused): %+v", st.ParseHits, st)
+				}
+			})
+		}
+	}
+}
+
+// TestSharedCacheConcurrentIdentical exercises one cache from many
+// goroutines, mixing languages and problems, under the checkout
+// discipline (run with -race to check the locking). Results must match
+// the cold baselines regardless of interleaving.
+func TestSharedCacheConcurrentIdentical(t *testing.T) {
+	probs := sampleProblems(17)
+	type cell struct {
+		p    *bench.Problem
+		lang Language
+	}
+	var cells []cell
+	colds := map[string]*SimResult{}
+	for _, p := range probs {
+		for _, lang := range []Language{Verilog, VHDL} {
+			cells = append(cells, cell{p, lang})
+			colds[p.ID+lang.String()] = SimulateWith(lang, bench.TBName,
+				SimOptions{MaxTime: diffMaxTime}, problemSources(p, lang)...)
+		}
+	}
+	cache := NewDesignCache()
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, c := range cells {
+			wg.Add(1)
+			go func(c cell) {
+				defer wg.Done()
+				warm := SimulateWith(c.lang, bench.TBName,
+					SimOptions{MaxTime: diffMaxTime, Cache: cache}, problemSources(c.p, c.lang)...)
+				cold := colds[c.p.ID+c.lang.String()]
+				// Errorf is goroutine-safe; compare inline to keep the
+				// failure attributed to its cell.
+				if warm.Log != cold.Log || warm.VCD != cold.VCD || warm.Passed != cold.Passed {
+					t.Errorf("%s/%s: concurrent warm run diverged from cold", c.p.ID, c.lang)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRepairLoopElabAllocRatio pins the headline acceptance bar: a
+// warm repair-loop iteration (changed DUT, frozen testbench) spends at
+// least 2x fewer allocations on compile+elaborate than a cold one.
+// The win comes from skipping the testbench re-parse and reusing its
+// elaboration template — the reference testbenches dwarf the RTL.
+func TestRepairLoopElabAllocRatio(t *testing.T) {
+	p := bench.NewSuite().ByID("counter_up_w4")
+	if p == nil {
+		t.Fatal("problem counter_up_w4 not in suite")
+	}
+	srcs := problemSources(p, Verilog)
+	iter := 0
+	variant := func() Source {
+		iter++
+		return Source{Name: srcs[0].Name, Text: fmt.Sprintf("// iteration %d\n", iter) + srcs[0].Text}
+	}
+	elaborate := func(cache *DesignCache, dut Source) {
+		comp := CompileWith(Verilog, cache, dut, srcs[1])
+		if !comp.OK {
+			t.Fatalf("compile failed:\n%s", comp.Log)
+		}
+		var ec *vsim.ElabCache
+		if cache != nil {
+			ec = cache.velab
+		}
+		if _, err := vsim.ElaborateWith(ec, comp.Modules, bench.TBName); err != nil {
+			t.Fatalf("elaborate: %v", err)
+		}
+	}
+	cold := testing.AllocsPerRun(10, func() { elaborate(nil, variant()) })
+	cache := NewDesignCache()
+	elaborate(cache, variant()) // prime the testbench parse + template
+	warm := testing.AllocsPerRun(10, func() { elaborate(cache, variant()) })
+	if warm*2 > cold {
+		t.Errorf("warm repair iteration allocs %.0f not 2x below cold %.0f", warm, cold)
+	}
+	t.Logf("compile+elaborate allocs: cold=%.0f warm=%.0f (%.1fx)", cold, warm, cold/warm)
+}

@@ -58,12 +58,27 @@ type CompileResult struct {
 // Compile parses and semantically checks the sources in order; later
 // sources see modules/entities of earlier ones (DUT first, then TB).
 func Compile(lang Language, sources ...Source) *CompileResult {
+	return CompileWith(lang, nil, sources...)
+}
+
+// CompileWith is Compile through an optional design cache: unchanged
+// units (same file name and content) reuse their parsed ASTs and parse
+// diagnostics. Semantic checks still run per call — they see the whole
+// source set, which may differ even when one unit is unchanged. A nil
+// cache compiles cold.
+func CompileWith(lang Language, cache *DesignCache, sources ...Source) *CompileResult {
 	res := &CompileResult{}
 	switch lang {
 	case Verilog:
 		res.Modules = map[string]*verilog.Module{}
 		for _, src := range sources {
-			sf, pd := verilog.Parse(src.Name, src.Text)
+			var sf *verilog.SourceFile
+			var pd diag.List
+			if cache != nil {
+				sf, pd = cache.parseVerilog(src)
+			} else {
+				sf, pd = verilog.Parse(src.Name, src.Text)
+			}
 			res.Diags = append(res.Diags, pd...)
 			if !pd.HasErrors() {
 				cd := verilog.Check(src.Name, sf, res.Modules)
@@ -77,7 +92,13 @@ func Compile(lang Language, sources ...Source) *CompileResult {
 	case VHDL:
 		extern := map[string]*vhdl.Entity{}
 		for _, src := range sources {
-			df, pd := vhdl.Parse(src.Name, src.Text)
+			var df *vhdl.DesignFile
+			var pd diag.List
+			if cache != nil {
+				df, pd = cache.parseVHDL(src)
+			} else {
+				df, pd = vhdl.Parse(src.Name, src.Text)
+			}
 			res.Diags = append(res.Diags, pd...)
 			if !pd.HasErrors() {
 				cd := vhdl.Check(src.Name, df, extern)
@@ -142,6 +163,13 @@ type SimOptions struct {
 	// for every worker count, so results remain cache-coherent across
 	// settings; <= 1 runs the serial schedule.
 	Workers int
+	// Cache enables elaboration reuse (see DesignCache): identical
+	// source sets skip parse+elaborate and re-run the retained design;
+	// partially changed sets re-elaborate only the changed modules.
+	// Like Workers, it is cache-key-neutral — warm output is
+	// byte-identical to cold, so results stay coherent whether or not
+	// a cache is supplied. Nil runs cold.
+	Cache *DesignCache
 }
 
 // Simulate compiles the sources and, when clean, elaborates `top` and
@@ -150,28 +178,52 @@ func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *Sim
 	return SimulateWith(lang, top, SimOptions{MaxTime: maxTime}, sources...)
 }
 
-// SimulateWith is Simulate with full option control.
+// SimulateWith is Simulate with full option control. With a cache in
+// opt it reuses prior work at every level that still applies: a fully
+// identical source set skips compile and elaboration and re-runs the
+// retained design from time zero; a partially changed set reuses
+// unchanged units' parses and elaboration templates.
 func SimulateWith(lang Language, top string, opt SimOptions, sources ...Source) *SimResult {
-	comp := Compile(lang, sources...)
-	if !comp.OK {
-		return &SimResult{Log: comp.Log, Failed: true}
-	}
 	out := &SimResult{}
 	simBase := 3.2 // xsim launch + Verilog elaboration estimate, seconds
 	if lang == VHDL {
 		simBase = 4.2 // mixed-language elaboration is slower
 	}
+	file := sources[len(sources)-1].Name
+	var key string
+	if opt.Cache != nil {
+		key = designKey(lang, top, sources)
+	}
 	switch lang {
 	case Verilog:
-		res, err := vsim.Simulate(comp.Modules, top, vsim.Options{
+		var d *vsim.Design
+		if opt.Cache != nil {
+			d, _ = opt.Cache.acquireVerilog(key)
+		}
+		if d == nil {
+			comp := CompileWith(lang, opt.Cache, sources...)
+			if !comp.OK {
+				return &SimResult{Log: comp.Log, Failed: true}
+			}
+			var ec *vsim.ElabCache
+			if opt.Cache != nil {
+				ec = opt.Cache.velab
+			}
+			var err error
+			d, err = vsim.ElaborateWith(ec, comp.Modules, top)
+			if err != nil {
+				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+				out.Failed = true
+				return out
+			}
+		}
+		res := vsim.SimulateDesign(d, vsim.Options{
 			MaxTime: sim.Time(opt.MaxTime),
-			File:    sources[len(sources)-1].Name,
+			File:    file,
 			Workers: opt.Workers,
 		})
-		if err != nil {
-			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
-			out.Failed = true
-			return out
+		if opt.Cache != nil {
+			opt.Cache.releaseVerilog(key, d)
 		}
 		out.Log = res.Log
 		out.TimedOut = res.TimedOut
@@ -179,15 +231,34 @@ func SimulateWith(lang Language, top string, opt SimOptions, sources ...Source) 
 		out.VCD = res.VCD
 		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
 	case VHDL:
-		res, err := vhdlsim.Simulate(comp.Units, top, vhdlsim.Options{
+		var d *vhdlsim.Design
+		if opt.Cache != nil {
+			d, _ = opt.Cache.acquireVHDL(key)
+		}
+		if d == nil {
+			comp := CompileWith(lang, opt.Cache, sources...)
+			if !comp.OK {
+				return &SimResult{Log: comp.Log, Failed: true}
+			}
+			var ec *vhdlsim.ElabCache
+			if opt.Cache != nil {
+				ec = opt.Cache.vhelab
+			}
+			var err error
+			d, err = vhdlsim.ElaborateWith(ec, comp.Units, top)
+			if err != nil {
+				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+				out.Failed = true
+				return out
+			}
+		}
+		res := vhdlsim.SimulateDesign(d, vhdlsim.Options{
 			MaxTime: sim.Time(opt.MaxTime),
-			File:    sources[len(sources)-1].Name,
+			File:    file,
 			Workers: opt.Workers,
 		})
-		if err != nil {
-			out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
-			out.Failed = true
-			return out
+		if opt.Cache != nil {
+			opt.Cache.releaseVHDL(key, d)
 		}
 		out.Log = res.Log
 		out.TimedOut = res.TimedOut

@@ -118,6 +118,14 @@ type Options struct {
 	// artefacts, outcome and cache entry an uninterrupted run would
 	// have.
 	Checkpoint bool
+	// DesignCache shares one elaboration-reuse cache across every cell
+	// of the sweep (see edatool.DesignCache): repair-loop iterations
+	// re-elaborate only the changed module, and the per-problem
+	// reference testbenches parse once per sweep. Cache-key-neutral —
+	// warm results are byte-identical to cold, so cached cells and
+	// golden pins are unaffected. When nil, Run creates a sweep-private
+	// cache; pass one to share across sweeps (e.g. a daemon).
+	DesignCache *edatool.DesignCache
 }
 
 // configKey fingerprints the effective pipeline configuration. It is
@@ -186,13 +194,13 @@ func Outcome(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag st
 		FuncIters:    res.FuncIters,
 		Latency:      res.Latency,
 	}
-	out.BaselineSyntaxOK = core.EvaluateSyntax(lang, res.BaselineRTL)
+	out.BaselineSyntaxOK = core.EvaluateSyntaxWith(cfg.DesignCache, lang, res.BaselineRTL)
 	if out.BaselineSyntaxOK {
-		out.BaselineFuncOK = core.EvaluateFunctional(lang, prob, res.BaselineRTL, cfg.MaxSimTime)
+		out.BaselineFuncOK = core.EvaluateFunctionalWith(cfg.DesignCache, lang, prob, res.BaselineRTL, cfg.MaxSimTime)
 	}
 	out.LoopSyntaxOK = res.SyntaxOK
 	if res.SyntaxOK {
-		out.LoopFuncOK = core.EvaluateFunctional(lang, prob, res.FinalRTL, cfg.MaxSimTime)
+		out.LoopFuncOK = core.EvaluateFunctionalWith(cfg.DesignCache, lang, prob, res.FinalRTL, cfg.MaxSimTime)
 	}
 	return out
 }
@@ -258,6 +266,17 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 		r = &runner.Runner{Workers: opts.MaxWorkers}
 	}
 	cfg := opts.effectiveConfig(model, lang)
+	// One elaboration cache for the whole sweep (unless the Configure
+	// hook pinned its own): warm cells skip re-parsing the unchanged
+	// testbenches and re-elaborating unchanged modules. Stats deltas
+	// land in the run manifest next to the runner cache stats.
+	if cfg.DesignCache == nil {
+		cfg.DesignCache = opts.DesignCache
+		if cfg.DesignCache == nil {
+			cfg.DesignCache = edatool.NewDesignCache()
+		}
+	}
+	elabBefore := cfg.DesignCache.Stats()
 	key := configKey(cfg)
 	tag := opts.providerTag()
 	jobs := make([]runner.Job, len(problems))
@@ -277,6 +296,8 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 		}
 		return evaluate(problems[i], lang, cfg, tag)
 	})
+	elab := cfg.DesignCache.Stats().Sub(elabBefore)
+	r.AddElab(elab.DesignHits, elab.DesignMisses, elab.ParseHits, elab.ParseMisses)
 
 	sum := &Summary{
 		Model:    model.Name(),

@@ -29,6 +29,38 @@ func TestKnown64FastPathAllocs(t *testing.T) {
 	}
 }
 
+// TestWideOpAllocs pins the wide-path guarantee: a wide known-operand
+// op allocates exactly its result vector. The planeA/planeB spill
+// buffers that hoist the storage-layout branch out of the word loops
+// must stay on the stack — an escape shows up here as a second
+// allocation per op.
+func TestWideOpAllocs(t *testing.T) {
+	x := FromUint(0xDEADBEEF, 256)
+	y := FromUint(0x12345678, 256)
+	narrow := FromUint(7, 32) // mixed width exercises the zero-extension probe
+	ops := map[string]func(Vector, Vector) Vector{
+		"Add": Vector.Add, "Sub": Vector.Sub,
+		"BitwiseAnd": Vector.BitwiseAnd, "BitwiseOr": Vector.BitwiseOr,
+		"BitwiseXor": Vector.BitwiseXor, "BitwiseXnor": Vector.BitwiseXnor,
+	}
+	for name, op := range ops {
+		if avg := testing.AllocsPerRun(100, func() { benchSink = op(x, y) }); avg > 1 {
+			t.Errorf("%s on 256-bit operands: %v allocs/op, want 1 (plane buffer escaped?)", name, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() { benchSink = op(x, narrow) }); avg > 1 {
+			t.Errorf("%s on 256x32-bit operands: %v allocs/op, want 1 (plane buffer escaped?)", name, avg)
+		}
+	}
+	cmps := map[string]func(Vector, Vector) Vector{
+		"Eq": Vector.Eq, "CaseEq": Vector.CaseEq, "Lt": Vector.Lt,
+	}
+	for name, op := range cmps {
+		if avg := testing.AllocsPerRun(100, func() { benchSink = op(x, y) }); avg > 0 {
+			t.Errorf("%s on 256-bit operands: %v allocs/op, want 0 (plane buffer escaped?)", name, avg)
+		}
+	}
+}
+
 func BenchmarkAdd64(b *testing.B) {
 	x := FromUint(0xDEADBEEF, 32)
 	y := FromUint(0x12345678, 32)

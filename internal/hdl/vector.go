@@ -116,6 +116,40 @@ func (v Vector) uword(i int) uint64 {
 	return 0
 }
 
+// planeA returns v's plane-A words as a slice, spilling a small
+// vector's inline word into buf. Wide-result word loops hoist the
+// storage-layout discrimination out of the loop by grabbing both
+// operands' planes once and indexing them via word, instead of paying
+// the p==nil branch inside aword on every iteration. buf must outlive
+// the returned slice; both planeA and planeB inline, so buf never
+// escapes to the heap.
+func (v Vector) planeA(buf *[1]uint64) []uint64 {
+	if v.p != nil {
+		return v.p[:v.nw()]
+	}
+	buf[0] = v.ia
+	return buf[:]
+}
+
+// planeB is planeA for the unknown (X/Z) plane.
+func (v Vector) planeB(buf *[1]uint64) []uint64 {
+	if v.p != nil {
+		n := v.nw()
+		return v.p[n : 2*n]
+	}
+	buf[0] = v.ib
+	return buf[:]
+}
+
+// word returns p[i], zero past the end — the same Verilog
+// zero-extension aword/uword provide, as a plain slice probe.
+func word(p []uint64, i int) uint64 {
+	if i < len(p) {
+		return p[i]
+	}
+	return 0
+}
+
 // atA / atB return the 64 bits of plane A / B starting at bit position
 // bit (bit >= 0), zero-filled past the end. They are the word-at-a-time
 // readers behind cross-word bit copies, and work on either layout.
@@ -534,9 +568,11 @@ func (a Vector) Add(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var abuf, bbuf [1]uint64
+	ap, bp := a.planeA(&abuf), b.planeA(&bbuf)
 	var carry uint64
 	for i := 0; i < n; i++ {
-		out.p[i], carry = bits.Add64(a.aword(i), b.aword(i), carry)
+		out.p[i], carry = bits.Add64(word(ap, i), word(bp, i), carry)
 	}
 	out.maskTop()
 	return out
@@ -555,9 +591,11 @@ func (a Vector) Sub(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var abuf, bbuf [1]uint64
+	ap, bp := a.planeA(&abuf), b.planeA(&bbuf)
 	var borrow uint64
 	for i := 0; i < n; i++ {
-		out.p[i], borrow = bits.Sub64(a.aword(i), b.aword(i), borrow)
+		out.p[i], borrow = bits.Sub64(word(ap, i), word(bp, i), borrow)
 	}
 	out.maskTop()
 	return out
@@ -674,9 +712,12 @@ func (a Vector) BitwiseAnd(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var a1buf, u1buf, a2buf, u2buf [1]uint64
+	ap, up := a.planeA(&a1buf), a.planeB(&u1buf)
+	bp, vp := b.planeA(&a2buf), b.planeB(&u2buf)
 	for i := 0; i < n; i++ {
-		a1, u1 := a.aword(i), a.uword(i)
-		a2, u2 := b.aword(i), b.uword(i)
+		a1, u1 := word(ap, i), word(up, i)
+		a2, u2 := word(bp, i), word(vp, i)
 		one := (a1 &^ u1) & (a2 &^ u2)
 		zero := (^a1 &^ u1) | (^a2 &^ u2)
 		out.p[i] = one
@@ -696,9 +737,12 @@ func (a Vector) BitwiseOr(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var a1buf, u1buf, a2buf, u2buf [1]uint64
+	ap, up := a.planeA(&a1buf), a.planeB(&u1buf)
+	bp, vp := b.planeA(&a2buf), b.planeB(&u2buf)
 	for i := 0; i < n; i++ {
-		a1, u1 := a.aword(i), a.uword(i)
-		a2, u2 := b.aword(i), b.uword(i)
+		a1, u1 := word(ap, i), word(up, i)
+		a2, u2 := word(bp, i), word(vp, i)
 		one := (a1 &^ u1) | (a2 &^ u2)
 		zero := (^a1 &^ u1) & (^a2 &^ u2)
 		out.p[i] = one
@@ -717,9 +761,12 @@ func (a Vector) BitwiseXor(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var a1buf, u1buf, a2buf, u2buf [1]uint64
+	ap, up := a.planeA(&a1buf), a.planeB(&u1buf)
+	bp, vp := b.planeA(&a2buf), b.planeB(&u2buf)
 	for i := 0; i < n; i++ {
-		known := ^(a.uword(i) | b.uword(i))
-		out.p[i] = (a.aword(i) ^ b.aword(i)) & known
+		known := ^(word(up, i) | word(vp, i))
+		out.p[i] = (word(ap, i) ^ word(bp, i)) & known
 		out.p[n+i] = ^known
 	}
 	out.maskTop()
@@ -735,9 +782,12 @@ func (a Vector) BitwiseXnor(b Vector) Vector {
 	}
 	out := alloc(w)
 	n := out.nw()
+	var a1buf, u1buf, a2buf, u2buf [1]uint64
+	ap, up := a.planeA(&a1buf), a.planeB(&u1buf)
+	bp, vp := b.planeA(&a2buf), b.planeB(&u2buf)
 	for i := 0; i < n; i++ {
-		known := ^(a.uword(i) | b.uword(i))
-		out.p[i] = ^(a.aword(i) ^ b.aword(i)) & known
+		known := ^(word(up, i) | word(vp, i))
+		out.p[i] = ^(word(ap, i) ^ word(bp, i)) & known
 		out.p[n+i] = ^known
 	}
 	out.maskTop()
@@ -788,8 +838,10 @@ func (a Vector) Eq(b Vector) Vector {
 		return Scalar(LX)
 	}
 	n := words(maxInt(a.width, b.width))
+	var abuf, bbuf [1]uint64
+	ap, bp := a.planeA(&abuf), b.planeA(&bbuf)
 	for i := 0; i < n; i++ {
-		if a.aword(i) != b.aword(i) {
+		if word(ap, i) != word(bp, i) {
 			return FromBool(false)
 		}
 	}
@@ -803,8 +855,11 @@ func (a Vector) Neq(b Vector) Vector { return a.Eq(b).LogicalNot() }
 // Shorter operands zero-extend (L0 fill), matching Resize semantics.
 func (a Vector) CaseEq(b Vector) Vector {
 	n := words(maxInt(a.width, b.width))
+	var a1buf, u1buf, a2buf, u2buf [1]uint64
+	ap, up := a.planeA(&a1buf), a.planeB(&u1buf)
+	bp, vp := b.planeA(&a2buf), b.planeB(&u2buf)
 	for i := 0; i < n; i++ {
-		if a.aword(i) != b.aword(i) || a.uword(i) != b.uword(i) {
+		if word(ap, i) != word(bp, i) || word(up, i) != word(vp, i) {
 			return FromBool(false)
 		}
 	}
@@ -819,8 +874,10 @@ func (a Vector) cmp(b Vector) (int, bool) {
 	if !a.IsKnown() || !b.IsKnown() {
 		return 0, false
 	}
+	var abuf, bbuf [1]uint64
+	ap, bp := a.planeA(&abuf), b.planeA(&bbuf)
 	for i := words(maxInt(a.width, b.width)) - 1; i >= 0; i-- {
-		x, y := a.aword(i), b.aword(i)
+		x, y := word(ap, i), word(bp, i)
 		if x != y {
 			if x < y {
 				return -1, true

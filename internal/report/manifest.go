@@ -31,6 +31,12 @@ func Manifest(st runner.Stats) string {
 		fmt.Fprintf(&sb, "  %-22s %d\n", "jobs resumed", st.JobsResumed)
 		fmt.Fprintf(&sb, "  %-22s %d\n", "states replayed", st.StatesReplayed)
 	}
+	if st.ElabDesignHits+st.ElabDesignMisses+st.ElabParseHits+st.ElabParseMisses > 0 {
+		dn := st.ElabDesignHits + st.ElabDesignMisses
+		pn := st.ElabParseHits + st.ElabParseMisses
+		fmt.Fprintf(&sb, "  %-22s %d/%d hits\n", "elab designs reused", st.ElabDesignHits, dn)
+		fmt.Fprintf(&sb, "  %-22s %d/%d hits\n", "elab parses reused", st.ElabParseHits, pn)
+	}
 	fmt.Fprintf(&sb, "  %-22s %.2fs\n", "wall-clock", st.Wall.Seconds())
 	return sb.String()
 }

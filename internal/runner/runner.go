@@ -84,6 +84,15 @@ type Stats struct {
 	CheckpointsWritten int
 	JobsResumed        int
 	StatesReplayed     int
+
+	// Elaboration-cache telemetry, reported by executors that run
+	// simulations through a shared edatool.DesignCache: whole-design
+	// reuse (parse+elaborate skipped entirely) and per-unit parse
+	// reuse (unchanged units of a changed design).
+	ElabDesignHits   int
+	ElabDesignMisses int
+	ElabParseHits    int
+	ElabParseMisses  int
 }
 
 // Misses returns the number of jobs this shard had to compute because
@@ -158,6 +167,17 @@ func (r *Runner) AddResume(checkpointsWritten, jobsResumed, statesReplayed int) 
 		s.CheckpointsWritten += checkpointsWritten
 		s.JobsResumed += jobsResumed
 		s.StatesReplayed += statesReplayed
+	})
+}
+
+// AddElab accumulates elaboration-cache telemetry from executors that
+// simulate through a shared design cache (goroutine-safe).
+func (r *Runner) AddElab(designHits, designMisses, parseHits, parseMisses int) {
+	r.record(func(s *Stats) {
+		s.ElabDesignHits += designHits
+		s.ElabDesignMisses += designMisses
+		s.ElabParseHits += parseHits
+		s.ElabParseMisses += parseMisses
 	})
 }
 

@@ -143,6 +143,11 @@ type Server struct {
 	pool  *runner.Pool
 	st    *stats
 	prov  *provider.Metrics
+	// elab is the server-wide elaboration-reuse cache, shared by every
+	// job (see edatool.DesignCache). It is cache-key-neutral — warm
+	// simulations are byte-identical to cold — so job IDs and cached
+	// results are unaffected by sharing it across jobs and workers.
+	elab *edatool.DesignCache
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -183,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		st:    &stats{},
 		prov:  provider.NewMetrics(provider.RealClock()),
+		elab:  edatool.NewDesignCache(),
 		jobs:  map[string]*job{},
 	}
 	if err := s.recover(); err != nil {
@@ -538,6 +544,7 @@ func (s *Server) run(id string) {
 	}
 	cfg := r.cfg
 	cfg.Provider = prov
+	cfg.DesignCache = s.elab
 	cfg.Trace = func(stage, detail string) { hub.publish(stage, detail) }
 
 	pipe := core.New(cfg)

@@ -1,0 +1,15 @@
+package verilog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// HashSource returns the stable content hash used to identify a
+// compilation unit across runs: hex-encoded SHA-256 of the exact
+// source text. Parse stamps it on every SourceFile; cache layers may
+// also call it directly to build keys without parsing.
+func HashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,15 @@
+package vhdl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// HashSource returns the stable content hash used to identify a
+// compilation unit across runs: hex-encoded SHA-256 of the exact
+// source text. Parse stamps it on every DesignFile; cache layers may
+// also call it directly to build keys without parsing.
+func HashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}

@@ -77,6 +77,16 @@ type Design struct {
 	processes   []boundProcess
 	concAssigns []boundConc
 	portBinds   []portBind
+
+	cache *ElabCache // template source during elaboration
+	arena sigArena   // chunked Signal storage
+
+	// Reset-and-rerun state: all lists every signal in elaboration
+	// order, initVals their elaborated initial values, and ran marks a
+	// design that must be Reset before its next simulation.
+	all      []*Signal
+	initVals []hdl.Vector
+	ran      bool
 }
 
 type boundProcess struct {
@@ -112,9 +122,22 @@ func elabErrf(pos vhdl.Pos, format string, args ...any) *ElabError {
 
 // Elaborate builds the design rooted at the entity named top.
 func Elaborate(units []*vhdl.DesignFile, top string) (*Design, error) {
+	return ElaborateWith(nil, units, top)
+}
+
+// ElaborateWith builds the design rooted at top, reusing entity
+// templates from cache where the (entity, architecture, generic
+// valuation) triple is already known. A nil cache elaborates cold
+// through a private throwaway cache — the same code path, so warm
+// results are byte-identical to cold by construction.
+func ElaborateWith(cache *ElabCache, units []*vhdl.DesignFile, top string) (*Design, error) {
+	if cache == nil {
+		cache = NewElabCache()
+	}
 	d := &Design{
 		entities: map[string]*vhdl.Entity{},
 		archs:    map[string]*vhdl.Architecture{},
+		cache:    cache,
 	}
 	for _, u := range units {
 		for _, e := range u.Entities {
@@ -133,7 +156,26 @@ func Elaborate(units []*vhdl.DesignFile, top string) (*Design, error) {
 		return nil, err
 	}
 	d.Top = inst
+	d.initVals = make([]hdl.Vector, len(d.all))
+	for i, sg := range d.all {
+		d.initVals[i] = sg.Val
+	}
 	return d, nil
+}
+
+// Reset returns an elaborated design to its time-zero state so it can
+// be re-simulated without re-elaborating: values and previous values
+// revert to the elaborated initial value, event stamps clear (the
+// engine's delta serial restarts per run), and watcher registrations
+// drop (each run registers its own).
+func (d *Design) Reset() {
+	for i, sg := range d.all {
+		sg.Val = d.initVals[i]
+		sg.Prev = d.initVals[i].Clone()
+		sg.eventStamp = 0
+		sg.watch.Reset()
+	}
+	d.ran = false
 }
 
 func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, genOverrides map[string]hdl.Vector) (*Instance, error) {
@@ -150,11 +192,15 @@ func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, g
 	}
 	inst := &Instance{
 		Path: path, Entity: ent, Arch: arch,
-		Signals:  map[string]*Signal{},
-		Generics: map[string]hdl.Vector{},
-		Parent:   parent,
+		Parent: parent,
 	}
+	// Generics resolve live: the valuation is part of the template
+	// cache key. The map is built lazily — most entities have no
+	// generics, and nil lookups behave like an empty valuation.
 	for _, g := range ent.Generics {
+		if inst.Generics == nil {
+			inst.Generics = map[string]hdl.Vector{}
+		}
 		if ov, has := genOverrides[g.Name]; has {
 			inst.Generics[g.Name] = ov
 			continue
@@ -168,39 +214,48 @@ func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, g
 		}
 		inst.Generics[g.Name] = v
 	}
-	for _, p := range ent.Ports {
-		sig, err := inst.makeSignal(path, p.Name, p.Type, nil)
+
+	// Declarations and statements are memoized per (entity, arch,
+	// generic valuation); see elabcache.go. On a hit the instance
+	// adopts the template's constant map (generics + architecture
+	// constants, read-only after elaboration).
+	key := tmplKey{ent: ent, arch: arch, generics: fingerprintGenerics(ent, inst.Generics)}
+	tmpl := d.cache.lookup(key)
+	if tmpl == nil {
+		var err error
+		tmpl, err = buildTemplate(ent, arch, inst)
 		if err != nil {
 			return nil, err
 		}
-		inst.Signals[p.Name] = sig
+		d.cache.store(key, tmpl)
+	} else {
+		inst.Generics = tmpl.generics
 	}
-	for _, dec := range arch.Decls {
-		switch x := dec.(type) {
-		case *vhdl.SignalDecl:
-			for _, nm := range x.Names {
-				sig, err := inst.makeSignal(path, nm, x.Type, x.Init)
-				if err != nil {
-					return nil, err
-				}
-				inst.Signals[nm] = sig
-			}
-		case *vhdl.ConstDecl:
-			v, err := inst.evalConst(x.Value)
-			if err != nil {
-				return nil, err
-			}
-			inst.Generics[x.Name] = v // constants live with generics
-		}
+
+	inst.Signals = make(map[string]*Signal, len(tmpl.sigs))
+	for i := range tmpl.sigs {
+		sp := &tmpl.sigs[i]
+		sig := d.arena.alloc()
+		sig.Name = path + "." + sp.local
+		sig.Local = sp.local
+		sig.Kind, sig.Width, sig.MSB, sig.LSB = sp.kind, sp.width, sp.msb, sp.lsb
+		sig.Val = sp.init
+		sig.Prev = sp.init.Clone()
+		inst.Signals[sp.local] = sig
+		d.all = append(d.all, sig)
 	}
-	for _, cs := range arch.Stmts {
-		switch x := cs.(type) {
-		case *vhdl.ProcessStmt:
-			d.processes = append(d.processes, boundProcess{scope: inst, ps: x})
-		case *vhdl.ConcAssign:
-			d.concAssigns = append(d.concAssigns, boundConc{scope: inst, ca: x})
-		case *vhdl.InstanceStmt:
-			if err := d.elabChild(inst, x); err != nil {
+
+	for i := range tmpl.ops {
+		op := &tmpl.ops[i]
+		switch op.kind {
+		case opProcess:
+			d.processes = append(d.processes, boundProcess{scope: inst, ps: op.ps})
+		case opConc:
+			d.concAssigns = append(d.concAssigns, boundConc{scope: inst, ca: op.ca})
+		case opChild:
+			// Child entities resolve against the current unit set, so
+			// a cached parent re-links against a changed child.
+			if err := d.elabChild(inst, op.child); err != nil {
 				return nil, err
 			}
 		}
@@ -208,75 +263,12 @@ func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, g
 	return inst, nil
 }
 
-// makeSignal creates a signal from a type reference, evaluating range
-// bounds against the instance generics.
-func (inst *Instance) makeSignal(path, name string, tr vhdl.TypeRef, init vhdl.Expr) (*Signal, error) {
-	sig := &Signal{Name: path + "." + name, Local: name}
-	switch tr.Name {
-	case "std_logic", "std_ulogic", "bit":
-		sig.Kind, sig.Width = KindLogic, 1
-	case "boolean":
-		sig.Kind, sig.Width = KindBool, 1
-	case "integer", "natural", "positive", "time":
-		sig.Kind, sig.Width = KindInt, 32
-		sig.MSB, sig.LSB = 31, 0
-	case "std_logic_vector", "unsigned", "signed", "bit_vector":
-		sig.Kind = KindVector
-		if !tr.HasRange {
-			return nil, elabErrf(tr.Pos, "type %s requires a range", tr.Name)
-		}
-		lv, err := inst.evalConst(tr.Left)
-		if err != nil {
-			return nil, err
-		}
-		rv, err := inst.evalConst(tr.Right)
-		if err != nil {
-			return nil, err
-		}
-		l64, ok1 := lv.Int()
-		r64, ok2 := rv.Int()
-		if !ok1 || !ok2 {
-			return nil, elabErrf(tr.Pos, "range bounds of %q are not computable", name)
-		}
-		left, right := int(l64), int(r64)
-		w := left - right
-		if w < 0 {
-			w = -w
-		}
-		w++
-		if w > 1<<16 {
-			return nil, elabErrf(tr.Pos, "vector %q too wide (%d bits)", name, w)
-		}
-		sig.Width = w
-		if tr.Descending {
-			sig.MSB, sig.LSB = left, right
-		} else {
-			sig.MSB, sig.LSB = left, right // MSB<LSB encodes ascending
-		}
-	default:
-		return nil, elabErrf(tr.Pos, "unsupported type %q", tr.Name)
-	}
-	if sig.Kind == KindLogic || sig.Kind == KindVector {
-		sig.Val = hdl.XFill(sig.Width)
-	} else {
-		sig.Val = hdl.NewVector(sig.Width, hdl.L0)
-	}
-	if init != nil {
-		v, err := inst.evalConstCtx(init, sig.Width)
-		if err == nil {
-			sig.Val = v.Resize(sig.Width)
-		}
-	}
-	sig.Prev = sig.Val.Clone()
-	return sig, nil
-}
-
 func (d *Design) elabChild(parent *Instance, x *vhdl.InstanceStmt) error {
 	ent, ok := d.entities[x.EntityName]
 	if !ok {
 		return elabErrf(x.Pos, "entity %q is not defined", x.EntityName)
 	}
-	overrides := map[string]hdl.Vector{}
+	var overrides map[string]hdl.Vector
 	for i, as := range x.Generics {
 		if as.Actual == nil {
 			continue
@@ -291,6 +283,9 @@ func (d *Design) elabChild(parent *Instance, x *vhdl.InstanceStmt) error {
 				return elabErrf(as.Pos, "too many generic associations for %q", x.EntityName)
 			}
 			name = ent.Generics[i].Name
+		}
+		if overrides == nil {
+			overrides = map[string]hdl.Vector{}
 		}
 		overrides[name] = v
 	}

@@ -1,0 +1,235 @@
+package vhdlsim
+
+import (
+	"testing"
+
+	"repro/internal/vhdl"
+)
+
+// Warm elaboration and reset-and-rerun must be invisible in results;
+// these mirror the vsim cache tests for the VHDL front-end.
+
+const elabCounterEnt = `
+entity counter is
+  port (clk : in std_logic; reset : in std_logic; count : out std_logic_vector(15 downto 0));
+end entity;
+architecture rtl of counter is
+  signal cnt : unsigned(15 downto 0) := (others => '0');
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        cnt <= (others => '0');
+      else
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  count <= std_logic_vector(cnt);
+end architecture;
+`
+
+const elabCounterTB = `
+entity tb is end entity;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal reset : std_logic := '1';
+  signal done : std_logic := '0';
+  signal count : std_logic_vector(15 downto 0);
+begin
+  clk <= not clk after 1 ns when done = '0' else '0';
+  uut: entity work.counter port map (clk => clk, reset => reset, count => count);
+  stim: process
+  begin
+    wait for 2 ns;
+    reset <= '0';
+    wait for 40 ns;
+    report "final count observed";
+    done <= '1';
+    wait;
+  end process;
+end architecture;`
+
+func parseElabUnits(t testing.TB, srcs ...string) []*vhdl.DesignFile {
+	t.Helper()
+	var units []*vhdl.DesignFile
+	for i, src := range srcs {
+		df, diags := vhdl.Parse("t.vhd", src)
+		if diags.HasErrors() {
+			t.Fatalf("parse errors in source %d: %v", i, diags)
+		}
+		units = append(units, df)
+	}
+	return units
+}
+
+func mustSimDesign(t testing.TB, d *Design) *Result {
+	t.Helper()
+	res := SimulateDesign(d, Options{MaxTime: 100000, CaptureFinal: true})
+	if res.Fault != "" {
+		t.Fatalf("fault: %s\nlog:\n%s", res.Fault, res.Log)
+	}
+	return res
+}
+
+func compareRuns(t *testing.T, label string, cold, warm *Result) {
+	t.Helper()
+	if warm.Log != cold.Log {
+		t.Errorf("%s: log differs\ncold:\n%s\nwarm:\n%s", label, cold.Log, warm.Log)
+	}
+	if warm.EndTime != cold.EndTime {
+		t.Errorf("%s: end time %v != %v", label, warm.EndTime, cold.EndTime)
+	}
+	if warm.Events != cold.Events {
+		t.Errorf("%s: events %d != %d", label, warm.Events, cold.Events)
+	}
+	if warm.AssertErrors != cold.AssertErrors {
+		t.Errorf("%s: assert errors %d != %d", label, warm.AssertErrors, cold.AssertErrors)
+	}
+	if len(warm.Final) != len(cold.Final) {
+		t.Fatalf("%s: final value count %d != %d", label, len(warm.Final), len(cold.Final))
+	}
+	for name, v := range cold.Final {
+		if warm.Final[name] != v {
+			t.Errorf("%s: final %s = %q, cold %q", label, name, warm.Final[name], v)
+		}
+	}
+}
+
+func TestWarmElaborationIdentical(t *testing.T) {
+	units := parseElabUnits(t, elabCounterEnt, elabCounterTB)
+	cd, err := Elaborate(units, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate: %v", err)
+	}
+	cold := mustSimDesign(t, cd)
+
+	cache := NewElabCache()
+	for i := 0; i < 3; i++ {
+		d, err := ElaborateWith(cache, units, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate %d: %v", i, err)
+		}
+		compareRuns(t, "warm", cold, mustSimDesign(t, d))
+	}
+}
+
+func TestResetAndRerunIdentical(t *testing.T) {
+	units := parseElabUnits(t, elabCounterEnt, elabCounterTB)
+	d, err := Elaborate(units, "tb")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	first := mustSimDesign(t, d)
+	for i := 0; i < 2; i++ {
+		compareRuns(t, "rerun", first, mustSimDesign(t, d))
+	}
+}
+
+// TestIncrementalReelaboration swaps the DUT unit under a fixed
+// testbench AST: the testbench template is reused by pointer identity,
+// the swapped DUT rebuilds, and both configurations keep their cold
+// output.
+func TestIncrementalReelaboration(t *testing.T) {
+	const dutDown = `
+entity counter is
+  port (clk : in std_logic; reset : in std_logic; count : out std_logic_vector(15 downto 0));
+end entity;
+architecture rtl of counter is
+  signal cnt : unsigned(15 downto 0) := (others => '1');
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if reset = '1' then
+        cnt <= (others => '1');
+      else
+        cnt <= cnt - 1;
+      end if;
+    end if;
+  end process;
+  count <= std_logic_vector(cnt);
+end architecture;
+`
+	tbUnit := parseElabUnits(t, elabCounterTB)[0]
+	up := []*vhdl.DesignFile{parseElabUnits(t, elabCounterEnt)[0], tbUnit}
+	down := []*vhdl.DesignFile{parseElabUnits(t, dutDown)[0], tbUnit}
+
+	coldUp, err := Elaborate(up, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate up: %v", err)
+	}
+	coldDown, err := Elaborate(down, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate down: %v", err)
+	}
+	upRes, downRes := mustSimDesign(t, coldUp), mustSimDesign(t, coldDown)
+	if upRes.Final["tb.count"] == downRes.Final["tb.count"] {
+		t.Fatalf("test is vacuous: both DUT variants end at count=%q", upRes.Final["tb.count"])
+	}
+
+	cache := NewElabCache()
+	for i := 0; i < 2; i++ {
+		d, err := ElaborateWith(cache, up, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate up: %v", err)
+		}
+		compareRuns(t, "incremental up", upRes, mustSimDesign(t, d))
+		d, err = ElaborateWith(cache, down, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate down: %v", err)
+		}
+		compareRuns(t, "incremental down", downRes, mustSimDesign(t, d))
+	}
+}
+
+// TestWarmElaborationAllocRatio bounds the template-build share of
+// elaboration cost, as in vsim (the repair loop's 2x end-to-end bar is
+// pinned in internal/edatool).
+func TestWarmElaborationAllocRatio(t *testing.T) {
+	units := parseElabUnits(t, elabCounterEnt, elabCounterTB)
+	cold := testing.AllocsPerRun(50, func() {
+		if _, err := Elaborate(units, "tb"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cache := NewElabCache()
+	if _, err := ElaborateWith(cache, units, "tb"); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(50, func() {
+		if _, err := ElaborateWith(cache, units, "tb"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm > cold*3/4 {
+		t.Errorf("warm elaboration allocs %.0f not 25%% below cold %.0f", warm, cold)
+	}
+}
+
+func BenchmarkElaborateCold(b *testing.B) {
+	units := parseElabUnits(b, elabCounterEnt, elabCounterTB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Elaborate(units, "tb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElaborateWarm(b *testing.B) {
+	units := parseElabUnits(b, elabCounterEnt, elabCounterTB)
+	cache := NewElabCache()
+	if _, err := ElaborateWith(cache, units, "tb"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ElaborateWith(cache, units, "tb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -91,6 +91,19 @@ func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	return SimulateDesign(d, opts), nil
+}
+
+// SimulateDesign runs an already-elaborated design to completion. A
+// design that has run before is Reset to time zero first, so callers
+// can re-simulate a retained design without re-elaborating. The design
+// is bound to one simulation at a time; concurrent calls on one Design
+// are a caller bug.
+func SimulateDesign(d *Design, opts Options) *Result {
+	if d.ran {
+		d.Reset()
+	}
+	d.ran = true
 	if opts.MaxTime == 0 {
 		opts.MaxTime = 1_000_000
 	}
@@ -182,7 +195,7 @@ func Simulate(units []*vhdl.DesignFile, top string, opts Options) (*Result, erro
 		}
 		walk(d.Top)
 	}
-	return res, nil
+	return res
 }
 
 // bindPort wires one port association: in-ports copy parent actual to
@@ -276,12 +289,12 @@ func (s *Simulator) bindProcess(bp *boundProcess, comp *compCtx) {
 }
 
 func (s *Simulator) makeVarSlot(inst *Instance, en *env, vd *vhdl.VarDecl) (*varSlot, error) {
-	// Reuse signal sizing logic through a throwaway signal.
-	sig, err := inst.makeSignal("var", "v", vd.Type, nil)
+	// Reuse signal sizing logic through a throwaway signal spec.
+	sp, err := inst.makeSigSpec("v", vd.Type, nil)
 	if err != nil {
 		return nil, err
 	}
-	slot := &varSlot{val: sig.Val, isInt: sig.Kind == KindInt}
+	slot := &varSlot{val: sp.init, isInt: sp.kind == KindInt}
 	if vd.Init != nil {
 		v := s.evalCtx(inst, en, vd.Init, slot.val.Width())
 		slot.val = v.v.Resize(slot.val.Width())

@@ -79,6 +79,16 @@ type Design struct {
 	// each has an owning scope for expression evaluation.
 	contAssigns []boundAssign
 	procs       []boundProc
+
+	cache *ElabCache // template source during elaboration
+	arena sigArena   // chunked Signal storage
+
+	// Reset-and-rerun state: initVals snapshots every signal's
+	// elaborated initial value (parallel to All), ran marks a design
+	// that has been bound to a simulation and must be Reset before the
+	// next one.
+	initVals []hdl.Vector
+	ran      bool
 }
 
 // boundAssign is a continuous assignment whose sides may live in
@@ -111,17 +121,49 @@ func elabErrf(pos verilog.Pos, format string, args ...any) *ElabError {
 
 // Elaborate builds the design rooted at top from the given module set.
 func Elaborate(modules map[string]*verilog.Module, top string) (*Design, error) {
+	return ElaborateWith(nil, modules, top)
+}
+
+// ElaborateWith builds the design rooted at top, reusing module
+// templates from cache where the (module AST, parameter valuation)
+// pair is already known. A nil cache elaborates cold through a private
+// throwaway cache — the same code path, so warm results are
+// byte-identical to cold by construction.
+func ElaborateWith(cache *ElabCache, modules map[string]*verilog.Module, top string) (*Design, error) {
 	m, ok := modules[top]
 	if !ok {
 		return nil, fmt.Errorf("top module %q not found", top)
 	}
-	d := &Design{modules: modules}
+	if cache == nil {
+		cache = NewElabCache()
+	}
+	d := &Design{modules: modules, cache: cache}
 	inst, err := d.elabInstance(nil, m, top, nil, verilog.Pos{})
 	if err != nil {
 		return nil, err
 	}
 	d.Top = inst
+	d.initVals = make([]hdl.Vector, len(d.All))
+	for i, sg := range d.All {
+		d.initVals[i] = sg.Val
+	}
 	return d, nil
+}
+
+// Reset returns an elaborated design to its time-zero state so it can
+// be re-simulated without re-elaborating: every signal's value reverts
+// to its elaborated initial value, memories empty, and all watcher
+// registrations drop (each run registers its own, since they close
+// over per-run simulator state).
+func (d *Design) Reset() {
+	for i, sg := range d.All {
+		sg.Val = d.initVals[i]
+		if sg.IsMem {
+			clear(sg.Mem)
+		}
+		sg.watch.Reset()
+	}
+	d.ran = false
 }
 
 const maxInstances = 4096
@@ -146,18 +188,22 @@ func (d *Design) elabInstance(parent *Instance, m *verilog.Module, path string, 
 		}
 	}
 	inst := &Instance{
-		Path:    path,
-		Module:  m,
-		Signals: map[string]*Signal{},
-		Params:  map[string]hdl.Vector{},
-		Parent:  parent,
+		Path:   path,
+		Module: m,
+		Parent: parent,
 	}
 
 	// Pass 1: parameters (in declaration order, allowing dependencies).
+	// This runs live because the resolved valuation is part of the
+	// template cache key. The map is built lazily — most modules have no
+	// parameters, and nil lookups behave like an empty valuation.
 	for _, it := range m.Items {
 		pd, ok := it.(*verilog.ParamDecl)
 		if !ok {
 			continue
+		}
+		if inst.Params == nil {
+			inst.Params = map[string]hdl.Vector{}
 		}
 		if ov, has := paramOverrides[pd.Name]; has && !pd.IsLocal {
 			inst.Params[pd.Name] = ov
@@ -173,112 +219,51 @@ func (d *Design) elabInstance(parent *Instance, m *verilog.Module, path string, 
 		inst.Params[pd.Name] = v
 	}
 
-	// Pass 2: ports become signals.
-	for _, p := range m.Ports {
-		w, msb, lsb := 1, 0, 0
-		if p.Range != nil {
-			var err error
-			w, msb, lsb, err = inst.evalRange(p.Range)
-			if err != nil {
-				return nil, err
-			}
+	// Passes 2–4 are memoized per (module, parameter valuation): the
+	// template holds the resolved signal layout and an ordered op list
+	// (see elabcache.go); replaying it reproduces a cold elaboration's
+	// append order exactly.
+	key := tmplKey{mod: m, params: fingerprintParams(m, inst.Params)}
+	tmpl := d.cache.lookup(key)
+	if tmpl == nil {
+		var err error
+		tmpl, err = buildTemplate(m, inst)
+		if err != nil {
+			return nil, err
 		}
-		kind := verilog.KindWire
-		if p.IsReg {
-			kind = verilog.KindReg
+		d.cache.store(key, tmpl)
+	}
+
+	inst.Signals = make(map[string]*Signal, len(tmpl.sigs))
+	for i := range tmpl.sigs {
+		sp := &tmpl.sigs[i]
+		sig := d.arena.alloc()
+		sig.Name = path + "." + sp.local
+		sig.Local = sp.local
+		sig.Width, sig.MSB, sig.LSB = sp.width, sp.msb, sp.lsb
+		sig.Kind, sig.Signed = sp.kind, sp.signed
+		sig.Val = sp.init
+		if sp.isMem {
+			sig.IsMem, sig.MemLo, sig.MemHi = true, sp.memLo, sp.memHi
+			sig.Mem = map[int]hdl.Vector{}
 		}
-		sig := &Signal{
-			Name: path + "." + p.Name, Local: p.Name,
-			Width: w, MSB: msb, LSB: lsb, Kind: kind, Signed: p.Signed,
-			Val: hdl.XFill(w),
-		}
-		inst.Signals[p.Name] = sig
+		inst.Signals[sp.local] = sig
 		d.All = append(d.All, sig)
 	}
 
-	// Pass 3: net declarations.
-	for _, it := range m.Items {
-		nd, ok := it.(*verilog.NetDecl)
-		if !ok {
-			continue
-		}
-		w, msb, lsb := 1, 0, 0
-		if nd.Kind == verilog.KindInteger {
-			w, msb, lsb = 32, 31, 0
-		}
-		if nd.Range != nil {
-			var err error
-			w, msb, lsb, err = inst.evalRange(nd.Range)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, n := range nd.Names {
-			if existing, dup := inst.Signals[n.Name]; dup {
-				// Non-ANSI port + body decl merge: adopt kind and range.
-				existing.Kind = nd.Kind
-				if nd.Range != nil {
-					existing.Width, existing.MSB, existing.LSB = w, msb, lsb
-					existing.Val = hdl.XFill(w)
-				}
-				continue
-			}
-			sig := &Signal{
-				Name: path + "." + n.Name, Local: n.Name,
-				Width: w, MSB: msb, LSB: lsb, Kind: nd.Kind,
-				Signed: nd.Signed || nd.Kind == verilog.KindInteger,
-				Val:    hdl.XFill(w),
-			}
-			if n.Array != nil {
-				loV, err1 := inst.evalConst(n.Array.MSB)
-				hiV, err2 := inst.evalConst(n.Array.LSB)
-				if err1 != nil {
-					return nil, err1
-				}
-				if err2 != nil {
-					return nil, err2
-				}
-				lo64, _ := loV.Uint()
-				hi64, _ := hiV.Uint()
-				lo, hi := int(lo64), int(hi64)
-				if lo > hi {
-					lo, hi = hi, lo
-				}
-				if hi-lo > 1<<20 {
-					return nil, elabErrf(n.Pos, "memory %q too large (%d words)", n.Name, hi-lo+1)
-				}
-				sig.IsMem, sig.MemLo, sig.MemHi = true, lo, hi
-				sig.Mem = map[int]hdl.Vector{}
-			}
-			if n.Init != nil && !sig.IsMem {
-				v, err := inst.evalConst(n.Init)
-				if err == nil {
-					sig.Val = v.Resize(w)
-				} else {
-					// Non-constant init: lower to a continuous assignment.
-					d.contAssigns = append(d.contAssigns, boundAssign{
-						lhsScope: inst, rhsScope: inst,
-						lhs: &verilog.Ident{Name: n.Name, Pos: n.Pos},
-						rhs: n.Init,
-					})
-				}
-			}
-			inst.Signals[n.Name] = sig
-			d.All = append(d.All, sig)
-		}
-	}
-
-	// Pass 4: behavioural items and children.
-	for _, it := range m.Items {
-		switch x := it.(type) {
-		case *verilog.ContAssign:
-			d.contAssigns = append(d.contAssigns, boundAssign{lhsScope: inst, rhsScope: inst, lhs: x.LHS, rhs: x.RHS})
-		case *verilog.AlwaysBlock:
-			d.procs = append(d.procs, boundProc{scope: inst, always: x})
-		case *verilog.InitialBlock:
-			d.procs = append(d.procs, boundProc{scope: inst, initial: x})
-		case *verilog.Instance:
-			if err := d.elabChild(inst, x); err != nil {
+	for i := range tmpl.ops {
+		op := &tmpl.ops[i]
+		switch op.kind {
+		case opAssign:
+			d.contAssigns = append(d.contAssigns, boundAssign{lhsScope: inst, rhsScope: inst, lhs: op.lhs, rhs: op.rhs})
+		case opAlways:
+			d.procs = append(d.procs, boundProc{scope: inst, always: op.always})
+		case opInitial:
+			d.procs = append(d.procs, boundProc{scope: inst, initial: op.initial})
+		case opChild:
+			// Child modules resolve against the current module set, so
+			// a cached parent re-links against a changed child.
+			if err := d.elabChild(inst, op.child); err != nil {
 				return nil, err
 			}
 		}
@@ -294,9 +279,9 @@ func (d *Design) elabChild(parent *Instance, x *verilog.Instance) error {
 	if !ok {
 		return elabErrf(x.Pos, "module %q is not defined", x.ModuleName)
 	}
-	// Parameter overrides.
-	overrides := map[string]hdl.Vector{}
-	ordered := []hdl.Vector{}
+	// Parameter overrides (maps built only when overrides exist).
+	var overrides map[string]hdl.Vector
+	var ordered []hdl.Vector
 	for _, pc := range x.Params {
 		if pc.Expr == nil {
 			continue
@@ -306,12 +291,18 @@ func (d *Design) elabChild(parent *Instance, x *verilog.Instance) error {
 			return err
 		}
 		if pc.Name != "" {
+			if overrides == nil {
+				overrides = map[string]hdl.Vector{}
+			}
 			overrides[pc.Name] = v
 		} else {
 			ordered = append(ordered, v)
 		}
 	}
 	if len(ordered) > 0 {
+		if overrides == nil {
+			overrides = map[string]hdl.Vector{}
+		}
 		i := 0
 		for _, it := range childMod.Items {
 			pd, isP := it.(*verilog.ParamDecl)

@@ -1,0 +1,212 @@
+package vsim
+
+import (
+	"testing"
+
+	"repro/internal/verilog"
+)
+
+// The elaboration cache and reset-and-rerun paths must be invisible in
+// results: a design elaborated through a warm template cache, or reset
+// and re-simulated, produces byte-identical output to a cold run. These
+// tests pin that, plus the allocation win that justifies the cache.
+
+func mustSimDesign(t testing.TB, d *Design) *Result {
+	t.Helper()
+	res := SimulateDesign(d, Options{CaptureFinal: true})
+	if res.Fault != "" {
+		t.Fatalf("fault: %s\nlog:\n%s", res.Fault, res.Log)
+	}
+	return res
+}
+
+func compareRuns(t *testing.T, label string, cold, warm *Result) {
+	t.Helper()
+	if warm.Log != cold.Log {
+		t.Errorf("%s: log differs\ncold:\n%s\nwarm:\n%s", label, cold.Log, warm.Log)
+	}
+	if warm.VCD != cold.VCD {
+		t.Errorf("%s: VCD differs", label)
+	}
+	if warm.EndTime != cold.EndTime {
+		t.Errorf("%s: end time %v != %v", label, warm.EndTime, cold.EndTime)
+	}
+	if warm.Events != cold.Events {
+		t.Errorf("%s: events %d != %d", label, warm.Events, cold.Events)
+	}
+	if len(warm.Final) != len(cold.Final) {
+		t.Fatalf("%s: final value count %d != %d", label, len(warm.Final), len(cold.Final))
+	}
+	for name, v := range cold.Final {
+		if warm.Final[name] != v {
+			t.Errorf("%s: final %s = %q, cold %q", label, name, warm.Final[name], v)
+		}
+	}
+}
+
+// TestWarmElaborationIdentical elaborates the same design repeatedly
+// through one shared template cache and checks every run against the
+// cold baseline: log, VCD, final signal values, and event counts.
+func TestWarmElaborationIdentical(t *testing.T) {
+	mods := parseTestDesign(t, counterSrc)
+	cd, err := Elaborate(mods, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate: %v", err)
+	}
+	cold := mustSimDesign(t, cd)
+
+	cache := NewElabCache()
+	for i := 0; i < 3; i++ {
+		d, err := ElaborateWith(cache, mods, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate %d: %v", i, err)
+		}
+		compareRuns(t, "warm", cold, mustSimDesign(t, d))
+	}
+}
+
+// TestResetAndRerunIdentical simulates one elaborated design three
+// times; SimulateDesign resets it to time zero between runs and the
+// output must not drift.
+func TestResetAndRerunIdentical(t *testing.T) {
+	mods := parseTestDesign(t, counterSrc)
+	d, err := Elaborate(mods, "tb")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	first := mustSimDesign(t, d)
+	for i := 0; i < 2; i++ {
+		compareRuns(t, "rerun", first, mustSimDesign(t, d))
+	}
+}
+
+// TestIncrementalReelaboration swaps one module of a two-module design
+// and re-elaborates through a shared cache: the unchanged testbench
+// template is reused (AST pointer identity), the swapped DUT is
+// rebuilt, and both configurations keep producing their cold output.
+func TestIncrementalReelaboration(t *testing.T) {
+	const tbSrc = `
+module tb;
+  reg clk, reset;
+  wire [15:0] count;
+  counter dut(.clk(clk), .reset(reset), .count(count));
+  initial begin
+    clk = 0; reset = 1;
+    #2 reset = 0;
+    #50;
+    $display("count=%d", count);
+    $finish;
+  end
+  always #1 clk = ~clk;
+endmodule`
+	const dutUp = `
+module counter(input clk, input reset, output reg [15:0] count);
+  always @(posedge clk) begin
+    if (reset) count <= 0;
+    else count <= count + 1;
+  end
+endmodule`
+	const dutDown = `
+module counter(input clk, input reset, output reg [15:0] count);
+  always @(posedge clk) begin
+    if (reset) count <= 16'hFFFF;
+    else count <= count - 1;
+  end
+endmodule`
+
+	build := func(dut string) map[string]*verilog.Module {
+		mods := parseTestDesign(t, tbSrc)
+		for name, m := range parseTestDesign(t, dut) {
+			mods[name] = m
+		}
+		return mods
+	}
+	up, down := build(dutUp), build(dutDown)
+	// Reuse the same TB AST pointer across both configurations, the way
+	// edatool's parse cache does in the repair loop.
+	down["tb"] = up["tb"]
+
+	coldUp, err := Elaborate(up, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate up: %v", err)
+	}
+	coldDown, err := Elaborate(down, "tb")
+	if err != nil {
+		t.Fatalf("cold elaborate down: %v", err)
+	}
+	upRes, downRes := mustSimDesign(t, coldUp), mustSimDesign(t, coldDown)
+	if upRes.Log == downRes.Log {
+		t.Fatalf("test is vacuous: both DUT variants log %q", upRes.Log)
+	}
+
+	cache := NewElabCache()
+	for i := 0; i < 2; i++ {
+		d, err := ElaborateWith(cache, up, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate up: %v", err)
+		}
+		compareRuns(t, "incremental up", upRes, mustSimDesign(t, d))
+		d, err = ElaborateWith(cache, down, "tb")
+		if err != nil {
+			t.Fatalf("warm elaborate down: %v", err)
+		}
+		compareRuns(t, "incremental down", downRes, mustSimDesign(t, d))
+	}
+}
+
+// TestWarmElaborationAllocRatio pins the point of the template cache:
+// re-elaborating through warm templates must cost at least 25% fewer
+// allocations than a cold elaboration (instantiation still pays its
+// per-design costs — signals, names, bindings — so the bound here is
+// on the template-build share; the repair loop's 2x end-to-end bar,
+// which adds the skipped re-parse, is pinned in internal/edatool).
+func TestWarmElaborationAllocRatio(t *testing.T) {
+	mods := parseTestDesign(t, counterSrc)
+	cold := testing.AllocsPerRun(50, func() {
+		if _, err := Elaborate(mods, "tb"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cache := NewElabCache()
+	if _, err := ElaborateWith(cache, mods, "tb"); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(50, func() {
+		if _, err := ElaborateWith(cache, mods, "tb"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm > cold*3/4 {
+		t.Errorf("warm elaboration allocs %.0f not 25%% below cold %.0f", warm, cold)
+	}
+}
+
+// BenchmarkElaborateCold / BenchmarkElaborateWarm bracket the template
+// cache: the cold path builds every module from its AST, the warm path
+// replays cached templates (this is the per-iteration elaboration cost
+// inside the repair loop).
+func BenchmarkElaborateCold(b *testing.B) {
+	mods := parseBenchDesign(b, counterSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Elaborate(mods, "tb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElaborateWarm(b *testing.B) {
+	mods := parseBenchDesign(b, counterSrc)
+	cache := NewElabCache()
+	if _, err := ElaborateWith(cache, mods, "tb"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ElaborateWith(cache, mods, "tb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

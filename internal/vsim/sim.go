@@ -116,6 +116,19 @@ func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
+	return SimulateDesign(d, opts), nil
+}
+
+// SimulateDesign runs an already-elaborated design to completion. A
+// design that has run before is Reset to time zero first, so callers
+// can re-simulate a retained design (cache hits, multi-seed reruns)
+// without re-elaborating. The design is bound to one simulation at a
+// time; concurrent calls on one Design are a caller bug.
+func SimulateDesign(d *Design, opts Options) *Result {
+	if d.ran {
+		d.Reset()
+	}
+	d.ran = true
 	if opts.MaxTime == 0 {
 		opts.MaxTime = 1_000_000
 	}
@@ -231,7 +244,7 @@ func Simulate(modules map[string]*verilog.Module, top string, opts Options) (*Re
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // truncateTo bounds s to limit bytes (the abort/fault summary lines
