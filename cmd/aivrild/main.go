@@ -19,7 +19,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +40,7 @@ func main() {
 		flakyRate = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
 		flakySeed = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
 
+		recordTTL = flag.Duration("record-ttl", 0, "garbage-collect terminal job records older than this (0 = keep forever)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -60,6 +60,7 @@ func main() {
 		Stack:      provider.DefaultStackConfig(),
 		Flaky:      provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},
 		StepDelay:  *stepDelay,
+		RecordTTL:  *recordTTL,
 		Logf:       logf,
 	})
 	if err != nil {
@@ -67,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := serve.NewHTTPServer(*addr, srv.Handler(), serve.DefaultHTTPTimeouts())
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logf("listening on %s (providers: %s)", *addr, strings.Join(provider.DefaultRegistry.Names(), ", "))
@@ -82,14 +83,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Stop accepting HTTP first, then drain the job pool. Draining
-	// cancels running jobs; each exits at its next state boundary with
-	// its checkpoint already on disk.
+	// Begin the service drain BEFORE shutting down the HTTP listener:
+	// srv.Shutdown closes the shutdown channel that releases connected
+	// transcript streams, and httpSrv.Shutdown blocks until every active
+	// request (streams included) finishes. The other order burns the full
+	// drain timeout whenever a single SSE subscriber is attached.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
-	httpSrv.Shutdown(ctx)
 	done := make(chan struct{})
 	go func() { srv.Shutdown(); close(done) }()
+	httpSrv.Shutdown(ctx)
 	select {
 	case <-done:
 		logf("drained cleanly")

@@ -24,12 +24,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"slices"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/baseline"
@@ -41,6 +44,8 @@ import (
 	"repro/internal/llm/provider"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
 )
 
 func main() {
@@ -62,6 +67,8 @@ func main() {
 		checkpoint = flag.Bool("checkpoints", true, "with -cache-dir: checkpoint every cell after each pipeline state so aborted cells resume mid-run")
 		shardSpec  = flag.String("shard", "", "evaluate only shard \"i/n\" of each sweep (e.g. \"0/2\")")
 		progress   = flag.Bool("progress", false, "stream per-cell progress and ETA to stderr")
+		server     = flag.String("server", "", "dispatch cache-miss cells to an aivrild job service at this base URL (results land in the shared cache cells an in-process run would use)")
+		priority   = flag.Int("priority", 0, "with -server: dequeue priority band for dispatched jobs (0 = default, 9 = highest)")
 
 		providerName = flag.String("provider", "offline",
 			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | ")+
@@ -141,6 +148,43 @@ func main() {
 			Stack: stack,
 			Flaky: provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},
 		},
+	}
+
+	if *server != "" {
+		if *priority < runner.MinPriority || *priority > runner.MaxPriority {
+			fmt.Fprintf(os.Stderr, "benchsuite: -priority %d out of range [%d, %d]\n", *priority, runner.MinPriority, runner.MaxPriority)
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		ccfg := client.Config{Priority: *priority}
+		if *progress {
+			// Live per-job transcript lines from the service's event
+			// stream, alongside the runner's own per-cell progress.
+			ccfg.OnEvent = func(id string, ev serve.Event) {
+				fmt.Fprintf(os.Stderr, "benchsuite: job %.8s %s: %s\n", id, ev.Stage, ev.Detail)
+			}
+		}
+		cl, err := client.New(*server, ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(2)
+		}
+		if err := cl.Health(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: job service %s not healthy: %v\n", *server, err)
+			os.Exit(1)
+		}
+		// Dispatched cells are network-bound, not CPU-bound: raise the
+		// default in-flight window so the service's worker pool, not this
+		// process's core count, sets the sweep's parallelism.
+		if run.Workers <= 0 {
+			run.Workers = 8
+		}
+		run.Remote = *server
+		opts.Dispatch = func(job runner.Job, cell exp.RemoteCell) (exp.ProblemOutcome, error) {
+			return cl.Evaluate(ctx, job, cell)
+		}
+		fmt.Printf("Dispatch: job service %s (priority %d)\n", *server, *priority)
 	}
 
 	var matrix []*exp.Summary

@@ -84,6 +84,34 @@ func (s *Summary) DeltaF() (float64, bool) {
 	return 100 * (l - b) / b, true
 }
 
+// RemoteCell is the wire-complete description of one sweep cell for
+// dispatch to a job service: every knob that enters the config
+// fingerprint is present, so a dispatcher can reconstruct the service
+// spec and the server derives the identical content-addressed job ID
+// (callers should verify the returned ID against Job.Key() to catch
+// config drift). Configure hooks that touch knobs outside this set
+// cannot be dispatched remotely — the ID check turns that into a
+// loud per-cell error instead of a silent cache split.
+type RemoteCell struct {
+	Problem  string
+	Model    string
+	Language string
+	Provider string // "" = offline
+
+	MaxSyntaxIters int
+	MaxFuncIters   int
+	MaxSimTime     uint64
+	CoGenTestbench bool
+	SkipFunctional bool
+}
+
+// Dispatch executes one cell on a remote job service and returns its
+// outcome. Cancellation and retry policy live inside the dispatcher
+// (internal/serve/client implements one); the runner treats a
+// returned error exactly like a local evaluation failure — the cell
+// is marked Failed and never cached.
+type Dispatch func(job runner.Job, cell RemoteCell) (ProblemOutcome, error)
+
 // Options tweaks a sweep.
 type Options struct {
 	Problems   []*bench.Problem // defaults to the full suite
@@ -109,6 +137,15 @@ type Options struct {
 	// ProviderConfig parameterises the middleware stack and fault
 	// profile of the selected provider.
 	ProviderConfig provider.BuildConfig
+	// Dispatch, when set, sends cache-miss cells to a remote job
+	// service instead of evaluating them in-process (benchsuite
+	// -server). The runner's local cache still short-circuits known
+	// cells first, and because the service persists the same payload
+	// into the same content-addressed cells, remote and in-process
+	// sweeps merge through a shared cache directory. Checkpointing
+	// happens server-side; the local Checkpoint option is ignored for
+	// dispatched cells.
+	Dispatch Dispatch
 	// Checkpoint runs every cell through the checkpointed state machine
 	// when the Runner has a cache: the machine persists a checkpoint
 	// after each state transition, an aborted cell leaves its checkpoint
@@ -289,8 +326,21 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 			Provider: tag,
 		}
 	}
-	checkpointed := opts.Checkpoint && r.Cache != nil
+	checkpointed := opts.Checkpoint && r.Cache != nil && opts.Dispatch == nil
 	results := runner.Execute(r, jobs, func(i int, job runner.Job) (ProblemOutcome, error) {
+		if opts.Dispatch != nil {
+			return opts.Dispatch(job, RemoteCell{
+				Problem:        problems[i].ID,
+				Model:          model.Name(),
+				Language:       lang.String(),
+				Provider:       tag,
+				MaxSyntaxIters: cfg.MaxSyntaxIters,
+				MaxFuncIters:   cfg.MaxFuncIters,
+				MaxSimTime:     cfg.MaxSimTime,
+				CoGenTestbench: !cfg.FreezeTestbench,
+				SkipFunctional: cfg.SkipFunctional,
+			})
+		}
 		if checkpointed {
 			return evaluateResumable(context.Background(), r, job, problems[i], lang, cfg, tag)
 		}

@@ -16,6 +16,9 @@ func Manifest(st runner.Stats) string {
 	sb.WriteString("Run manifest\n")
 	sb.WriteString(strings.Repeat("-", 44) + "\n")
 	fmt.Fprintf(&sb, "  %-22s %s\n", "shard", st.Shard)
+	if st.Remote != "" {
+		fmt.Fprintf(&sb, "  %-22s job service %s\n", "dispatch", st.Remote)
+	}
 	fmt.Fprintf(&sb, "  %-22s %d\n", "jobs submitted", st.Total)
 	fmt.Fprintf(&sb, "  %-22s %d\n", "executed", st.Executed)
 	fmt.Fprintf(&sb, "  %-22s %d (%.1f%% hit rate)\n", "cache hits", st.CacheHits, 100*st.HitRate())

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/edatool"
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func fakeSummaries() []*exp.Summary {
@@ -74,5 +75,16 @@ func TestIterSweepRender(t *testing.T) {
 	out := IterSweep([]int{1, 2}, fakeSummaries()[:2])
 	if !strings.Contains(out, "budget") || !strings.Contains(out, "1") {
 		t.Errorf("sweep:\n%s", out)
+	}
+}
+
+func TestManifestDispatchLine(t *testing.T) {
+	local := Manifest(runner.Stats{})
+	if strings.Contains(local, "dispatch") {
+		t.Errorf("in-process manifest mentions dispatch:\n%s", local)
+	}
+	remote := Manifest(runner.Stats{Remote: "http://127.0.0.1:8080"})
+	if !strings.Contains(remote, "dispatch") || !strings.Contains(remote, "job service http://127.0.0.1:8080") {
+		t.Errorf("remote manifest missing dispatch line:\n%s", remote)
 	}
 }

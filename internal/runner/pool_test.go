@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+)
+
+// prioPool returns a single-worker pool whose worker is parked inside
+// a blocker task, so tests can stage a backlog and then observe the
+// exact dequeue order when the blocker releases.
+func prioPool(t *testing.T, depth int) (p *Pool, release chan struct{}) {
+	t.Helper()
+	p = NewPool(1, depth)
+	release = make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	return p, release
+}
+
+// runOrder drains the staged backlog and returns the order labels ran.
+func runOrder(t *testing.T, p *Pool, release chan struct{}, submitted int, order *[]string, mu *sync.Mutex) []string {
+	t.Helper()
+	close(release)
+	p.Close() // drains everything already accepted
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*order) != submitted {
+		t.Fatalf("ran %d tasks, want %d", len(*order), submitted)
+	}
+	return *order
+}
+
+// TestPoolPriorityFIFOWithinBand: one band is strict submit-order FIFO.
+func TestPoolPriorityFIFOWithinBand(t *testing.T) {
+	p, release := prioPool(t, 16)
+	var mu sync.Mutex
+	var order []string
+	labels := []string{"a", "b", "c", "d", "e"}
+	for _, l := range labels {
+		l := l
+		if err := p.TrySubmitPriority(3, func() { mu.Lock(); order = append(order, l); mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runOrder(t, p, release, len(labels), &order, &mu)
+	for i, l := range labels {
+		if got[i] != l {
+			t.Fatalf("band order %v, want submit order %v", got, labels)
+		}
+	}
+}
+
+// TestPoolPriorityPreempts: a later high-priority submission dequeues
+// before an earlier low-priority backlog.
+func TestPoolPriorityPreempts(t *testing.T) {
+	p, release := prioPool(t, 16)
+	var mu sync.Mutex
+	var order []string
+	sub := func(pri int, l string) {
+		t.Helper()
+		if err := p.TrySubmitPriority(pri, func() { mu.Lock(); order = append(order, l); mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub(0, "low")
+	sub(9, "high")
+	got := runOrder(t, p, release, 2, &order, &mu)
+	if got[0] != "high" || got[1] != "low" {
+		t.Fatalf("order %v, want [high low]", got)
+	}
+}
+
+// TestPoolWeightedFairDequeue pins the deficit-round-robin schedule:
+// with bands 4 (weight 5) and 0 (weight 1) both backlogged, each
+// replenish cycle serves five priority-4 tasks then one priority-0
+// task — proportional service, no starvation, FIFO within each band.
+func TestPoolWeightedFairDequeue(t *testing.T) {
+	p, release := prioPool(t, 32)
+	var mu sync.Mutex
+	var order []string
+	for i := 0; i < 10; i++ {
+		if err := p.TrySubmitPriority(4, func() { mu.Lock(); order = append(order, "H"); mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.TrySubmitPriority(0, func() { mu.Lock(); order = append(order, "L"); mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runOrder(t, p, release, 20, &order, &mu)
+	want := []string{
+		"H", "H", "H", "H", "H", "L", // cycle 1: credits 5 and 1
+		"H", "H", "H", "H", "H", "L", // cycle 2
+		"L", "L", "L", "L", "L", "L", "L", "L", // high band empty
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v,\nwant     %v", got, want)
+		}
+	}
+}
+
+// TestPoolPriorityClamped: out-of-range priorities are clamped, not
+// rejected — a submission never fails on the priority value alone.
+func TestPoolPriorityClamped(t *testing.T) {
+	p := NewPool(1, 4)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if err := p.TrySubmitPriority(-100, func() { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmitPriority(100, func() { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	p.Close()
+}
+
+// TestPoolQueueFullAcrossBands: the depth bound covers the sum of all
+// bands, not each band separately.
+func TestPoolQueueFullAcrossBands(t *testing.T) {
+	p, release := prioPool(t, 2)
+	defer func() { close(release); p.Close() }()
+	if err := p.TrySubmitPriority(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmitPriority(7, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrySubmitPriority(9, func() {}); err != ErrQueueFull {
+		t.Fatalf("submit beyond depth: %v, want ErrQueueFull", err)
+	}
+}

@@ -76,6 +76,10 @@ type Stats struct {
 	StoreErrors int           // results that could not be written to the cache
 	Wall        time.Duration // wall-clock spent inside Execute
 	Shard       Shard         // shard this invocation is responsible for
+	// Remote labels the job service executed cells were dispatched to
+	// ("" = cells ran in-process). Cache hits still resolve locally;
+	// only misses travel to the service.
+	Remote string
 
 	// Resume telemetry, reported by checkpoint-aware executors (the
 	// state-machine pipeline): checkpoints persisted, jobs that resumed
@@ -128,6 +132,10 @@ type Runner struct {
 	Refresh bool
 	// Progress, when non-nil, receives one event per completed job.
 	Progress *Progress
+	// Remote, when non-empty, labels the job service this invocation
+	// dispatches cache misses to (reporting only; the dispatch itself
+	// is the caller's execute function).
+	Remote string
 
 	mu    sync.Mutex
 	stats Stats
@@ -139,6 +147,7 @@ func (r *Runner) Stats() Stats {
 	defer r.mu.Unlock()
 	st := r.stats
 	st.Shard = r.Shard
+	st.Remote = r.Remote
 	return st
 }
 

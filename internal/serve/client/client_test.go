@@ -1,0 +1,402 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/edatool"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/llm/provider"
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+func testServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	cfg.Stack = provider.DefaultStackConfig()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func spec(problem string) serve.Spec {
+	return serve.Spec{Problem: problem, Model: "claude-3.5-sonnet", Language: "verilog"}
+}
+
+// TestClientLifecycle drives the typed client end-to-end: health probe,
+// submit, await with live events, get, cancel-conflict, metrics.
+func TestClientLifecycle(t *testing.T) {
+	_, ts := testServer(t, serve.Config{})
+
+	var mu sync.Mutex
+	var stages []string
+	cl, err := New(ts.URL, Config{OnEvent: func(id string, ev serve.Event) {
+		mu.Lock()
+		stages = append(stages, ev.Stage)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	rec, err := cl.Submit(ctx, spec("gate_xor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID == "" || rec.Status == "" {
+		t.Fatalf("submit record incomplete: %+v", rec)
+	}
+	final, err := cl.Await(ctx, rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != serve.StatusCompleted || final.Verdict != "pass" || final.Outcome == nil {
+		t.Fatalf("await: %+v", final)
+	}
+	// The offline pipeline may finish before Await attaches (OnEvent is
+	// then legitimately empty); the explicit stream replays the full
+	// history deterministically.
+	mu.Lock()
+	stages = stages[:0]
+	mu.Unlock()
+	if err := cl.Events(ctx, rec.ID, func(ev serve.Event) error {
+		mu.Lock()
+		stages = append(stages, ev.Stage)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	sawState := false
+	for _, st := range stages {
+		if st == "state" {
+			sawState = true
+		}
+	}
+	mu.Unlock()
+	if !sawState {
+		t.Errorf("event replay never saw a state event: %v", stages)
+	}
+
+	got, err := cl.Get(ctx, rec.ID)
+	if err != nil || got.Status != serve.StatusCompleted {
+		t.Fatalf("get: %+v, %v", got, err)
+	}
+	// Canceling a finished job is a clean 409, surfaced as StatusError.
+	if _, err := cl.Cancel(ctx, rec.ID); err == nil {
+		t.Error("cancel of terminal job succeeded")
+	} else if se, ok := err.(*StatusError); !ok || se.Code != http.StatusConflict {
+		t.Errorf("cancel of terminal job: %v, want 409 StatusError", err)
+	}
+	snap, err := cl.Metrics(ctx)
+	if err != nil || snap.Jobs[serve.StatusCompleted] != 1 {
+		t.Errorf("metrics: %+v, %v", snap, err)
+	}
+
+	// Unknown base URLs fail construction, unknown jobs fail retrieval.
+	if _, err := New("ftp://nope", Config{}); err == nil {
+		t.Error("New accepted a non-HTTP URL")
+	}
+	if _, err := cl.Get(ctx, "deadbeef"); err == nil {
+		t.Error("Get of unknown job succeeded")
+	}
+}
+
+// countingTransport counts responses by status code.
+type countingTransport struct {
+	mu    sync.Mutex
+	codes map[int]int
+}
+
+func (c *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(r)
+	if err == nil {
+		c.mu.Lock()
+		if c.codes == nil {
+			c.codes = map[int]int{}
+		}
+		c.codes[resp.StatusCode]++
+		c.mu.Unlock()
+	}
+	return resp, err
+}
+
+// TestClientRetries429: with one worker parked mid-job and a queue of
+// depth one, a client submission meets 429 backpressure — it must keep
+// retrying (honouring the Retry-After path) and land the job once the
+// queue drains, without surfacing the 429 to the caller.
+func TestClientRetries429(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s, ts := testServer(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		StepHook: func(string, *core.Checkpoint) error {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-release
+			return nil
+		},
+	})
+
+	ct := &countingTransport{}
+	cl, err := New(ts.URL, Config{
+		HTTPClient: &http.Client{Transport: ct},
+		RetryBase:  2 * time.Millisecond,
+		RetryCap:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := s.Submit(spec("gate_xor")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker parked inside job A
+	if _, err := s.Submit(spec("gate_or")); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+
+	done := make(chan error, 1)
+	var rec serve.Record
+	go func() {
+		var serr error
+		rec, serr = cl.Submit(ctx, spec("gate_and"))
+		done <- serr
+	}()
+	// Give the client time to hit the wall a few times, then drain.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("submit returned while queue full: %v (rec %+v)", err, rec)
+	default:
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("submit after retries: %v", err)
+	}
+	ct.mu.Lock()
+	n429 := ct.codes[http.StatusTooManyRequests]
+	ct.mu.Unlock()
+	if n429 == 0 {
+		t.Error("client never observed a 429 — test raced the queue")
+	}
+	if _, err := cl.Await(ctx, rec.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluateResubmitsInterrupted: an injected mid-run crash leaves
+// the job interrupted with a checkpoint; Evaluate must resubmit and
+// return the completed outcome of the resumed run.
+func TestEvaluateResubmitsInterrupted(t *testing.T) {
+	var fired atomic.Bool
+	s, ts := testServer(t, serve.Config{
+		Workers: 1,
+		StepHook: func(string, *core.Checkpoint) error {
+			if fired.CompareAndSwap(false, true) {
+				return context.DeadlineExceeded // any non-nil error interrupts
+			}
+			return nil
+		},
+	})
+	_ = s
+	cl, err := New(ts.URL, Config{RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	prob := bench.NewSuite().ByID("cmp_lt_w4")
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	cfg := core.DefaultConfig(model, edatool.Verilog)
+	job := runner.Job{
+		Problem:  prob.ID,
+		Model:    model.Name(),
+		Language: edatool.Verilog.String(),
+		Config:   cfg.Fingerprint(),
+	}
+	out, err := cl.Evaluate(ctx, job, exp.RemoteCell{
+		Problem:        prob.ID,
+		Model:          model.Name(),
+		Language:       edatool.Verilog.String(),
+		MaxSyntaxIters: cfg.MaxSyntaxIters,
+		MaxFuncIters:   cfg.MaxFuncIters,
+		MaxSimTime:     cfg.MaxSimTime,
+		CoGenTestbench: !cfg.FreezeTestbench,
+	})
+	if err != nil {
+		t.Fatalf("evaluate through interruption: %v", err)
+	}
+	if !fired.Load() {
+		t.Fatal("crash hook never fired")
+	}
+	if out.ID != prob.ID || !out.LoopSyntaxOK {
+		t.Errorf("resumed outcome: %+v", out)
+	}
+	rec, _ := cl.Get(ctx, job.Key())
+	if rec.Resumes < 1 {
+		t.Errorf("job completed without a resume: %+v", rec)
+	}
+}
+
+// sweepOpts builds the exp options for one equivalence arm.
+func sweepOpts(t *testing.T, cacheDir string, probs []*bench.Problem) exp.Options {
+	t.Helper()
+	cache, err := runner.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp.Options{
+		Problems: probs,
+		Runner:   &runner.Runner{Workers: 2, Cache: cache},
+	}
+}
+
+// TestRemoteSweepEquivalence is the tentpole acceptance property: a
+// sweep dispatched through the job service must be byte-identical to
+// the same sweep run in-process — same summaries, same content-
+// addressed cache cells — including a Configure-hook cell that
+// exercises the spec knob mapping.
+func TestRemoteSweepEquivalence(t *testing.T) {
+	probs := bench.NewSuite().Problems[:4]
+	model := llm.ProfileByName("claude-3.5-sonnet")
+	tighten := func(c *core.Config) {
+		c.MaxSyntaxIters = 2
+		c.MaxFuncIters = 2
+	}
+
+	for _, tc := range []struct {
+		name      string
+		configure func(*core.Config)
+	}{
+		{"defaults", nil},
+		{"configured", tighten},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			localDir := t.TempDir()
+			local := sweepOpts(t, localDir, probs)
+			local.Configure = tc.configure
+			want := exp.Run(model, edatool.Verilog, local)
+
+			serveDir := t.TempDir()
+			_, ts := testServer(t, serve.Config{CacheDir: serveDir})
+			cl, err := New(ts.URL, Config{RetryBase: 2 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+
+			var mu sync.Mutex
+			var keys []string
+			remote := sweepOpts(t, t.TempDir(), probs)
+			remote.Configure = tc.configure
+			remote.Dispatch = func(job runner.Job, cell exp.RemoteCell) (exp.ProblemOutcome, error) {
+				mu.Lock()
+				keys = append(keys, job.Key())
+				mu.Unlock()
+				return cl.Evaluate(ctx, job, cell)
+			}
+			got := exp.Run(model, edatool.Verilog, remote)
+
+			if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+				t.Fatalf("remote sweep diverged:\n got %+v\nwant %+v", got.Outcomes, want.Outcomes)
+			}
+			if got.N != want.N || got.LoopFuncPass != want.LoopFuncPass {
+				t.Fatalf("summary diverged: got %+v want %+v", got, want)
+			}
+			if len(keys) != len(probs) {
+				t.Fatalf("dispatched %d cells, want %d", len(keys), len(probs))
+			}
+			// The service persisted each cell into the same content-
+			// addressed file an in-process sweep writes — byte-identical.
+			for _, key := range keys {
+				cell := filepath.Join(key[:2], key+".json")
+				lb, err := os.ReadFile(filepath.Join(localDir, cell))
+				if err != nil {
+					t.Fatalf("local cell %s: %v", cell, err)
+				}
+				sb, err := os.ReadFile(filepath.Join(serveDir, cell))
+				if err != nil {
+					t.Fatalf("server cell %s: %v", cell, err)
+				}
+				if string(lb) != string(sb) {
+					t.Errorf("cell %s differs between local and server caches:\nlocal: %s\nserver: %s", cell, lb, sb)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoteSweepMergesWithSharedCache: pointing the local runner cache
+// at the server's cache directory makes the remote sweep serve every
+// already-dispatched cell from disk — the merge property benchsuite
+// -server relies on.
+func TestRemoteSweepMergesWithSharedCache(t *testing.T) {
+	probs := bench.NewSuite().Problems[:2]
+	model := llm.ProfileByName("claude-3.5-sonnet")
+
+	dir := t.TempDir()
+	_, ts := testServer(t, serve.Config{CacheDir: dir})
+	cl, err := New(ts.URL, Config{RetryBase: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var dispatched atomic.Int32
+	mkOpts := func() exp.Options {
+		o := sweepOpts(t, dir, probs)
+		o.Dispatch = func(job runner.Job, cell exp.RemoteCell) (exp.ProblemOutcome, error) {
+			dispatched.Add(1)
+			return cl.Evaluate(ctx, job, cell)
+		}
+		return o
+	}
+	first := exp.Run(model, edatool.Verilog, mkOpts())
+	n := dispatched.Load()
+	if int(n) != len(probs) {
+		t.Fatalf("first sweep dispatched %d cells, want %d", n, len(probs))
+	}
+	second := exp.Run(model, edatool.Verilog, mkOpts())
+	if dispatched.Load() != n {
+		t.Errorf("second sweep re-dispatched cells: %d total, want %d", dispatched.Load(), n)
+	}
+	if !reflect.DeepEqual(first.Outcomes, second.Outcomes) {
+		t.Error("cache-served sweep diverged from the dispatched one")
+	}
+}

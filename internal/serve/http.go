@@ -4,11 +4,53 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/runner"
 )
+
+// maxSubmitBody caps a submission request body. Specs are a few
+// hundred bytes; 1 MiB is already generous, and the cap stops a
+// client from streaming gigabytes at the JSON decoder.
+const maxSubmitBody = 1 << 20
+
+// HTTPTimeouts bounds the HTTP connection lifecycle. Write side is
+// deliberately unbounded: the transcript stream is a long-lived
+// response, and its liveness is governed by the server's shutdown
+// channel and the client disconnecting, not a wall-clock cap.
+type HTTPTimeouts struct {
+	// ReadHeader bounds reading one request's headers — the classic
+	// slowloris hole: without it a client dripping header bytes holds a
+	// connection (and a listener slot) forever.
+	ReadHeader time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests.
+	Idle time.Duration
+}
+
+// DefaultHTTPTimeouts returns the production values.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{ReadHeader: 10 * time.Second, Idle: 2 * time.Minute}
+}
+
+// NewHTTPServer builds the hardened http.Server for a job-service
+// handler. ReadTimeout and WriteTimeout stay zero on purpose: a
+// whole-request read deadline would also arm the connection's
+// background read during long-lived event streams and cut them off,
+// and a write timeout would cap stream lifetime. Request bodies are
+// instead bounded per-endpoint (MaxBytesReader plus a per-request
+// read deadline in handleSubmit).
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		IdleTimeout:       t.Idle,
+	}
+}
 
 // Handler returns the server's HTTP API:
 //
@@ -44,9 +86,36 @@ type apiError struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Slow-drip defence: even under the size cap a client could trickle
+	// body bytes forever; bound the whole body read with a per-request
+	// deadline (server-wide ReadTimeout would break the event streams).
+	// Best-effort — recorders and exotic transports may not support it.
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Now().Add(s.cfg.SubmitTimeout))
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
+	dec := json.NewDecoder(r.Body)
 	var spec Spec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Reject trailing garbage: a spec followed by anything but EOF is a
+	// malformed request, not a submission plus noise to swallow.
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "trailing data after job spec"})
 		return
 	}
 	rec, err := s.Submit(spec)
@@ -158,6 +227,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-r.Context().Done():
+			return
+		case <-s.shutdownc:
+			// Server drain: end the stream so http.Server.Shutdown is
+			// not pinned for the whole drain timeout by a connected
+			// subscriber. The job itself checkpoints and resumes; the
+			// client re-subscribes after the restart.
 			return
 		}
 	}

@@ -18,6 +18,7 @@ type stats struct {
 	ckpts      int
 	resumes    int
 	replays    int
+	gcExpired  int
 }
 
 func (s *stats) observe(st core.State, d time.Duration) {
@@ -33,6 +34,7 @@ func (s *stats) observe(st core.State, d time.Duration) {
 func (s *stats) checkpointed() { s.mu.Lock(); s.ckpts++; s.mu.Unlock() }
 func (s *stats) resumed()      { s.mu.Lock(); s.resumes++; s.mu.Unlock() }
 func (s *stats) replayed()     { s.mu.Lock(); s.replays++; s.mu.Unlock() }
+func (s *stats) expired(n int) { s.mu.Lock(); s.gcExpired += n; s.mu.Unlock() }
 
 // StateMetric is one pipeline state's aggregate in the metrics
 // snapshot.
@@ -53,6 +55,8 @@ type MetricsSnapshot struct {
 	CheckpointsWritten int `json:"checkpoints_written"`
 	JobsResumed        int `json:"jobs_resumed"`
 	StatesReplayed     int `json:"states_replayed"`
+	// RecordsExpired counts terminal job records removed by TTL GC.
+	RecordsExpired int `json:"records_expired"`
 
 	Provider map[string]provider.OpSnapshot `json:"provider"`
 }
@@ -85,6 +89,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.CheckpointsWritten = s.st.ckpts
 	snap.JobsResumed = s.st.resumes
 	snap.StatesReplayed = s.st.replays
+	snap.RecordsExpired = s.st.gcExpired
 	s.st.mu.Unlock()
 	return snap
 }

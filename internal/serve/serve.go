@@ -56,6 +56,12 @@ type Spec struct {
 	MaxSyntaxIters int    `json:"max_syntax_iters,omitempty"`
 	MaxFuncIters   int    `json:"max_func_iters,omitempty"`
 	MaxSimTime     uint64 `json:"max_sim_time,omitempty"`
+	// Priority places the job in a pool dequeue band (0 = default,
+	// lowest; 9 = highest). Scheduling only: it never enters the
+	// content-addressed job ID, so identical specs at different
+	// priorities share one job — and the first submission's priority
+	// wins for a job that is already queued.
+	Priority int `json:"priority,omitempty"`
 	// CoGenTestbench regenerates the bench every functional iteration
 	// (the AIVRIL 1 ablation); default keeps it frozen.
 	CoGenTestbench bool `json:"cogen_testbench,omitempty"`
@@ -112,6 +118,21 @@ type Config struct {
 	// id and the checkpoint. A non-nil return interrupts the job — the
 	// in-process stand-in for SIGKILL in crash-resume tests.
 	StepHook func(jobID string, cp *core.Checkpoint) error
+	// RecordTTL, when positive, garbage-collects terminal job records —
+	// completed, failed, canceled — and their leftover checkpoints once
+	// a record has gone untouched for the TTL. Interrupted jobs are
+	// resumable state, never collected, and result cells are the shared
+	// experiment cache, also untouched: an expired job resubmitted later
+	// completes instantly from its cell. Swept at startup recovery and
+	// on a GCInterval ticker. Zero keeps records forever.
+	RecordTTL time.Duration
+	// GCInterval overrides the TTL sweep cadence (default RecordTTL/4,
+	// clamped to [1s, 1m]).
+	GCInterval time.Duration
+	// SubmitTimeout bounds reading one submission request body (default
+	// 10s) — with the 1 MiB body cap, the slow-drip half of the
+	// slowloris defence.
+	SubmitTimeout time.Duration
 	// Logf receives server lifecycle lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -148,6 +169,11 @@ type Server struct {
 	// simulations are byte-identical to cold — so job IDs and cached
 	// results are unaffected by sharing it across jobs and workers.
 	elab *edatool.DesignCache
+	// shutdownc closes when Shutdown begins. Long-lived request
+	// handlers (the transcript streams) select on it so a drain is
+	// never held hostage by a connected subscriber.
+	shutdownc chan struct{}
+	bg        sync.WaitGroup // background loops (TTL GC)
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -171,6 +197,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = provider.DefaultRegistry
 	}
+	if cfg.SubmitTimeout <= 0 {
+		cfg.SubmitTimeout = 10 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -182,20 +211,96 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		suite: bench.NewSuite(),
-		cache: cache,
-		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth),
-		st:    &stats{},
-		prov:  provider.NewMetrics(provider.RealClock()),
-		elab:  edatool.NewDesignCache(),
-		jobs:  map[string]*job{},
+		cfg:       cfg,
+		suite:     bench.NewSuite(),
+		cache:     cache,
+		pool:      runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		st:        &stats{},
+		prov:      provider.NewMetrics(provider.RealClock()),
+		elab:      edatool.NewDesignCache(),
+		shutdownc: make(chan struct{}),
+		jobs:      map[string]*job{},
 	}
 	if err := s.recover(); err != nil {
 		s.pool.Close()
 		return nil, err
 	}
+	if n := s.gc(time.Now()); n > 0 {
+		cfg.Logf("serve: startup GC expired %d terminal job record(s)", n)
+	}
+	if cfg.RecordTTL > 0 {
+		s.bg.Add(1)
+		go s.gcLoop()
+	}
 	return s, nil
+}
+
+// gcInterval derives the TTL sweep cadence.
+func (s *Server) gcInterval() time.Duration {
+	if s.cfg.GCInterval > 0 {
+		return s.cfg.GCInterval
+	}
+	iv := s.cfg.RecordTTL / 4
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+// gcLoop sweeps expired terminal records until shutdown.
+func (s *Server) gcLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.gcInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.shutdownc:
+			return
+		case now := <-t.C:
+			if n := s.gc(now); n > 0 {
+				s.cfg.Logf("serve: GC expired %d terminal job record(s)", n)
+			}
+		}
+	}
+}
+
+// gc removes terminal job records (and any checkpoint they left
+// behind) older than the record TTL. It returns the number expired.
+// Record-file removal happens under the lock so a concurrent
+// resubmission of the same spec can never have its fresh record
+// deleted out from under it.
+func (s *Server) gc(now time.Time) int {
+	ttl := s.cfg.RecordTTL
+	if ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	n := 0
+	for id, j := range s.jobs {
+		switch j.rec.Status {
+		case StatusCompleted, StatusFailed, StatusCanceled:
+		default:
+			continue // live or resumable: not garbage
+		}
+		if now.Sub(j.rec.Updated) < ttl {
+			continue
+		}
+		delete(s.jobs, id)
+		os.Remove(filepath.Join(s.cfg.CacheDir, "jobs", id+".json"))
+		if r, err := s.resolve(j.rec.Spec); err == nil {
+			s.cache.DeleteCheckpoint(r.rjob)
+		}
+		j.hub.close()
+		n++
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.st.expired(n)
+	}
+	return n
 }
 
 // recover loads persisted job records and re-enqueues the unfinished
@@ -230,7 +335,7 @@ func (s *Server) recover() error {
 			j.rec.Status = StatusQueued
 			s.jobs[rec.ID] = j
 			id := rec.ID
-			if err := s.pool.TrySubmit(func() { s.run(id) }); err != nil {
+			if err := s.pool.TrySubmitPriority(rec.Spec.Priority, func() { s.run(id) }); err != nil {
 				// Queue smaller than the backlog: leave the job
 				// interrupted; a resubmission re-enqueues it.
 				j.rec.Status = StatusInterrupted
@@ -274,6 +379,9 @@ func (s *Server) resolve(spec Spec) (resolved, error) {
 		r.lang = edatool.VHDL
 	default:
 		return r, specErrf("unknown language %q (verilog | vhdl)", spec.Language)
+	}
+	if spec.Priority < runner.MinPriority || spec.Priority > runner.MaxPriority {
+		return r, specErrf("priority %d out of range [%d, %d]", spec.Priority, runner.MinPriority, runner.MaxPriority)
 	}
 	name := spec.Provider
 	if name == "" {
@@ -349,7 +457,7 @@ func (s *Server) Submit(spec Spec) (Record, error) {
 	prev := j.rec.Status
 	j.rec.Status = StatusQueued
 	j.rec.Error = ""
-	if err := s.pool.TrySubmit(func() { s.run(id) }); err != nil {
+	if err := s.pool.TrySubmitPriority(j.rec.Spec.Priority, func() { s.run(id) }); err != nil {
 		j.rec.Status = prev
 		return Record{}, err
 	}
@@ -434,11 +542,19 @@ func (s *Server) QueueDepth() int { return s.pool.Depth() }
 
 // Shutdown drains the server: no new submissions, running jobs are
 // cancelled (they checkpoint at every boundary, so cancellation costs
-// at most one in-flight state), and the pool empties. Interrupted jobs
-// resume on the next start.
+// at most one in-flight state), every connected transcript stream is
+// released via the shutdown channel, and the pool empties. Interrupted
+// jobs resume on the next start. Idempotent.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		// Closing first: event-stream handlers select on this channel,
+		// so a drain completes promptly even with live subscribers
+		// attached (they would otherwise pin http.Server.Shutdown for
+		// the whole drain timeout).
+		close(s.shutdownc)
+	}
 	for _, j := range s.jobs {
 		if j.rec.Status == StatusRunning && j.cancel != nil {
 			j.cancel()
@@ -446,7 +562,12 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 	s.pool.Close()
+	s.bg.Wait()
 }
+
+// ShuttingDown returns the channel closed when Shutdown begins.
+// Long-lived handlers and clients select on it to exit promptly.
+func (s *Server) ShuttingDown() <-chan struct{} { return s.shutdownc }
 
 // persist writes a job record atomically (temp file + rename). Caller
 // holds s.mu.

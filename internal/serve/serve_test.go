@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -604,4 +607,318 @@ func ExampleSpec() {
 	data, _ := json.Marshal(spec("gate_xor"))
 	fmt.Println(string(data))
 	// Output: {"problem":"gate_xor","model":"claude-3.5-sonnet","language":"verilog"}
+}
+
+// TestShutdownUnblocksEventSubscribers pins the drain bugfix: with a
+// job parked mid-run and a live SSE subscriber attached, Shutdown must
+// release the stream immediately — not leave it pinning the HTTP
+// server for the whole drain timeout.
+func TestShutdownUnblocksEventSubscribers(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.StepHook = func(string, *core.Checkpoint) error {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil
+	}
+	s := newServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec, err := s.Submit(spec("gate_xor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // job parked mid-run: its stream can only end via shutdown
+
+	resp, err := http.Get(ts.URL + "/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	streamDone := make(chan struct{})
+	go func() { io.Copy(io.Discard, resp.Body); close(streamDone) }()
+
+	shutdownDone := make(chan struct{})
+	go func() { s.Shutdown(); close(shutdownDone) }()
+
+	select {
+	case <-streamDone:
+		// released promptly — the drain is not hostage to the subscriber
+	case <-time.After(2 * time.Second):
+		t.Fatal("event stream still open 2s into shutdown")
+	}
+	close(release) // let the parked worker observe the cancelled context
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not complete")
+	}
+}
+
+// TestSubmitBodyLimits pins the request-body hardening: oversized
+// bodies are 413, trailing garbage after the spec is 400, and a clean
+// spec still goes through.
+func TestSubmitBodyLimits(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body []byte) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ae struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ae)
+		return resp.StatusCode, ae.Error
+	}
+
+	// A single 2 MiB JSON document blows the 1 MiB cap.
+	big, _ := json.Marshal(map[string]string{"problem": strings.Repeat("a", 2<<20)})
+	if code, msg := post(big); code != http.StatusRequestEntityTooLarge || !strings.Contains(msg, "exceeds") {
+		t.Errorf("oversized body: %d %q, want 413", code, msg)
+	}
+
+	good, _ := json.Marshal(spec("gate_xor"))
+
+	// Trailing garbage and concatenated documents are malformed requests.
+	if code, msg := post(append(append([]byte{}, good...), []byte("garbage")...)); code != http.StatusBadRequest || !strings.Contains(msg, "trailing") {
+		t.Errorf("trailing garbage: %d %q, want 400 trailing", code, msg)
+	}
+	if code, _ := post(append(append([]byte{}, good...), good...)); code != http.StatusBadRequest {
+		t.Errorf("two specs in one body: %d, want 400", code)
+	}
+	if code, _ := post([]byte("{not json")); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d, want 400", code)
+	}
+
+	// The clean spec still lands.
+	if code, _ := post(good); code != http.StatusAccepted {
+		t.Errorf("valid spec: %d, want 202", code)
+	}
+}
+
+// TestSlowLorisDefence drives the hardened http.Server over a real
+// listener: a connection dripping headers is cut at ReadHeaderTimeout,
+// and a stalled submission body is bounded by SubmitTimeout — while a
+// well-behaved request on the same server still succeeds.
+func TestSlowLorisDefence(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.SubmitTimeout = 300 * time.Millisecond
+	s := newServer(t, cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer("", s.Handler(), HTTPTimeouts{ReadHeader: 200 * time.Millisecond, Idle: time.Second})
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Header drip: the server must hang up around ReadHeaderTimeout.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow:")
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a half-sent request")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("header drip held the connection %v, want ~200ms", d)
+	}
+
+	// Body stall: headers complete, body never arrives. The per-request
+	// read deadline in handleSubmit must produce a response (or hangup)
+	// promptly instead of waiting forever.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintf(conn2, "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\n{\"pro")
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start = time.Now()
+	buf := make([]byte, 512)
+	n, rerr := conn2.Read(buf)
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("stalled body held the connection %v, want ~SubmitTimeout", d)
+	}
+	if rerr == nil && !strings.Contains(string(buf[:n]), "400") {
+		t.Errorf("stalled submission answered %q, want a 400", string(buf[:n]))
+	}
+
+	// The same server still serves an honest client.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz on hardened server: %d", resp.StatusCode)
+	}
+}
+
+// TestRecordTTLGC: terminal job records (and their on-disk files)
+// expire after the TTL while the shared result cells survive, so an
+// expired job resubmitted later completes instantly from the cache.
+// Startup recovery applies the same sweep to records left by an
+// earlier process.
+func TestRecordTTLGC(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CacheDir:   dir,
+		Workers:    1,
+		Stack:      provider.DefaultStackConfig(),
+		RecordTTL:  100 * time.Millisecond,
+		GCInterval: 20 * time.Millisecond,
+	}
+	s := newServer(t, cfg)
+	rec, err := s.Submit(spec("gate_xor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, rec.ID, StatusCompleted)
+	cell := filepath.Join(dir, rec.ID[:2], rec.ID+".json")
+	if _, err := os.Stat(cell); err != nil {
+		t.Fatalf("result cell missing after completion: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := s.Get(rec.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completed record never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", rec.ID+".json")); !os.IsNotExist(err) {
+		t.Errorf("expired record file still on disk: %v", err)
+	}
+	if _, err := os.Stat(cell); err != nil {
+		t.Errorf("GC removed the shared result cell: %v", err)
+	}
+	if snap := s.Metrics(); snap.RecordsExpired < 1 {
+		t.Errorf("RecordsExpired = %d, want >= 1", snap.RecordsExpired)
+	}
+
+	// Resubmission of the expired job is served from the result cell.
+	rec2, err := s.Submit(spec("gate_xor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitStatus(t, s, rec2.ID, StatusCompleted); final.CheckpointsWritten != 0 {
+		t.Errorf("expired-then-resubmitted job recomputed (%d checkpoints)", final.CheckpointsWritten)
+	}
+	s.Shutdown()
+
+	// Startup sweep: an old terminal record from a previous process life
+	// is collected during New, before the GC ticker ever fires.
+	old := Record{
+		ID:      "feedfacefeedface",
+		Spec:    spec("gate_or"),
+		Status:  StatusFailed,
+		Created: time.Now().Add(-time.Hour),
+		Updated: time.Now().Add(-time.Hour),
+	}
+	data, _ := json.Marshal(old)
+	if err := os.WriteFile(filepath.Join(dir, "jobs", old.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newServer(t, cfg)
+	if _, ok := s2.Get(old.ID); ok {
+		t.Error("stale terminal record survived startup GC")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", old.ID+".json")); !os.IsNotExist(err) {
+		t.Errorf("stale record file survived startup GC: %v", err)
+	}
+}
+
+// TestPriorityScheduling: with the single worker parked, a priority-9
+// submission dequeues before an earlier priority-0 one, and an
+// out-of-range priority is rejected as a spec error.
+func TestPriorityScheduling(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var mu sync.Mutex
+	var order []string
+	seen := map[string]bool{}
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.QueueDepth = 8
+	cfg.StepHook = func(id string, _ *core.Checkpoint) error {
+		mu.Lock()
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+		mu.Unlock()
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil
+	}
+	s := newServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	blocker, err := s.Submit(spec("gate_xor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker parked inside the blocker
+
+	low := spec("gate_or") // priority 0, submitted first
+	lowRec, err := s.Submit(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := spec("gate_and")
+	high.Priority = 9
+	highRec, err := s.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	waitStatus(t, s, blocker.ID, StatusCompleted)
+	waitStatus(t, s, lowRec.ID, StatusCompleted)
+	waitStatus(t, s, highRec.ID, StatusCompleted)
+
+	mu.Lock()
+	got := append([]string(nil), order...)
+	mu.Unlock()
+	want := []string{blocker.ID, highRec.ID, lowRec.ID}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dequeue order %v, want %v (high priority must jump the queue)", got, want)
+	}
+
+	// Out-of-range priority: SpecError in-process, 400 over HTTP.
+	bad := spec("vec_and_w8")
+	bad.Priority = 10
+	var se *SpecError
+	if _, err := s.Submit(bad); !errors.As(err, &se) {
+		t.Errorf("priority 10: %v, want SpecError", err)
+	}
+	if code := postJob(t, ts.URL, bad); code != http.StatusBadRequest {
+		t.Errorf("priority 10 over HTTP: %d, want 400", code)
+	}
 }

@@ -134,4 +134,56 @@ REPLAYED="$(get_job "$ID" .states_replayed)"
 [ "$RESUMES" -ge 1 ] || die "job completed without resuming (resumes=$RESUMES)"
 log "resumed (resumes=$RESUMES, states_replayed=$REPLAYED), verdict $GOT_VERDICT"
 stop_server
+
+# --- Remote sweep: benchsuite -server through the queue must be -------
+# byte-identical to the same sweep run in-process.
+log "remote sweep via benchsuite -server"
+go build -o "$WORK/benchsuite" ./cmd/benchsuite
+
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/sweep-remote" -workers 4 -queue 8 &
+PID=$!
+wait_healthy
+"$WORK/benchsuite" -server "$BASE" -priority 5 -table1 -every 31 \
+    -cache-dir "$WORK/sweep-client" -json "$WORK/remote.json" >"$WORK/remote.out"
+grep -q "dispatch" "$WORK/remote.out" || die "remote manifest missing dispatch line"
+stop_server
+
+"$WORK/benchsuite" -table1 -every 31 -cache-dir "$WORK/sweep-local" \
+    -json "$WORK/local.json" >/dev/null
+cmp -s "$WORK/remote.json" "$WORK/local.json" ||
+    die "remote sweep JSON differs from in-process sweep"
+log "remote sweep byte-identical to in-process"
+
+# --- Drain with a live subscriber: SIGTERM must not burn the full -----
+# drain timeout just because an SSE client is attached.
+log "SIGTERM drain with attached event subscriber"
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/drain" -step-delay 400ms &
+PID=$!
+wait_healthy
+DRAIN_ID="$(curl -fsS -X POST "$BASE/jobs" -d "$OFFLINE_SPEC" | jq -r .id)"
+[ -n "$DRAIN_ID" ] && [ "$DRAIN_ID" != null ] || die "drain submission returned no job id"
+curl -fsS -N "$BASE/jobs/$DRAIN_ID/events" >"$WORK/drain-events" 2>/dev/null &
+CURL_PID=$!
+sleep 0.5 # let the stream attach and the job pass a checkpoint
+T0="$(date +%s)"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+ELAPSED="$(($(date +%s) - T0))"
+wait "$CURL_PID" 2>/dev/null || true
+# Default -drain-timeout is 30s; a subscriber-pinned drain burns all of
+# it. The fixed path releases the stream and exits within a few seconds.
+[ "$ELAPSED" -lt 10 ] || die "drain with subscriber took ${ELAPSED}s (subscriber pinned the shutdown)"
+log "drained in ${ELAPSED}s with a live subscriber"
+
+# The interrupted job resumes to the reference verdict after restart.
+"$WORK/aivrild" -addr "$ADDR" -cache-dir "$WORK/drain" &
+PID=$!
+wait_healthy
+[ "$(wait_terminal "$DRAIN_ID")" = completed ] || die "drained job did not complete after restart"
+DRAIN_VERDICT="$(get_job "$DRAIN_ID" .verdict)"
+[ "$DRAIN_VERDICT" = "$WANT_VERDICT" ] ||
+    die "post-drain verdict $DRAIN_VERDICT != offline reference $WANT_VERDICT"
+log "post-drain resume verdict $DRAIN_VERDICT"
+stop_server
 log "PASS"
