@@ -19,6 +19,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/provider"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		list      = flag.Bool("list", false, "list all problem ids and exit")
 		showRTL   = flag.Bool("show-rtl", true, "print the final RTL")
 		elabCache = flag.Bool("elab-cache", true, "reuse parse/elaboration results across repair-loop iterations (speed only; output and checkpoints are unaffected)")
+		simMode   = flag.String("sim-mode", "auto", "simulation backend: auto | compiled | interpret (output is byte-identical either way)")
 
 		providerName = flag.String("provider", "offline",
 			"LLM provider: "+strings.Join(provider.DefaultRegistry.Names(), " | "))
@@ -68,8 +70,15 @@ func main() {
 	fmt.Printf("=== AIVRIL 2: %s / %s / %s / provider %s ===\n\n", prob.ID, model.Name(), lang, *providerName)
 	fmt.Printf("Specification:\n  %s\n\n", prob.Spec)
 
+	mode, err := sim.ParseBackendMode(*simMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aivril: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := core.DefaultConfig(model, lang)
 	cfg.DisableDesignCache = !*elabCache
+	cfg.SimMode = mode
 	cfg.Trace = func(stage, detail string) {
 		fmt.Printf("[%-9s] %s\n", stage, detail)
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/llm/provider"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 
 		flakyRate = flag.Float64("flaky-error-rate", 0.25, "flaky provider: per-call injected error probability")
 		flakySeed = flag.Int64("flaky-seed", 1, "flaky provider: fault RNG seed")
+		simMode   = flag.String("sim-mode", "auto", "simulation backend: auto | compiled | interpret (output is byte-identical either way)")
 
 		recordTTL = flag.Duration("record-ttl", 0, "garbage-collect terminal job records older than this (0 = keep forever)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight jobs on shutdown")
@@ -47,6 +49,11 @@ func main() {
 
 	if *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "aivrild: -cache-dir is required (checkpoints and job state must land somewhere durable)")
+		os.Exit(2)
+	}
+	mode, err := sim.ParseBackendMode(*simMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aivrild: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -60,6 +67,7 @@ func main() {
 		Stack:      provider.DefaultStackConfig(),
 		Flaky:      provider.FlakyConfig{Seed: *flakySeed, ErrorRate: *flakyRate},
 		StepDelay:  *stepDelay,
+		SimMode:    mode,
 		RecordTTL:  *recordTTL,
 		Logf:       logf,
 	})

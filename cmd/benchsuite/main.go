@@ -45,6 +45,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/serve/client"
 )
 
@@ -61,6 +62,7 @@ func main() {
 		every      = flag.Int("every", 1, "evaluate every N-th problem (subsampling)")
 		workers    = flag.Int("workers", 0, "max parallel problems (0 = auto)")
 		simWorkers = flag.Int("sim-workers", 0, "shard each simulation across this many workers (<=1 = serial; output is byte-identical either way)")
+		simMode    = flag.String("sim-mode", "auto", "simulation backend: auto | compiled | interpret (output is byte-identical either way)")
 		elabCache  = flag.Bool("elab-cache", true, "share one elaboration/design cache across the whole run (speed only; results and cache keys are unaffected)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (enables resume)")
 		resume     = flag.Bool("resume", true, "reuse cached cells; -resume=false recomputes and overwrites")
@@ -92,6 +94,11 @@ func main() {
 		os.Exit(2)
 	}
 	shard, err := runner.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(2)
+	}
+	backendMode, err := sim.ParseBackendMode(*simMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
 		os.Exit(2)
@@ -141,6 +148,7 @@ func main() {
 		Problems:    problems,
 		Runner:      run,
 		SimWorkers:  *simWorkers,
+		SimMode:     backendMode,
 		DesignCache: designCache,
 		Checkpoint:  *checkpoint,
 		Provider:    *providerName,

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/edatool"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -28,8 +29,15 @@ func main() {
 		maxTime     = flag.Uint64("max-time", 1_000_000, "simulated-time limit (ns)")
 		vcdPath     = flag.String("vcd", "", "write the $dumpvars waveform to this file")
 		workers     = flag.Int("workers", 1, "shard the simulation across this many workers (<=1 = serial; output is byte-identical either way)")
+		simMode     = flag.String("sim-mode", "auto", "simulation backend: auto | compiled | interpret (output is byte-identical either way)")
+		showStats   = flag.Bool("stats", false, "print backend statistics (compiled/interpreted process counts, fallbacks) to stderr")
 	)
 	flag.Parse()
+	mode, err := sim.ParseBackendMode(*simMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdlsim: %v\n", err)
+		os.Exit(2)
+	}
 	files := flag.Args()
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hdlsim [-top tb] [-lang verilog|vhdl] file.v [more files...]")
@@ -59,8 +67,10 @@ func main() {
 		sources = append(sources, edatool.Source{Name: f, Text: string(text)})
 	}
 
+	tc := edatool.New(edatool.Options{Mode: mode, Workers: *workers})
+
 	if *compileOnly {
-		comp := edatool.Compile(lang, sources...)
+		comp := tc.Compile(lang, sources...)
 		fmt.Print(comp.Log)
 		if !comp.OK {
 			os.Exit(1)
@@ -68,8 +78,14 @@ func main() {
 		return
 	}
 
-	res := edatool.SimulateWith(lang, *top, edatool.SimOptions{MaxTime: *maxTime, Workers: *workers}, sources...)
+	res := tc.Simulate(lang, *top, *maxTime, sources...)
 	fmt.Print(res.Log)
+	if *showStats {
+		b := res.Backend
+		fmt.Fprintf(os.Stderr, "hdlsim: backend=%s procs=%d/%d assigns=%d/%d fallbacks=%d\n",
+			b.Mode, b.CompiledProcs, b.CompiledProcs+b.InterpretedProcs,
+			b.CompiledAssigns, b.CompiledAssigns+b.InterpretedAssigns, b.Fallbacks)
+	}
 	if *vcdPath != "" && res.VCD != "" {
 		if err := os.WriteFile(*vcdPath, []byte(res.VCD), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "hdlsim: writing VCD: %v\n", err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/edatool"
 	"repro/internal/llm"
 	"repro/internal/llm/provider"
+	"repro/internal/sim"
 )
 
 // Config parameterises a pipeline run.
@@ -40,10 +41,16 @@ type Config struct {
 	// SkipFunctional runs only the syntax loop (RTLFixer-style ablation).
 	SkipFunctional bool
 	// SimWorkers selects the sharded parallel simulation backend for
-	// every simulation this pipeline runs (see edatool.SimOptions).
+	// every simulation this pipeline runs (see edatool.Options).
 	// Simulation output is byte-identical across worker counts, so this
 	// knob deliberately does not enter the experiment cache key.
 	SimWorkers int
+	// SimMode selects the simulation execution backend (see
+	// edatool.Options.Mode): auto/compiled specializes two-state
+	// processes into uint64 closures, interpret forces the 4-state AST
+	// walker. Output is byte-identical across modes, so like SimWorkers
+	// it deliberately does not enter the experiment cache key.
+	SimMode sim.BackendMode
 	// DesignCache shares parsed/elaborated designs across every compile
 	// and simulation this pipeline runs (see edatool.DesignCache): the
 	// repair loop re-elaborates only the module a repair changed, and
@@ -112,6 +119,12 @@ type Result struct {
 	FuncIters   int
 	Latency     Latency
 
+	// Backend accumulates simulation-backend statistics over every
+	// functional-loop simulation of this run (see sim.BackendStats).
+	// Telemetry only: it is deterministic for a given run but is not
+	// checkpointed, so a resumed run reports only its own simulations.
+	Backend sim.BackendStats
+
 	// Aborted reports that the run terminated early on an
 	// unrecoverable LLM provider failure (retries exhausted, circuit
 	// open, cancellation); Err carries the classified error. An
@@ -141,6 +154,7 @@ func (r *Result) Verdict() string {
 // Pipeline executes the AIVRIL 2 flow.
 type Pipeline struct {
 	cfg    Config
+	tc     *edatool.Toolchain
 	review agents.ReviewAgent
 	verify agents.VerificationAgent
 }
@@ -165,7 +179,12 @@ func New(cfg Config) *Pipeline {
 	if cfg.DesignCache == nil && !cfg.DisableDesignCache {
 		cfg.DesignCache = edatool.NewDesignCache()
 	}
-	return &Pipeline{cfg: cfg}
+	tc := edatool.New(edatool.Options{
+		Mode:    cfg.SimMode,
+		Workers: cfg.SimWorkers,
+		Cache:   cfg.DesignCache,
+	})
+	return &Pipeline{cfg: cfg, tc: tc}
 }
 
 func (p *Pipeline) trace(stage, format string, args ...any) {
@@ -261,12 +280,11 @@ func EvaluateFunctionalWith(cache *edatool.DesignCache, lang edatool.Language, p
 	if lang == edatool.VHDL {
 		refTB = prob.RefTBVHDL
 	}
-	sim := edatool.SimulateWith(lang, bench.TBName,
-		edatool.SimOptions{MaxTime: maxSimTime, Cache: cache},
+	res := edatool.New(edatool.Options{Cache: cache}).Simulate(lang, bench.TBName, maxSimTime,
 		edatool.Source{Name: designFile(lang), Text: rtl},
 		edatool.Source{Name: tbFile(lang), Text: refTB},
 	)
-	return sim.Passed
+	return res.Passed
 }
 
 // EvaluateSyntax checks whether RTL compiles on its own.
@@ -280,5 +298,5 @@ func EvaluateSyntaxWith(cache *edatool.DesignCache, lang edatool.Language, rtl s
 	if strings.TrimSpace(rtl) == "" {
 		return false
 	}
-	return edatool.CompileWith(lang, cache, edatool.Source{Name: designFile(lang), Text: rtl}).OK
+	return edatool.New(edatool.Options{Cache: cache}).Compile(lang, edatool.Source{Name: designFile(lang), Text: rtl}).OK
 }

@@ -213,7 +213,7 @@ func (m *Machine) stepTestbenchSyntax(ctx context.Context) error {
 	cfg := m.p.cfg
 	lang := cfg.Language
 	if m.tbIter < cfg.MaxSyntaxIters {
-		comp := edatool.CompileWith(lang, cfg.DesignCache, stubDUT(m.prob, lang), edatool.Source{Name: tbFile(lang), Text: m.tb})
+		comp := m.p.tc.Compile(lang, stubDUT(m.prob, lang), edatool.Source{Name: tbFile(lang), Text: m.tb})
 		m.res.Latency.Syntax += compileLatency(stubDUT(m.prob, lang), edatool.Source{Text: m.tb})
 		if !comp.OK {
 			fb := m.p.review.ParseCompileLog(comp.Log)
@@ -270,7 +270,7 @@ func (m *Machine) stepSyntaxLoop(ctx context.Context) error {
 		latAcc = &m.res.Latency.Func
 	}
 	src := edatool.Source{Name: designFile(cfg.Language), Text: m.rtl}
-	comp := edatool.CompileWith(cfg.Language, cfg.DesignCache, src)
+	comp := m.p.tc.Compile(cfg.Language, src)
 	*latAcc += compileLatency(src)
 	if comp.OK {
 		return m.finishSyntaxLoop(true)
@@ -344,12 +344,12 @@ func (m *Machine) stepFunctionalLoop(ctx context.Context) error {
 		m.state = StateVerdict
 		return nil
 	}
-	sim := edatool.SimulateWith(lang, bench.TBName,
-		edatool.SimOptions{MaxTime: cfg.MaxSimTime, Workers: cfg.SimWorkers, Cache: cfg.DesignCache},
+	sim := m.p.tc.Simulate(lang, bench.TBName, cfg.MaxSimTime,
 		edatool.Source{Name: designFile(lang), Text: m.rtl},
 		edatool.Source{Name: tbFile(lang), Text: m.res.Testbench},
 	)
 	m.res.Latency.Func += sim.LatencyModel
+	m.res.Backend.Add(sim.Backend)
 	// The Verification Agent analyses every simulation log, also the
 	// passing one that lets it declare success.
 	alat, err := m.code.AnalysisLatency(ctx, llm.FunctionalFeedback, 0)

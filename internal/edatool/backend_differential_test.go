@@ -1,0 +1,73 @@
+package edatool
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+// Differential harness for the execution backend: the compiled
+// two-state fast path must produce output byte-identical to the
+// 4-state interpreter over real bench problems, in both languages, at
+// every worker count. This is the acceptance gate for the backend
+// seam — everything SimResult reports is compared, including the
+// judged verdict and the latency model.
+
+// TestBackendDifferentialByteIdentical runs sampled bench problems
+// (golden RTL under the reference testbench) under both backend modes
+// and requires identical output. It also pins that the modes really
+// differ in execution strategy: interpret mode must never bind a
+// compiled program.
+func TestBackendDifferentialByteIdentical(t *testing.T) {
+	for _, p := range sampleProblems(11) {
+		for _, lang := range []Language{Verilog, VHDL} {
+			for _, workers := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", p.ID, lang, workers), func(t *testing.T) {
+					srcs := problemSources(p, lang)
+					compiled := New(Options{Mode: sim.BackendCompiled, Workers: workers}).
+						Simulate(lang, bench.TBName, diffMaxTime, srcs...)
+					interp := New(Options{Mode: sim.BackendInterpret, Workers: workers}).
+						Simulate(lang, bench.TBName, diffMaxTime, srcs...)
+					compareSimResults(t, "compiled vs interpret", interp, compiled)
+					if interp.Backend.CompiledProcs != 0 || interp.Backend.CompiledAssigns != 0 {
+						t.Errorf("interpret mode bound compiled programs: %+v", interp.Backend)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBackendCacheKeyNeutral pins the API contract that backend mode
+// never enters the design cache key: a design elaborated and retained
+// under one mode is a whole-design cache hit under the other, and the
+// re-run under the new mode still matches a cold run of that mode
+// byte for byte.
+func TestBackendCacheKeyNeutral(t *testing.T) {
+	for _, p := range sampleProblems(29) {
+		for _, lang := range []Language{Verilog, VHDL} {
+			t.Run(fmt.Sprintf("%s/%s", p.ID, lang), func(t *testing.T) {
+				srcs := problemSources(p, lang)
+				cache := NewDesignCache()
+				coldInterp := New(Options{Mode: sim.BackendInterpret}).
+					Simulate(lang, bench.TBName, diffMaxTime, srcs...)
+				// Elaborate + retain under compiled mode...
+				New(Options{Mode: sim.BackendCompiled, Cache: cache}).
+					Simulate(lang, bench.TBName, diffMaxTime, srcs...)
+				// ...then re-run the retained design under interpret mode.
+				warm := New(Options{Mode: sim.BackendInterpret, Cache: cache}).
+					Simulate(lang, bench.TBName, diffMaxTime, srcs...)
+				compareSimResults(t, "mode switch on retained design", coldInterp, warm)
+				st := cache.Stats()
+				if st.DesignHits != 1 {
+					t.Errorf("mode switch missed the design cache: %+v", st)
+				}
+				if warm.Backend.CompiledProcs != 0 {
+					t.Errorf("interpret re-run executed compiled programs: %+v", warm.Backend)
+				}
+			})
+		}
+	}
+}

@@ -13,8 +13,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/verilog"
 	"repro/internal/vhdl"
-	"repro/internal/vhdlsim"
-	"repro/internal/vsim"
 )
 
 // Language selects the HDL being processed.
@@ -57,63 +55,18 @@ type CompileResult struct {
 
 // Compile parses and semantically checks the sources in order; later
 // sources see modules/entities of earlier ones (DUT first, then TB).
+//
+// Deprecated: use New(Options{}).Compile. Kept as a thin wrapper for
+// existing callers and tests.
 func Compile(lang Language, sources ...Source) *CompileResult {
-	return CompileWith(lang, nil, sources...)
+	return New(Options{}).Compile(lang, sources...)
 }
 
-// CompileWith is Compile through an optional design cache: unchanged
-// units (same file name and content) reuse their parsed ASTs and parse
-// diagnostics. Semantic checks still run per call — they see the whole
-// source set, which may differ even when one unit is unchanged. A nil
-// cache compiles cold.
+// CompileWith is Compile through an optional design cache.
+//
+// Deprecated: use New(Options{Cache: cache}).Compile.
 func CompileWith(lang Language, cache *DesignCache, sources ...Source) *CompileResult {
-	res := &CompileResult{}
-	switch lang {
-	case Verilog:
-		res.Modules = map[string]*verilog.Module{}
-		for _, src := range sources {
-			var sf *verilog.SourceFile
-			var pd diag.List
-			if cache != nil {
-				sf, pd = cache.parseVerilog(src)
-			} else {
-				sf, pd = verilog.Parse(src.Name, src.Text)
-			}
-			res.Diags = append(res.Diags, pd...)
-			if !pd.HasErrors() {
-				cd := verilog.Check(src.Name, sf, res.Modules)
-				cd.AttachSnippets(src.Text)
-				res.Diags = append(res.Diags, cd...)
-			}
-			for _, m := range sf.Modules {
-				res.Modules[m.Name] = m
-			}
-		}
-	case VHDL:
-		extern := map[string]*vhdl.Entity{}
-		for _, src := range sources {
-			var df *vhdl.DesignFile
-			var pd diag.List
-			if cache != nil {
-				df, pd = cache.parseVHDL(src)
-			} else {
-				df, pd = vhdl.Parse(src.Name, src.Text)
-			}
-			res.Diags = append(res.Diags, pd...)
-			if !pd.HasErrors() {
-				cd := vhdl.Check(src.Name, df, extern)
-				cd.AttachSnippets(src.Text)
-				res.Diags = append(res.Diags, cd...)
-			}
-			for _, e := range df.Entities {
-				extern[e.Name] = e
-			}
-			res.Units = append(res.Units, df)
-		}
-	}
-	res.OK = !res.Diags.HasErrors()
-	res.Log = RenderCompileLog(lang, res.Diags)
-	return res
+	return New(Options{Cache: cache}).Compile(lang, sources...)
 }
 
 // RenderCompileLog renders diagnostics the way xvlog/xvhdl would.
@@ -151,13 +104,19 @@ type SimResult struct {
 	Failed       bool // explicit test failure observed
 	TimedOut     bool
 	Fault        string
-	VCD          string  // Verilog waveform dump when the bench ran $dumpvars
-	LatencyModel float64 // EDA wall-clock estimate in seconds (events-based)
+	VCD          string           // Verilog waveform dump when the bench ran $dumpvars
+	Backend      sim.BackendStats // how the simulation executed (compiled vs interpreted)
+	LatencyModel float64          // EDA wall-clock estimate in seconds (events-based)
 }
 
 // SimOptions configures SimulateWith beyond the required language/top.
+//
+// Deprecated: use Options with New; this struct remains for the
+// SimulateWith wrapper.
 type SimOptions struct {
 	MaxTime uint64
+	// Mode selects the simulation execution backend (see Options.Mode).
+	Mode sim.BackendMode
 	// Workers selects the sharded parallel simulation backend in both
 	// front-ends (see vsim.Options.Workers). Output is byte-identical
 	// for every worker count, so results remain cache-coherent across
@@ -174,102 +133,18 @@ type SimOptions struct {
 
 // Simulate compiles the sources and, when clean, elaborates `top` and
 // runs the simulation. Compile errors surface in the returned log.
+//
+// Deprecated: use New(Options{}).Simulate.
 func Simulate(lang Language, top string, maxTime uint64, sources ...Source) *SimResult {
-	return SimulateWith(lang, top, SimOptions{MaxTime: maxTime}, sources...)
+	return New(Options{}).Simulate(lang, top, maxTime, sources...)
 }
 
-// SimulateWith is Simulate with full option control. With a cache in
-// opt it reuses prior work at every level that still applies: a fully
-// identical source set skips compile and elaboration and re-runs the
-// retained design from time zero; a partially changed set reuses
-// unchanged units' parses and elaboration templates.
+// SimulateWith is Simulate with full option control.
+//
+// Deprecated: use New(Options{...}).Simulate.
 func SimulateWith(lang Language, top string, opt SimOptions, sources ...Source) *SimResult {
-	out := &SimResult{}
-	simBase := 3.2 // xsim launch + Verilog elaboration estimate, seconds
-	if lang == VHDL {
-		simBase = 4.2 // mixed-language elaboration is slower
-	}
-	file := sources[len(sources)-1].Name
-	var key string
-	if opt.Cache != nil {
-		key = designKey(lang, top, sources)
-	}
-	switch lang {
-	case Verilog:
-		var d *vsim.Design
-		if opt.Cache != nil {
-			d, _ = opt.Cache.acquireVerilog(key)
-		}
-		if d == nil {
-			comp := CompileWith(lang, opt.Cache, sources...)
-			if !comp.OK {
-				return &SimResult{Log: comp.Log, Failed: true}
-			}
-			var ec *vsim.ElabCache
-			if opt.Cache != nil {
-				ec = opt.Cache.velab
-			}
-			var err error
-			d, err = vsim.ElaborateWith(ec, comp.Modules, top)
-			if err != nil {
-				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
-				out.Failed = true
-				return out
-			}
-		}
-		res := vsim.SimulateDesign(d, vsim.Options{
-			MaxTime: sim.Time(opt.MaxTime),
-			File:    file,
-			Workers: opt.Workers,
-		})
-		if opt.Cache != nil {
-			opt.Cache.releaseVerilog(key, d)
-		}
-		out.Log = res.Log
-		out.TimedOut = res.TimedOut
-		out.Fault = res.Fault
-		out.VCD = res.VCD
-		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
-	case VHDL:
-		var d *vhdlsim.Design
-		if opt.Cache != nil {
-			d, _ = opt.Cache.acquireVHDL(key)
-		}
-		if d == nil {
-			comp := CompileWith(lang, opt.Cache, sources...)
-			if !comp.OK {
-				return &SimResult{Log: comp.Log, Failed: true}
-			}
-			var ec *vhdlsim.ElabCache
-			if opt.Cache != nil {
-				ec = opt.Cache.vhelab
-			}
-			var err error
-			d, err = vhdlsim.ElaborateWith(ec, comp.Units, top)
-			if err != nil {
-				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
-				out.Failed = true
-				return out
-			}
-		}
-		res := vhdlsim.SimulateDesign(d, vhdlsim.Options{
-			MaxTime: sim.Time(opt.MaxTime),
-			File:    file,
-			Workers: opt.Workers,
-		})
-		if opt.Cache != nil {
-			opt.Cache.releaseVHDL(key, d)
-		}
-		out.Log = res.Log
-		out.TimedOut = res.TimedOut
-		out.Fault = res.Fault
-		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
-		if res.AssertErrors > 0 || res.Failed {
-			out.Failed = true
-		}
-	}
-	out.Passed = judgeLog(out)
-	return out
+	tc := New(Options{Mode: opt.Mode, Workers: opt.Workers, Cache: opt.Cache})
+	return tc.Simulate(lang, top, opt.MaxTime, sources...)
 }
 
 // latencyFromTime converts simulated time into the activity-dependent

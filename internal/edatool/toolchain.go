@@ -1,0 +1,223 @@
+package edatool
+
+import (
+	"repro/internal/diag"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+	"repro/internal/vhdl"
+	"repro/internal/vhdlsim"
+	"repro/internal/vsim"
+)
+
+// Options is the single configuration point for a Toolchain. Every
+// knob here is performance-only: none of them changes observable
+// compile or simulation output, and none enters the design cache key
+// or the runner's experiment fingerprints.
+type Options struct {
+	// Mode selects the simulation execution backend (see internal/sim):
+	// the zero value (auto) compiles two-state-eligible processes into
+	// flat uint64 closures with per-activation fallback to the 4-state
+	// interpreter; BackendInterpret forces the interpreter everywhere.
+	// Output is byte-identical across modes, so Mode is deliberately
+	// not part of any cache key.
+	Mode sim.BackendMode
+
+	// Workers shards each simulation across this many concurrent
+	// kernels (see vsim.Options.Workers); <= 1 runs serially. Output is
+	// byte-identical for every worker count.
+	Workers int
+
+	// Cache shares parse, elaboration, and whole-design reuse across
+	// every compile and simulation this toolchain runs (see
+	// DesignCache). Nil runs everything cold.
+	Cache *DesignCache
+}
+
+// Toolchain is the single entry point to the EDA substrate: a
+// compiler/simulator facade bound to one Options value. The zero-value
+// toolchain (and New(Options{})) behaves exactly like the legacy
+// package-level Compile/Simulate free functions, which now delegate
+// here.
+type Toolchain struct {
+	opts Options
+}
+
+// New returns a toolchain for the given options. Toolchains are
+// stateless beyond Options and safe for concurrent use (the cache, if
+// any, is internally synchronized).
+func New(opts Options) *Toolchain {
+	return &Toolchain{opts: opts}
+}
+
+// CacheStats snapshots the toolchain cache's hit/miss counters; a
+// cache-less toolchain reports the zero value.
+func (tc *Toolchain) CacheStats() CacheStats {
+	if tc.opts.Cache == nil {
+		return CacheStats{}
+	}
+	return tc.opts.Cache.Stats()
+}
+
+// Compile parses and semantically checks the sources in order; later
+// sources see modules/entities of earlier ones (DUT first, then TB).
+// Unchanged units (same file name and content) reuse their parsed ASTs
+// and parse diagnostics through the cache, if set. Semantic checks
+// still run per call — they see the whole source set, which may differ
+// even when one unit is unchanged.
+func (tc *Toolchain) Compile(lang Language, sources ...Source) *CompileResult {
+	cache := tc.opts.Cache
+	res := &CompileResult{}
+	switch lang {
+	case Verilog:
+		res.Modules = map[string]*verilog.Module{}
+		for _, src := range sources {
+			var sf *verilog.SourceFile
+			var pd diag.List
+			if cache != nil {
+				sf, pd = cache.parseVerilog(src)
+			} else {
+				sf, pd = verilog.Parse(src.Name, src.Text)
+			}
+			res.Diags = append(res.Diags, pd...)
+			if !pd.HasErrors() {
+				cd := verilog.Check(src.Name, sf, res.Modules)
+				cd.AttachSnippets(src.Text)
+				res.Diags = append(res.Diags, cd...)
+			}
+			for _, m := range sf.Modules {
+				res.Modules[m.Name] = m
+			}
+		}
+	case VHDL:
+		extern := map[string]*vhdl.Entity{}
+		for _, src := range sources {
+			var df *vhdl.DesignFile
+			var pd diag.List
+			if cache != nil {
+				df, pd = cache.parseVHDL(src)
+			} else {
+				df, pd = vhdl.Parse(src.Name, src.Text)
+			}
+			res.Diags = append(res.Diags, pd...)
+			if !pd.HasErrors() {
+				cd := vhdl.Check(src.Name, df, extern)
+				cd.AttachSnippets(src.Text)
+				res.Diags = append(res.Diags, cd...)
+			}
+			for _, e := range df.Entities {
+				extern[e.Name] = e
+			}
+			res.Units = append(res.Units, df)
+		}
+	}
+	res.OK = !res.Diags.HasErrors()
+	res.Log = RenderCompileLog(lang, res.Diags)
+	return res
+}
+
+// Simulate compiles the sources and, when clean, elaborates `top` and
+// runs the simulation under the toolchain's backend mode, worker
+// count, and cache. Compile errors surface in the returned log. A
+// maxTime of 0 uses the front-end default limit.
+//
+// With a cache set it reuses prior work at every level that still
+// applies: a fully identical source set skips compile and elaboration
+// and re-runs the retained design from time zero; a partially changed
+// set reuses unchanged units' parses and elaboration templates.
+// Backend mode is not part of the design key — a design elaborated
+// under one mode is re-simulated under another with byte-identical
+// output (the compiled programs themselves are cached per elaboration
+// template and engage only when the run's mode asks for them).
+func (tc *Toolchain) Simulate(lang Language, top string, maxTime uint64, sources ...Source) *SimResult {
+	out := &SimResult{}
+	simBase := 3.2 // xsim launch + Verilog elaboration estimate, seconds
+	if lang == VHDL {
+		simBase = 4.2 // mixed-language elaboration is slower
+	}
+	file := sources[len(sources)-1].Name
+	cache := tc.opts.Cache
+	var key string
+	if cache != nil {
+		key = designKey(lang, top, sources)
+	}
+	switch lang {
+	case Verilog:
+		var d *vsim.Design
+		if cache != nil {
+			d, _ = cache.acquireVerilog(key)
+		}
+		if d == nil {
+			comp := tc.Compile(lang, sources...)
+			if !comp.OK {
+				return &SimResult{Log: comp.Log, Failed: true}
+			}
+			var ec *vsim.ElabCache
+			if cache != nil {
+				ec = cache.velab
+			}
+			var err error
+			d, err = vsim.ElaborateWith(ec, comp.Modules, top)
+			if err != nil {
+				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+				out.Failed = true
+				return out
+			}
+		}
+		res := vsim.SimulateDesign(d, vsim.Options{
+			MaxTime: sim.Time(maxTime),
+			File:    file,
+			Workers: tc.opts.Workers,
+			Backend: tc.opts.Mode,
+		})
+		if cache != nil {
+			cache.releaseVerilog(key, d)
+		}
+		out.Log = res.Log
+		out.TimedOut = res.TimedOut
+		out.Fault = res.Fault
+		out.VCD = res.VCD
+		out.Backend = res.Backend
+		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
+	case VHDL:
+		var d *vhdlsim.Design
+		if cache != nil {
+			d, _ = cache.acquireVHDL(key)
+		}
+		if d == nil {
+			comp := tc.Compile(lang, sources...)
+			if !comp.OK {
+				return &SimResult{Log: comp.Log, Failed: true}
+			}
+			var ec *vhdlsim.ElabCache
+			if cache != nil {
+				ec = cache.vhelab
+			}
+			var err error
+			d, err = vhdlsim.ElaborateWith(ec, comp.Units, top)
+			if err != nil {
+				out.Log = "ERROR: [XSIM 43-3225] elaboration failed: " + err.Error() + "\n"
+				out.Failed = true
+				return out
+			}
+		}
+		res := vhdlsim.SimulateDesign(d, vhdlsim.Options{
+			MaxTime: sim.Time(maxTime),
+			File:    file,
+			Workers: tc.opts.Workers,
+			Backend: tc.opts.Mode,
+		})
+		if cache != nil {
+			cache.releaseVHDL(key, d)
+		}
+		out.Log = res.Log
+		out.TimedOut = res.TimedOut
+		out.Fault = res.Fault
+		out.Backend = res.Backend
+		out.LatencyModel = simBase + latencyFromTime(res.EndTime)
+		if res.AssertErrors > 0 || res.Failed {
+			out.Failed = true
+		}
+	}
+	out.Passed = judgeLog(out)
+	return out
+}

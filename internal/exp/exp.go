@@ -16,6 +16,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/provider"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // ProblemOutcome captures one problem's measurements. It is the
@@ -123,6 +124,11 @@ type Options struct {
 	// byte-identical across worker counts (see internal/sim), so cached
 	// cells stay valid when the setting changes.
 	SimWorkers int
+	// SimMode selects the simulation execution backend for every
+	// simulation of the sweep (see edatool.Options.Mode). Like
+	// SimWorkers it is applied before Configure and stays out of the
+	// cache key: output is byte-identical across modes.
+	SimMode sim.BackendMode
 	// Runner, when set, orchestrates the sweep: its cache makes runs
 	// resumable, its shard splits the job set across invocations, and
 	// its progress reporter streams per-cell outcomes. When nil the
@@ -179,6 +185,7 @@ func configKey(cfg core.Config) string {
 func (o Options) effectiveConfig(model *llm.Profile, lang edatool.Language) core.Config {
 	cfg := core.DefaultConfig(model, lang)
 	cfg.SimWorkers = o.SimWorkers
+	cfg.SimMode = o.SimMode
 	if o.Provider != "" {
 		p, err := provider.DefaultRegistry.New(o.Provider, model, o.ProviderConfig)
 		if err != nil {
@@ -208,11 +215,12 @@ func (o Options) providerTag() string {
 // surface as an error so the runner marks the cell Failed and — key
 // for resumability — never caches it: the next invocation recomputes
 // the cell instead of serving a poisoned result.
-func evaluate(prob *bench.Problem, lang edatool.Language, cfg core.Config, tag string) (ProblemOutcome, error) {
+func evaluate(r *runner.Runner, prob *bench.Problem, lang edatool.Language, cfg core.Config, tag string) (ProblemOutcome, error) {
 	res := core.New(cfg).Run(prob)
 	if res.Aborted {
 		return ProblemOutcome{}, fmt.Errorf("cell %s/%s aborted: %w", prob.ID, lang, res.Err)
 	}
+	r.AddBackend(res.Backend)
 	return Outcome(prob, lang, cfg, tag, res), nil
 }
 
@@ -274,7 +282,7 @@ func evaluateResumable(ctx context.Context, r *runner.Runner, job runner.Job, pr
 		// Checkpointing itself is broken (e.g. a non-resumable
 		// session). The pipeline is deterministic, so fall back to a
 		// plain uncheckpointed run.
-		return evaluate(prob, lang, cfg, tag)
+		return evaluate(r, prob, lang, cfg, tag)
 	}
 	replayed := 0
 	if resumed > 0 {
@@ -284,6 +292,7 @@ func evaluateResumable(ctx context.Context, r *runner.Runner, job runner.Job, pr
 	if res.Aborted {
 		return ProblemOutcome{}, fmt.Errorf("cell %s/%s aborted: %w", prob.ID, lang, res.Err)
 	}
+	r.AddBackend(res.Backend)
 	r.Cache.DeleteCheckpoint(job)
 	return Outcome(prob, lang, cfg, tag, res), nil
 }
@@ -344,7 +353,7 @@ func Run(model *llm.Profile, lang edatool.Language, opts Options) *Summary {
 		if checkpointed {
 			return evaluateResumable(context.Background(), r, job, problems[i], lang, cfg, tag)
 		}
-		return evaluate(problems[i], lang, cfg, tag)
+		return evaluate(r, problems[i], lang, cfg, tag)
 	})
 	elab := cfg.DesignCache.Stats().Sub(elabBefore)
 	r.AddElab(elab.DesignHits, elab.DesignMisses, elab.ParseHits, elab.ParseMisses)

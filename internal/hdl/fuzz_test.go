@@ -24,6 +24,17 @@ func FuzzVectorOps(f *testing.F) {
 	f.Add([]byte{65, 63, 0b1110, 0xe4, 0xe4, 0x1b, 0x00, 0xff})
 	f.Add([]byte{128, 32, 0xde, 0xad, 0xbe, 0xef, 0xe4, 0xe4, 0xe4, 0xe4})
 	f.Add([]byte{33, 97, 0x00})
+	// Two-state/four-state classification boundary (Known64/TwoState):
+	// a fully known 64-bit value (widest classifiable), a fully known
+	// 65-bit value (width excludes it), a 64-bit value with a single X
+	// in the top bit, and a 1-bit Z.
+	f.Add([]byte{64, 1, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55,
+		0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55})
+	f.Add([]byte{65, 1, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55,
+		0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0x01})
+	f.Add([]byte{64, 1, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80})
+	f.Add([]byte{1, 1, 0b11})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
@@ -133,6 +144,33 @@ func FuzzVectorOps(f *testing.F) {
 						t.Fatalf("%s with unknown operand: bit %d = %v, want x", op.name, i, op.out.Bit(i))
 					}
 				}
+			}
+		}
+
+		// Two-state classification: Known64 must accept exactly the
+		// fully known <= 64-bit values (the compiled backend's guard
+		// condition), and the value it returns must match the per-bit
+		// reference. TwoState must agree with the per-bit known test at
+		// every width.
+		for _, v := range []Vector{a, b} {
+			ref := refFromVector(v)
+			u, ok := v.Known64()
+			if wantOK := ref.isKnown() && v.Width() <= 64; ok != wantOK {
+				t.Fatalf("Known64(%v) ok = %v, want %v", v, ok, wantOK)
+			}
+			if ok {
+				var want uint64
+				for i, l := range ref {
+					if l == L1 {
+						want |= 1 << uint(i)
+					}
+				}
+				if u != want {
+					t.Fatalf("Known64(%v) = %#x, want %#x", v, u, want)
+				}
+			}
+			if got := v.TwoState(); got != ref.isKnown() {
+				t.Fatalf("TwoState(%v) = %v, want %v", v, got, ref.isKnown())
 			}
 		}
 

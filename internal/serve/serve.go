@@ -30,6 +30,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/provider"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // Job statuses. queued and running are live; interrupted means the job
@@ -114,6 +115,10 @@ type Config struct {
 	// delay gives crash/drain tests (and the CI smoke script) a window
 	// to kill the server mid-job.
 	StepDelay time.Duration
+	// SimMode selects the simulation execution backend for every job
+	// (see edatool.Options.Mode). Output is byte-identical across
+	// modes, so it never enters job IDs or cache cells.
+	SimMode sim.BackendMode
 	// StepHook, when set, runs after each checkpoint write with the job
 	// id and the checkpoint. A non-nil return interrupts the job — the
 	// in-process stand-in for SIGKILL in crash-resume tests.
@@ -413,6 +418,7 @@ func (s *Server) resolve(spec Spec) (resolved, error) {
 	}
 	cfg.FreezeTestbench = !spec.CoGenTestbench
 	cfg.SkipFunctional = spec.SkipFunctional
+	cfg.SimMode = s.cfg.SimMode // performance-only; not in the fingerprint
 	r.cfg = cfg
 	r.rjob = runner.Job{
 		Problem:  r.prob.ID,

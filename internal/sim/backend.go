@@ -1,0 +1,96 @@
+package sim
+
+import "fmt"
+
+// Backend selection seam. The kernel schedules opaque process
+// continuations (Process.stepFn), so compiled and interpreted processes
+// already coexist in one event loop: a "compiled" process is simply a
+// process whose step closure runs specialized straight-line code
+// instead of walking an AST. This file contributes the shared
+// vocabulary for choosing and reporting that execution strategy, used
+// by both front-ends (vsim, vhdlsim) and surfaced through
+// edatool.Toolchain and the CLIs.
+//
+// The backend is strictly output-neutral: for any mode, logs, VCD and
+// final values are byte-identical (pinned by the differential
+// harnesses). Only speed and the BackendStats counters may differ.
+
+// BackendMode selects how behavioural processes execute.
+type BackendMode uint8
+
+const (
+	// BackendAuto lets the front-end choose per process: two-state
+	// eligible processes run compiled, everything else interpreted.
+	// Today this resolves to BackendCompiled; the name leaves room for
+	// smarter policies (e.g. profile-guided) without an API change.
+	BackendAuto BackendMode = iota
+	// BackendInterpret forces the 4-state AST interpreter for every
+	// process.
+	BackendInterpret
+	// BackendCompiled specializes every eligible process into flat
+	// two-state closures over uint64 words, with automatic per-
+	// activation fallback to the interpreter on X/Z values; ineligible
+	// processes (wide vectors, delays, unsupported constructs) stay
+	// interpreted.
+	BackendCompiled
+)
+
+// Compiled reports whether this mode enables the compiled fast path.
+func (m BackendMode) Compiled() bool { return m != BackendInterpret }
+
+func (m BackendMode) String() string {
+	switch m {
+	case BackendAuto:
+		return "auto"
+	case BackendInterpret:
+		return "interpret"
+	case BackendCompiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(m))
+}
+
+// ParseBackendMode parses a -sim-mode flag value.
+func ParseBackendMode(s string) (BackendMode, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "interpret", "interpreted", "interp":
+		return BackendInterpret, nil
+	case "compiled", "compile":
+		return BackendCompiled, nil
+	}
+	return BackendAuto, fmt.Errorf("unknown backend mode %q (want auto, interpret, or compiled)", s)
+}
+
+// BackendStats reports how one simulation run executed: how many
+// behavioural processes and continuous assignments were bound to the
+// compiled fast path vs the interpreter, and how many compiled
+// activations deferred to the interpreter because a guarded input
+// carried X/Z at activation time. The counts are deterministic across
+// worker counts (classification is static per design; fallbacks are
+// per-activation and activations are identical in every
+// configuration).
+type BackendStats struct {
+	Mode               string // resolved mode the run executed under
+	CompiledProcs      int    // processes bound to compiled programs
+	InterpretedProcs   int    // processes bound to the AST interpreter
+	CompiledAssigns    int    // continuous assignments bound compiled
+	InterpretedAssigns int    // continuous assignments bound interpreted
+	Fallbacks          uint64 // compiled activations run by the interpreter (X/Z guard)
+}
+
+// Add accumulates o into s (summing runs; Mode keeps the first
+// non-empty label and degrades to "mixed" on disagreement).
+func (s *BackendStats) Add(o BackendStats) {
+	if s.Mode == "" {
+		s.Mode = o.Mode
+	} else if o.Mode != "" && o.Mode != s.Mode {
+		s.Mode = "mixed"
+	}
+	s.CompiledProcs += o.CompiledProcs
+	s.InterpretedProcs += o.InterpretedProcs
+	s.CompiledAssigns += o.CompiledAssigns
+	s.InterpretedAssigns += o.InterpretedAssigns
+	s.Fallbacks += o.Fallbacks
+}

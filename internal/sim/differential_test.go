@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/edatool"
+	"repro/internal/sim"
 	"repro/internal/vhdlsim"
 	"repro/internal/vsim"
 )
@@ -24,6 +25,13 @@ import (
 // workerCounts are the backend configurations every design runs under;
 // 1 is the serial reference.
 var workerCounts = []int{1, 2, 4}
+
+// backendModes are the execution backends the corpus tests cross with
+// the worker counts: the serial reference runs compiled (the default),
+// and every (mode, workers) combination must match it byte for byte —
+// including the forced 4-state interpreter, so compiled-vs-interpreted
+// divergence is caught by the same harness that guards sharding.
+var backendModes = []sim.BackendMode{sim.BackendCompiled, sim.BackendInterpret}
 
 // simOutcome is the full observable outcome of one Verilog run.
 type simOutcome struct {
@@ -37,6 +45,10 @@ type simOutcome struct {
 }
 
 func runVerilog(t *testing.T, name, src string, workers int) simOutcome {
+	return runVerilogMode(t, name, src, workers, sim.BackendAuto)
+}
+
+func runVerilogMode(t *testing.T, name, src string, workers int, mode sim.BackendMode) simOutcome {
 	t.Helper()
 	comp := edatool.Compile(edatool.Verilog, edatool.Source{Name: name, Text: src})
 	if !comp.OK {
@@ -45,6 +57,7 @@ func runVerilog(t *testing.T, name, src string, workers int) simOutcome {
 	res, err := vsim.Simulate(comp.Modules, "tb", vsim.Options{
 		Workers:      workers,
 		CaptureFinal: true,
+		Backend:      mode,
 	})
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
@@ -164,8 +177,13 @@ func TestDifferentialRandomClusters(t *testing.T) {
 		if !strings.Contains(ref.log, "$finish called") {
 			t.Fatalf("%s: reference run did not finish:\n%s", name, ref.log)
 		}
-		for _, w := range workerCounts[1:] {
-			diffOutcomes(t, name, ref, runVerilog(t, name, src, w), w)
+		for _, mode := range backendModes {
+			for _, w := range workerCounts {
+				if mode == sim.BackendCompiled && w == workerCounts[0] {
+					continue // the reference itself
+				}
+				diffOutcomes(t, fmt.Sprintf("%s/%s", name, mode), ref, runVerilogMode(t, name, src, w, mode), w)
+			}
 		}
 	}
 }
@@ -184,8 +202,13 @@ func TestDifferentialBenchVerilog(t *testing.T) {
 		p := suite.Problems[i]
 		src := p.GoldenVerilog + "\n" + p.RefTBVerilog
 		ref := runVerilog(t, p.ID, src, workerCounts[0])
-		for _, w := range workerCounts[1:] {
-			diffOutcomes(t, p.ID, ref, runVerilog(t, p.ID, src, w), w)
+		for _, mode := range backendModes {
+			for _, w := range workerCounts {
+				if mode == sim.BackendCompiled && w == workerCounts[0] {
+					continue
+				}
+				diffOutcomes(t, fmt.Sprintf("%s/%s", p.ID, mode), ref, runVerilogMode(t, p.ID, src, w, mode), w)
+			}
 		}
 	}
 }
@@ -204,7 +227,7 @@ func TestDifferentialBenchVHDL(t *testing.T) {
 		asserts int
 		final   map[string]string
 	}
-	run := func(p *bench.Problem, workers int) vhdlOutcome {
+	run := func(p *bench.Problem, workers int, mode sim.BackendMode) vhdlOutcome {
 		src := p.GoldenVHDL + "\n" + p.RefTBVHDL
 		comp := edatool.Compile(edatool.VHDL, edatool.Source{Name: p.ID + ".vhd", Text: src})
 		if !comp.OK {
@@ -213,6 +236,7 @@ func TestDifferentialBenchVHDL(t *testing.T) {
 		res, err := vhdlsim.Simulate(comp.Units, "tb", vhdlsim.Options{
 			Workers:      workers,
 			CaptureFinal: true,
+			Backend:      mode,
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", p.ID, err)
@@ -230,19 +254,24 @@ func TestDifferentialBenchVHDL(t *testing.T) {
 	}
 	for i := 0; i < len(suite.Problems); i += stride {
 		p := suite.Problems[i]
-		ref := run(p, workerCounts[0])
-		for _, w := range workerCounts[1:] {
-			got := run(p, w)
-			if got.log != ref.log {
-				t.Errorf("%s: VHDL log differs at %d workers:\n--- serial ---\n%s\n--- %dw ---\n%s",
-					p.ID, w, ref.log, w, got.log)
-			}
-			if got.events != ref.events || got.endTime != ref.endTime || got.asserts != ref.asserts {
-				t.Errorf("%s: VHDL counters differ at %d workers: %+v vs %+v", p.ID, w, got, ref)
-			}
-			for sig, want := range ref.final {
-				if got.final[sig] != want {
-					t.Errorf("%s: VHDL final %s = %s at %d workers, want %s", p.ID, sig, got.final[sig], w, want)
+		ref := run(p, workerCounts[0], sim.BackendCompiled)
+		for _, mode := range backendModes {
+			for _, w := range workerCounts {
+				if mode == sim.BackendCompiled && w == workerCounts[0] {
+					continue
+				}
+				got := run(p, w, mode)
+				if got.log != ref.log {
+					t.Errorf("%s: VHDL log differs at %d workers (%s):\n--- serial ---\n%s\n--- %dw ---\n%s",
+						p.ID, w, mode, ref.log, w, got.log)
+				}
+				if got.events != ref.events || got.endTime != ref.endTime || got.asserts != ref.asserts {
+					t.Errorf("%s: VHDL counters differ at %d workers (%s): %+v vs %+v", p.ID, w, mode, got, ref)
+				}
+				for sig, want := range ref.final {
+					if got.final[sig] != want {
+						t.Errorf("%s: VHDL final %s = %s at %d workers (%s), want %s", p.ID, sig, got.final[sig], w, mode, want)
+					}
 				}
 			}
 		}

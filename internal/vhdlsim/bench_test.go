@@ -3,6 +3,7 @@ package vhdlsim
 import (
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/vhdl"
 )
 
@@ -10,8 +11,14 @@ import (
 // VHDL front-end: parse once, then elaborate + run a clocked 16-bit
 // counter for ~2000 cycles per iteration. Together the two benchmarks
 // feed BENCH_hdl.json so kernel regressions are visible from both
-// interpreters (see docs/PERFORMANCE.md).
-func BenchmarkVHDLSimCounter(b *testing.B) {
+// interpreters (see docs/PERFORMANCE.md). The Compiled/Interpreted
+// pair pins the same workload under each execution backend so the
+// fast path's advantage is tracked per-HDL.
+func BenchmarkVHDLSimCounter(b *testing.B)            { benchVHDLCounter(b, sim.BackendAuto) }
+func BenchmarkVHDLSimCounterCompiled(b *testing.B)    { benchVHDLCounter(b, sim.BackendCompiled) }
+func BenchmarkVHDLSimCounterInterpreted(b *testing.B) { benchVHDLCounter(b, sim.BackendInterpret) }
+
+func benchVHDLCounter(b *testing.B, mode sim.BackendMode) {
 	src := `
 entity counter is
   port (clk : in std_logic; reset : in std_logic; count : out std_logic_vector(15 downto 0));
@@ -63,7 +70,7 @@ end architecture;`
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Simulate(units, "tb", Options{MaxTime: 100000})
+		res, err := Simulate(units, "tb", Options{MaxTime: 100000, Backend: mode})
 		if err != nil {
 			b.Fatalf("simulate: %v", err)
 		}

@@ -66,6 +66,10 @@ type Instance struct {
 	Generics map[string]hdl.Vector
 	Children []*Instance
 	Parent   *Instance
+
+	// tmpl is the elaboration template this instance was replayed
+	// from; the compiled backend caches per-process programs on it.
+	tmpl *entityTemplate
 }
 
 // Design is the elaborated hierarchy plus bound behaviour.
@@ -87,6 +91,12 @@ type Design struct {
 	all      []*Signal
 	initVals []hdl.Vector
 	ran      bool
+
+	// Compiled concurrent-assignment programs, lazily built per design
+	// (signal pointers are design-scoped, so the programs survive
+	// Reset and re-simulation). concTried is the negative cache.
+	concProgs []*vconcProg
+	concTried []bool
 }
 
 type boundProcess struct {
@@ -231,6 +241,7 @@ func (d *Design) elabInstance(parent *Instance, ent *vhdl.Entity, path string, g
 	} else {
 		inst.Generics = tmpl.generics
 	}
+	inst.tmpl = tmpl
 
 	inst.Signals = make(map[string]*Signal, len(tmpl.sigs))
 	for i := range tmpl.sigs {

@@ -71,6 +71,15 @@ type entityTemplate struct {
 	generics map[string]hdl.Vector
 	sigs     []sigSpec
 	ops      []elabOp
+
+	// Compiled two-state programs, one per process, built on first
+	// demand (see compile.go). Programs address signals by local-name
+	// slot and bake generic values as constants — both functions of the
+	// template key — so every instance of this template (across
+	// concurrent simulations sharing the ElabCache, hence the mutex)
+	// shares one program. A nil map entry is the negative cache.
+	progMu sync.Mutex
+	progs  map[*vhdl.ProcessStmt]*vprocProg
 }
 
 // sigSpec is one signal's resolved declaration; init is the elaborated

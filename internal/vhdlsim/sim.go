@@ -24,6 +24,12 @@ type Options struct {
 	// CaptureFinal populates Result.Final with the post-run value of
 	// every signal (used by the differential harness).
 	CaptureFinal bool
+
+	// Backend selects the execution strategy (see internal/sim): the
+	// zero value (auto) enables the compiled two-state fast path with
+	// per-activation fallback; BackendInterpret forces the 4-state
+	// interpreter everywhere. Both produce byte-identical output.
+	Backend sim.BackendMode
 }
 
 // Result is the outcome of a simulation.
@@ -37,6 +43,7 @@ type Result struct {
 	Events       uint64            // kernel events executed, summed over shards
 	Shards       int               // shard kernels the run executed on
 	Final        map[string]string // hierarchical name -> final value
+	Backend      sim.BackendStats  // execution-strategy accounting
 }
 
 // shared is the cross-shard state of one run.
@@ -45,16 +52,35 @@ type shared struct {
 	comps  []*compCtx
 	file   string
 	logCap int
+
+	// Backend bookkeeping. The counters are written during binding,
+	// which is single-threaded (SimulateDesign binds every shard's
+	// machinery serially before the engine starts). Port bindings
+	// count as interpreted assignments: they never compile.
+	backend         sim.BackendMode
+	compiledProcs   int
+	interpProcs     int
+	compiledAssigns int
+	interpAssigns   int
+}
+
+// resolvedMode is the concrete strategy auto resolved to.
+func (sh *shared) resolvedMode() sim.BackendMode {
+	if sh.backend.Compiled() {
+		return sim.BackendCompiled
+	}
+	return sim.BackendInterpret
 }
 
 // compCtx is the per-connectivity-component state, keyed by the stable
 // component index so budgets, caps, and fault attribution are
 // identical in every worker configuration.
 type compCtx struct {
-	idx    int32
-	steps  uint64
-	logLen int
-	fault  string
+	idx       int32
+	steps     uint64
+	logLen    int
+	fault     string
+	fallbacks uint64 // compiled activations deferred to the interpreter (X/Z guard)
 }
 
 // Simulator interprets one shard of an elaborated VHDL design on its
@@ -121,7 +147,7 @@ func SimulateDesign(d *Design, opts Options) *Result {
 	}
 	shardOf, nshards := sim.AssignShards(plan.weights, maxShards)
 
-	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput}
+	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput, backend: opts.Backend}
 	for i := 0; i < plan.ncomps; i++ {
 		sh.comps = append(sh.comps, &compCtx{idx: int32(i)})
 	}
@@ -140,7 +166,7 @@ func SimulateDesign(d *Design, opts Options) *Result {
 	}
 	for i := range d.concAssigns {
 		c := plan.concComp[i]
-		sims[shardOf[c]].bindConcAssign(&d.concAssigns[i], sh.comps[c])
+		sims[shardOf[c]].bindConcAssign(i, &d.concAssigns[i], sh.comps[c])
 	}
 	for i := range d.processes {
 		c := plan.procComp[i]
@@ -182,6 +208,16 @@ func SimulateDesign(d *Design, opts Options) *Result {
 	if res.Fault != "" && !strings.Contains(res.Log, res.Fault) {
 		res.Log += "SIMULATOR: " + res.Fault + "\n"
 	}
+	res.Backend = sim.BackendStats{
+		Mode:               sh.resolvedMode().String(),
+		CompiledProcs:      sh.compiledProcs,
+		InterpretedProcs:   sh.interpProcs,
+		CompiledAssigns:    sh.compiledAssigns,
+		InterpretedAssigns: sh.interpAssigns,
+	}
+	for _, c := range sh.comps {
+		res.Backend.Fallbacks += c.fallbacks
+	}
 	if opts.CaptureFinal {
 		res.Final = map[string]string{}
 		var walk func(inst *Instance)
@@ -202,6 +238,7 @@ func SimulateDesign(d *Design, opts Options) *Result {
 // the child port signal; out-ports copy the child port to the parent
 // actual (which must be an assignable name).
 func (s *Simulator) bindPort(pb *portBind, comp *compCtx) {
+	s.sh.interpAssigns++
 	update := func() {
 		s.curComp = comp
 		defer s.recoverFault()
@@ -239,10 +276,32 @@ func (s *Simulator) bindPort(pb *portBind, comp *compCtx) {
 	s.kernel.Active(update)
 }
 
-func (s *Simulator) bindConcAssign(bc *boundConc, comp *compCtx) {
+func (s *Simulator) bindConcAssign(idx int, bc *boundConc, comp *compCtx) {
 	inst, ca := bc.scope, bc.ca
+	// Compiled fast path: specialize once per design; every update
+	// first tries the two-state program and falls back to the
+	// interpreter for activations that fail the guard.
+	var prog *vconcProg
+	var penv *vcenv
+	if s.sh.backend.Compiled() {
+		if prog = s.sh.design.concProgFor(s, idx); prog != nil {
+			penv = &vcenv{s: s, comp: comp, sigs: prog.sigs}
+		}
+	}
+	if prog != nil {
+		s.sh.compiledAssigns++
+	} else {
+		s.sh.interpAssigns++
+	}
 	update := func() {
 		s.curComp = comp
+		if prog != nil {
+			if penv.ready(prog.guards) {
+				prog.run(penv)
+				return
+			}
+			comp.fallbacks++
+		}
 		defer s.recoverFault()
 		for _, w := range ca.Waves {
 			if w.Cond != nil && !s.truthy(s.eval(inst, nil, w.Cond)) {
@@ -284,6 +343,17 @@ func (s *Simulator) bindProcess(bp *boundProcess, comp *compCtx) {
 		name = inst.Path + ".process"
 	}
 	m := &procMachine{s: s, inst: inst, ps: ps, en: newEnv(), comp: comp}
+	if s.sh.backend.Compiled() && len(ps.Sens) > 0 {
+		if prog := s.progForProcess(inst, ps); prog != nil {
+			m.prog = prog
+			m.penv = bindProcProg(s, inst, comp, prog)
+		}
+	}
+	if m.prog != nil {
+		s.sh.compiledProcs++
+	} else {
+		s.sh.interpProcs++
+	}
 	m.p = s.kernel.NewProcess(name, m.step)
 	m.activate = m.p.Activate
 }

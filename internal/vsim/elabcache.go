@@ -97,6 +97,16 @@ func (c *ElabCache) store(k tmplKey, t *moduleTemplate) {
 type moduleTemplate struct {
 	sigs []sigSpec
 	ops  []elabOp
+
+	// Compiled two-state programs, one per always block, built on first
+	// demand (see compile.go). Programs address signals by slot and bake
+	// parameter values as constants, both of which are functions of the
+	// template key, so every instance of this template — across
+	// concurrent simulations sharing the ElabCache, hence the mutex —
+	// shares one program. A nil map entry records ineligibility, so
+	// classification also runs once per template.
+	progMu sync.Mutex
+	progs  map[*verilog.AlwaysBlock]*procProg
 }
 
 // sigSpec is one signal's resolved declaration. init is the value the

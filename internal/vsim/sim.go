@@ -28,6 +28,13 @@ type Options struct {
 	// CaptureFinal populates Result.Final with the post-run value of
 	// every non-memory signal (used by the differential harness).
 	CaptureFinal bool
+
+	// Backend selects the execution strategy (see internal/sim): the
+	// zero value (auto) compiles two-state-eligible processes into flat
+	// uint64 closures with per-activation interpreter fallback;
+	// BackendInterpret forces the 4-state AST interpreter everywhere.
+	// Observable output is byte-identical across modes.
+	Backend sim.BackendMode
 }
 
 // Result is the outcome of a simulation run.
@@ -42,6 +49,7 @@ type Result struct {
 	Events   uint64            // kernel events executed, summed over shards
 	Shards   int               // shard kernels the run executed on
 	Final    map[string]string // hierarchical name -> final value (CaptureFinal)
+	Backend  sim.BackendStats  // how processes executed (compiled vs interpreted)
 }
 
 // shared is the cross-shard state of one run: the elaborated design,
@@ -53,6 +61,15 @@ type shared struct {
 	file   string
 	logCap int
 	vcd    vcdShared
+
+	// Backend bookkeeping. The counters are written during binding,
+	// which is single-threaded (SimulateDesign binds every shard's
+	// entities serially before the engine starts).
+	backend         sim.BackendMode
+	compiledProcs   int
+	interpProcs     int
+	compiledAssigns int
+	interpAssigns   int
 }
 
 // compCtx is the per-connectivity-component state. A component runs on
@@ -61,12 +78,13 @@ type shared struct {
 // output caps, and fault attribution are identical in every
 // configuration.
 type compCtx struct {
-	idx    int32
-	rng    uint64
-	steps  uint64
-	logLen int
-	vcdLen int
-	fault  string
+	idx       int32
+	rng       uint64
+	steps     uint64
+	logLen    int
+	vcdLen    int
+	fault     string
+	fallbacks uint64 // compiled activations deferred to the interpreter (X/Z guard)
 }
 
 // Simulator interprets one shard of an elaborated design on its own
@@ -146,7 +164,7 @@ func SimulateDesign(d *Design, opts Options) *Result {
 	}
 	shardOf, nshards := sim.AssignShards(plan.weights, maxShards)
 
-	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput}
+	sh := &shared{design: d, file: opts.File, logCap: opts.MaxOutput, backend: opts.Backend}
 	seedBase := opts.Seed ^ 0x9E3779B97F4A7C15
 	for i := 0; i < plan.ncomps; i++ {
 		// Component 0 keeps the historical single-stream seed; the
@@ -169,7 +187,7 @@ func SimulateDesign(d *Design, opts Options) *Result {
 	// initial activations keep their serial relative order.
 	for i := range d.contAssigns {
 		c := plan.assignComp[i]
-		sims[shardOf[c]].bindContAssign(&d.contAssigns[i], sh.comps[c])
+		sims[shardOf[c]].bindContAssign(i, &d.contAssigns[i], sh.comps[c])
 	}
 	for i := range d.procs {
 		c := plan.procComp[i]
@@ -244,7 +262,25 @@ func SimulateDesign(d *Design, opts Options) *Result {
 			}
 		}
 	}
+	res.Backend = sim.BackendStats{
+		Mode:               sh.resolvedMode().String(),
+		CompiledProcs:      sh.compiledProcs,
+		InterpretedProcs:   sh.interpProcs,
+		CompiledAssigns:    sh.compiledAssigns,
+		InterpretedAssigns: sh.interpAssigns,
+	}
+	for _, c := range sh.comps {
+		res.Backend.Fallbacks += c.fallbacks
+	}
 	return res
+}
+
+// resolvedMode is the concrete strategy auto resolved to.
+func (sh *shared) resolvedMode() sim.BackendMode {
+	if sh.backend.Compiled() {
+		return sim.BackendCompiled
+	}
+	return sim.BackendInterpret
 }
 
 // truncateTo bounds s to limit bytes (the abort/fault summary lines
@@ -268,6 +304,11 @@ type contAssignRT struct {
 	// target carries runtime indexes and must re-resolve per update.
 	bound   *lhsBinding
 	dynamic bool // LHS classified dynamic; skip re-classification
+
+	// Compiled two-state fast path (see compile.go); nil when the
+	// assignment is ineligible or the backend forces interpretation.
+	prog *caProg
+	penv *cenv
 }
 
 func (c *contAssignRT) schedule() {
@@ -280,6 +321,15 @@ func (c *contAssignRT) schedule() {
 
 func (c *contAssignRT) update() {
 	c.s.curComp = c.comp
+	if p := c.prog; p != nil {
+		// Compiled path: no fault recovery needed — a compiled update
+		// cannot fault (no division, no budget charge, static targets).
+		if e := c.penv; e.ready(p.guards) {
+			applyParts(e, p.parts, p.total, p.rhs.fn(e))
+			return
+		}
+		c.comp.fallbacks++
+	}
 	defer c.s.recoverFault()
 	var ts []target
 	var total int
@@ -299,8 +349,19 @@ func (c *contAssignRT) update() {
 	c.s.applyTargets(ts, total, val)
 }
 
-func (s *Simulator) bindContAssign(a *boundAssign, comp *compCtx) {
+func (s *Simulator) bindContAssign(idx int, a *boundAssign, comp *compCtx) {
 	rt := &contAssignRT{s: s, a: a, comp: comp}
+	if s.sh.backend.Compiled() {
+		if prog := s.sh.design.caProgFor(s, idx); prog != nil {
+			rt.prog = prog
+			rt.penv = &cenv{s: s, comp: comp, sigs: prog.sigs}
+		}
+	}
+	if rt.prog != nil {
+		s.sh.compiledAssigns++
+	} else {
+		s.sh.interpAssigns++
+	}
 	rt.run = func() {
 		rt.pending = false
 		rt.update()
@@ -339,12 +400,28 @@ func (s *Simulator) recoverFault() {
 
 func (s *Simulator) bindAlways(inst *Instance, alw *verilog.AlwaysBlock, comp *compCtx) {
 	m := &procMachine{s: s, inst: inst, body: alw.Body, sens: alw.Sens, always: true, comp: comp}
+	// Only sensitivity-driven always blocks take the compiled path: the
+	// armed wakeup runs the body once to completion, which is exactly
+	// the shape a compiled (suspension-free) body has. Bare `always`
+	// blocks must contain delays, so they stay interpreted.
+	if s.sh.backend.Compiled() && alw.Sens != nil {
+		if prog := progForAlways(s, inst, alw); prog != nil {
+			m.prog = prog
+			m.penv = bindProg(s, inst, comp, prog)
+		}
+	}
+	if m.prog != nil {
+		s.sh.compiledProcs++
+	} else {
+		s.sh.interpProcs++
+	}
 	m.p = s.kernel.NewProcess(inst.Path+".always", m.step)
 	m.activate = m.p.Activate
 }
 
 func (s *Simulator) bindInitial(inst *Instance, ib *verilog.InitialBlock, comp *compCtx) {
 	m := &procMachine{s: s, inst: inst, body: ib.Body, comp: comp}
+	s.sh.interpProcs++ // initial blocks run once; always interpreted
 	m.p = s.kernel.NewProcess(inst.Path+".initial", m.step)
 	m.activate = m.p.Activate
 }
